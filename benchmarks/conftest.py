@@ -1,0 +1,24 @@
+"""Benchmark configuration.
+
+``REPRO_BENCH_STRIDE`` controls the (width, offset) grid stride for the
+hardware-scan benchmarks: 1 reproduces the paper's full 9,801-point grids
+(slow — tens of minutes end to end); larger strides subsample the grid for
+quick runs. The emulation benchmarks (Figure 2) always run the full mask
+population — outcome caching makes them cheap.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import pytest
+
+
+def bench_stride(default: int = 2) -> int:
+    return max(1, int(os.environ.get("REPRO_BENCH_STRIDE", default)))
+
+
+@pytest.fixture(scope="session")
+def stride() -> int:
+    return bench_stride()

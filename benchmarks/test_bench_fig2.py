@@ -1,0 +1,51 @@
+"""Figure 2 benchmarks: emulated bit-flip campaigns over all 14 branches.
+
+Regenerates all three panels (plus the XOR ablation) with the full
+:math:`\\sum_k \\binom{16}{k} = 2^{16}` mask population per instruction per
+model, and checks the paper's qualitative findings:
+
+- AND (1→0) ≫ OR (0→1) in mean skip rate (paper: ≈60% vs ≈30%);
+- XOR lies between the two;
+- decoding 0x0000 as invalid leaves the AND rate "effectively unchanged".
+"""
+
+from functools import lru_cache
+
+import pytest
+
+from repro.experiments.fig2 import run_figure2
+
+
+@lru_cache(maxsize=None)
+def _campaign():
+    return run_figure2()
+
+
+@pytest.fixture(scope="module")
+def figure2_result():
+    return _campaign()
+
+
+def test_fig2_full_reproduction(benchmark):
+    """The headline run: all panels, full mask population, paper checks."""
+    result = benchmark.pedantic(_campaign, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    and_mean = result.mean_success("and")
+    or_mean = result.mean_success("or")
+    xor_mean = result.mean_success("xor")
+    hardened = result.mean_success("and-0invalid")
+    assert and_mean > 2 * or_mean, "paper: AND ≈2× OR"
+    assert or_mean < xor_mean <= and_mean * 1.05, "paper: XOR between OR and AND"
+    assert abs(and_mean - hardened) < 0.05, "paper: 0x0000-invalid leaves AND unchanged"
+    assert len(result.panels["and"].instructions) == 14
+
+
+def test_fig2_and_beats_or(figure2_result):
+    assert figure2_result.mean_success("and") > 2 * figure2_result.mean_success("or")
+
+
+def test_fig2_csv_export(figure2_result):
+    csv_text = figure2_result.to_csv()
+    assert "instruction,k,success_rate" in csv_text
+    assert "BEQ" in csv_text

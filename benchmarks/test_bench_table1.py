@@ -1,0 +1,58 @@
+"""Table I benchmark: single-glitch scans of the three guard loops.
+
+At stride 1 each guard sweeps 8 × 9,801 = 78,408 attempts, the paper's
+population. Checks RQ2 (sub-percent upper bound), RQ3 (value ordering:
+while(!a) most vulnerable, while(a) most resilient), and RQ4 (corrupted
+comparator registers show the paper's residue families).
+"""
+
+from functools import lru_cache
+
+import pytest
+
+from repro.experiments.table1 import run_table1
+
+
+@lru_cache(maxsize=None)
+def _scan(stride: int):
+    return run_table1(stride=stride)
+
+
+@pytest.fixture(scope="module")
+def table1(stride):
+    return _scan(stride)
+
+
+def test_table1_full_reproduction(benchmark, stride):
+    result = benchmark.pedantic(lambda: _scan(stride), rounds=1, iterations=1)
+    print()
+    print(result.render())
+    if stride <= 4:  # statistical shape needs a reasonably dense grid
+        assert result.ordering_matches_paper(), "RQ3: not_a > a_ne_const > a"
+        for scan in result.scans.values():
+            assert 0.0 < scan.success_rate < 0.02, "RQ2: sub-percent success"
+    if stride == 1:
+        assert result.scans["not_a"].total_attempts == 78_408
+
+
+def test_table1_population(table1, stride):
+    expected = len(range(-49, 50, stride)) ** 2 * 8
+    for scan in table1.scans.values():
+        assert scan.total_attempts == expected
+
+
+def test_table1_register_residue_families(table1):
+    """RQ4: post-mortem comparator values include SP mixes and stuck patterns."""
+    values = set()
+    for row in table1.scans["not_a"].rows:
+        values.update(row.register_values)
+    sp_like = any(0x2000_0000 <= v <= 0x2000_4000 for v in values)
+    pattern_like = any(v in (0x55, 0xFF, 0x08, 0x21, 0x68) for v in values)
+    assert sp_like and pattern_like
+
+
+def test_table1_cycle_instruction_column(table1):
+    rows = table1.scans["not_a"].rows
+    assert rows[0].instruction.startswith("mov r3")
+    assert rows[4].instruction.startswith("cmp")
+    assert rows[5].instruction.startswith("beq")

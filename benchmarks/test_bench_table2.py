@@ -1,0 +1,48 @@
+"""Table II benchmark: multi-glitch (two back-to-back triggers) attacks.
+
+Checks §V-C: partial successes far outnumber full double-glitch successes,
+and requiring the second glitch reduces the success probability by a
+multiple (paper: 6× / 3× / 1.6×).
+"""
+
+from functools import lru_cache
+
+import pytest
+
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+
+
+@lru_cache(maxsize=None)
+def _scan(stride: int):
+    return run_table2(stride=stride)
+
+
+@pytest.fixture(scope="module")
+def table2(stride):
+    return _scan(stride)
+
+
+def test_table2_full_reproduction(benchmark, stride):
+    result = benchmark.pedantic(lambda: _scan(stride), rounds=1, iterations=1)
+    print()
+    print(result.render())
+    if stride <= 4:  # statistical shape needs a reasonably dense grid
+        assert result.multi_glitch_harder_everywhere(), "§V-C: full << partial"
+        singles = run_table1(stride=max(stride, 3))
+        for guard, scan in result.scans.items():
+            assert scan.full_rate < singles.scans[guard].success_rate, guard
+
+
+def test_table2_partial_exceeds_full(table2):
+    for guard, scan in table2.scans.items():
+        if scan.total_partial:
+            assert scan.total_full <= scan.total_partial, guard
+
+
+def test_table2_reduction_factors(table2):
+    """Paper: factors of 6×/3×/1.6× between (partial+full) and full."""
+    for guard, scan in table2.scans.items():
+        if scan.total_full:
+            factor = (scan.total_partial + scan.total_full) / scan.total_full
+            assert factor > 1.5, (guard, factor)

@@ -1,0 +1,51 @@
+"""Table III benchmark: long glitches over two subsequent loops.
+
+Checks §V-D's findings: while(!a) — previously the most vulnerable — fares
+much better under long glitches than under single glitches, while while(a)
+does better under long glitches than under full multi-glitches (the
+paper's 10× jump from 0.068% to 0.7%).
+"""
+
+from functools import lru_cache
+
+import pytest
+
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+
+
+@lru_cache(maxsize=None)
+def _scan(stride: int):
+    return run_table3(stride=stride)
+
+
+@pytest.fixture(scope="module")
+def table3(stride):
+    return _scan(stride)
+
+
+def test_table3_full_reproduction(benchmark, stride):
+    result = benchmark.pedantic(lambda: _scan(stride), rounds=1, iterations=1)
+    print()
+    print(result.render())
+    if stride <= 4:  # statistical shape needs a reasonably dense grid
+        singles = run_table1(stride=max(stride, 3))
+        multi = run_table2(stride=max(stride, 3))
+        assert (
+            result.scans["not_a"].success_rate < singles.scans["not_a"].success_rate
+        ), "§V-D: while(!a) resists long glitches"
+        assert (
+            result.scans["a"].success_rate > multi.scans["a"].full_rate
+        ), "§V-D: while(a) long > while(a) multi-full"
+
+
+def test_table3_population(table3, stride):
+    expected = len(range(-49, 50, stride)) ** 2 * 11
+    for scan in table3.scans.values():
+        assert scan.total_attempts == expected
+
+
+def test_table3_rows_cover_10_to_20(table3):
+    for scan in table3.scans.values():
+        assert [row.last_cycle for row in scan.rows] == list(range(10, 21))

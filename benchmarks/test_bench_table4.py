@@ -1,0 +1,59 @@
+"""Table IV benchmark: boot-time overhead of each defense.
+
+Checks the paper's qualitative shape: random delay dominates run-time
+overhead by orders of magnitude; integrity/loops/returns are near-free;
+All\\Delay stays within tens of percent.
+"""
+
+from functools import lru_cache
+
+import pytest
+
+from repro.experiments.table4 import run_table4
+
+
+@lru_cache(maxsize=None)
+def _measure():
+    return run_table4()
+
+
+@pytest.fixture(scope="module")
+def table4():
+    return _measure()
+
+
+def test_table4_full_reproduction(benchmark):
+    result = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    delay = result.row("Delay").increase_pct
+    for defense in ("Branches", "Integrity", "Loops", "Returns"):
+        assert delay > 5 * result.row(defense).increase_pct, "delay dominates"
+    assert result.row("All\\Delay").increase_pct < 120
+
+
+def test_table4_baseline_deterministic(table4):
+    assert table4.row("None").increase_pct == 0.0
+
+
+def test_table4_delay_dominates(table4):
+    delay = table4.row("Delay").increase_pct
+    for defense in ("Branches", "Integrity", "Loops", "Returns"):
+        assert delay > 5 * table4.row(defense).increase_pct
+
+
+def test_table4_cheap_defenses(table4):
+    """Integrity, loops, and returns barely touch the boot path."""
+    for defense in ("Integrity", "Loops", "Returns"):
+        assert table4.row(defense).increase_pct < 30
+
+
+def test_table4_all_no_delay_moderate(table4):
+    row = table4.row("All\\Delay")
+    assert row.increase_pct < 120  # paper: 19.93%
+
+
+def test_table4_adjusted_below_raw_for_delay(table4):
+    row = table4.row("Delay")
+    assert row.adjusted_pct <= row.increase_pct
+    assert row.constant > 0

@@ -1,0 +1,61 @@
+"""Table VI benchmark: defended-firmware attacks (the paper's bottom line).
+
+At stride 1 the attempt totals match the paper exactly: 107,811 for the
+single and windowed attacks (11 × 9,801) and 98,010 for the long attack
+(10 × 9,801). Checks:
+
+- the full stack eliminates (or nearly eliminates) single-glitch successes;
+- every defended configuration beats the undefended baseline;
+- detections occur, with the best-case scenario detecting at a high rate.
+"""
+
+from functools import lru_cache
+
+import pytest
+
+from repro.experiments.table6 import run_table6
+
+
+@lru_cache(maxsize=None)
+def _scan(stride: int):
+    return run_table6(stride=stride)
+
+
+@pytest.fixture(scope="module")
+def table6(stride):
+    return _scan(stride)
+
+
+def test_table6_full_reproduction(benchmark, stride):
+    result = benchmark.pedantic(lambda: _scan(stride), rounds=1, iterations=1)
+    print()
+    print(result.render())
+    if stride <= 4:  # statistical shape needs a reasonably dense grid
+        assert result.all_stack_beats_baseline()
+        for scenario in ("while_not_a", "if_success"):
+            scan = result.get(scenario, "all", "single")
+            assert scan.success_rate < 0.0005, (scenario, scan.success_rate)
+        assert sum(s.detections for s in result.results.values()) > 0
+    if stride == 1:
+        assert result.get("while_not_a", "all", "single").attempts == 107_811
+        assert result.get("while_not_a", "all", "long").attempts == 98_010
+
+
+def test_table6_population(table6, stride):
+    grid = len(range(-49, 50, stride)) ** 2
+    for (scenario, defense, attack), scan in table6.results.items():
+        expected = {"single": 11, "windowed": 11, "long": 10}[attack] * grid
+        assert scan.attempts == expected
+
+
+def test_table6_best_case_detection_rate(table6):
+    """if (a == SUCCESS): detections dominate the (det + succ) population."""
+    scan = table6.get("if_success", "all", "single")
+    if scan.detections + scan.successes:
+        assert scan.detection_rate >= 0.5
+
+
+def test_table6_delay_reduces_worst_case(table6):
+    with_delay = table6.get("while_not_a", "all", "single")
+    without = table6.get("while_not_a", "all_no_delay", "single")
+    assert with_delay.success_rate <= without.success_rate

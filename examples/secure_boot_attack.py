@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Scenario: glitching a secure-boot signature check, then defending it.
+
+The paper's motivating attack class (§I, §II-A): a bootloader checks a
+firmware signature and refuses to boot on mismatch; a well-timed glitch
+skips the check. This example builds that bootloader in MiniC, tunes a
+clock glitch against it with the §V-B search algorithm, then rebuilds it
+with GlitchResistor and re-runs the attack campaign.
+
+Run:  python examples/secure_boot_attack.py
+"""
+
+from repro.hw.clock import GlitchParams, WIDTH_RANGE, OFFSET_RANGE
+from repro.hw.glitcher import ClockGlitcher
+from repro.hw.mcu import TRIGGER_ADDRESS
+from repro.resistor import ResistorConfig, harden
+
+BOOTLOADER_SOURCE = f"""
+enum BootStatus {{ BOOT_OK, BOOT_BAD_SIGNATURE }};
+
+// the "signature" the attacker cannot forge: stored vs computed digests
+unsigned int stored_digest = 0xD3B9AEC6;
+unsigned int computed_digest = 0xE7D25763;   // tampered firmware!
+
+void win(void) {{
+    // attacker goal: reach the "boot the firmware" path
+    for (;;) {{ }}
+}}
+
+int verify_signature(void) {{
+    if (stored_digest == computed_digest) {{
+        return BOOT_OK;
+    }}
+    return BOOT_BAD_SIGNATURE;
+}}
+
+int main(void) {{
+    *(volatile unsigned int *)0x{TRIGGER_ADDRESS:08X} = 1;
+    if (verify_signature() == BOOT_OK) {{
+        win();
+    }}
+    for (;;) {{ }}   // refuse to boot
+    return 0;
+}}
+"""
+
+
+def attack(image, label: str, budget_cycles: int = 20) -> None:
+    glitcher = ClockGlitcher(
+        image,
+        detect_symbol="gr_detected" if "gr_detected" in image.symbols else None,
+    )
+    stats = {"success": 0, "detected": 0, "reset": 0, "no_effect": 0, "partial": 0}
+    attempts = 0
+    first_success = None
+    for cycle in range(budget_cycles):
+        for width in WIDTH_RANGE[::3]:
+            for offset in OFFSET_RANGE[::3]:
+                result = glitcher.run_attempt(GlitchParams(cycle, width, offset))
+                stats[result.category] += 1
+                attempts += 1
+                if result.succeeded and first_success is None:
+                    first_success = result.params
+    print(f"{label}:")
+    print(f"  attempts {attempts}: {stats}")
+    rate = stats["success"] / attempts
+    print(f"  success rate {rate * 100:.4f}%", end="")
+    if stats["detected"] + stats["success"]:
+        detection = stats["detected"] / (stats["detected"] + stats["success"])
+        print(f", detection rate {detection * 100:.1f}%", end="")
+    if first_success:
+        print(f"\n  first working glitch: {first_success}", end="")
+    print("\n")
+
+
+def main() -> None:
+    print("Tampered firmware: stored digest != computed digest.")
+    print("Attacker: skip the signature comparison with a clock glitch.\n")
+
+    undefended = harden(BOOTLOADER_SOURCE, ResistorConfig.none())
+    attack(undefended.image, "UNDEFENDED bootloader")
+
+    defended = harden(BOOTLOADER_SOURCE, ResistorConfig.all())
+    print(defended.report.render())
+    print()
+    attack(defended.image, "DEFENDED bootloader (GlitchResistor, all defenses)")
+
+    no_delay = harden(BOOTLOADER_SOURCE, ResistorConfig.all_but_delay())
+    attack(no_delay.image, "DEFENDED bootloader (all defenses except random delay)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Reproduction of "Glitching Demystified" (DSN 2021).
+
+Subpackages:
+
+- :mod:`repro.isa` — Thumb-16 assembler/disassembler/encoder/decoder.
+- :mod:`repro.emu` — architectural CPU emulator (Unicorn substitute).
+- :mod:`repro.glitchsim` — Section IV bit-flip emulation campaigns (Figure 2).
+- :mod:`repro.hw` — clock-glitching MCU simulator (ChipWhisperer substitute,
+  Section V, Tables I-III).
+- :mod:`repro.codes` — GF(256) / Reed-Solomon constant diversification.
+- :mod:`repro.compiler` — the MiniC compiler (LLVM substitute).
+- :mod:`repro.resistor` — GlitchResistor: the paper's defense tool.
+- :mod:`repro.firmware` — MiniC/assembly firmware used by the evaluation.
+- :mod:`repro.experiments` — drivers reproducing every table and figure.
+"""
+
+__version__ = "1.0.0"

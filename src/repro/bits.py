@@ -1,0 +1,172 @@
+"""Bit-manipulation utilities shared across the ISA, emulator, and glitch models.
+
+Everything here operates on plain Python integers interpreted as fixed-width
+unsigned words; helpers exist to convert to/from two's-complement signed
+values because ARM Thumb immediates and branch offsets are signed.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterator
+
+
+def mask(width: int) -> int:
+    """Return a bitmask of ``width`` ones, e.g. ``mask(16) == 0xFFFF``."""
+    if width < 0:
+        raise ValueError(f"mask width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def truncate(value: int, width: int) -> int:
+    """Truncate ``value`` to ``width`` bits (unsigned)."""
+    return value & mask(width)
+
+
+def bit(value: int, index: int) -> int:
+    """Return bit ``index`` of ``value`` as 0 or 1."""
+    return (value >> index) & 1
+
+
+def bits(value: int, high: int, low: int) -> int:
+    """Return the inclusive bit-field ``value[high:low]``.
+
+    ``bits(0b110100, 5, 3) == 0b110``.
+    """
+    if high < low:
+        raise ValueError(f"bit range high ({high}) < low ({low})")
+    return (value >> low) & mask(high - low + 1)
+
+
+def set_bits(value: int, high: int, low: int, field: int) -> int:
+    """Return ``value`` with the inclusive field ``[high:low]`` replaced by ``field``."""
+    width = high - low + 1
+    if field != field & mask(width):
+        raise ValueError(f"field {field:#x} does not fit in {width} bits")
+    cleared = value & ~(mask(width) << low)
+    return cleared | (field << low)
+
+
+def sign_extend(value: int, width: int) -> int:
+    """Interpret the low ``width`` bits of ``value`` as two's complement."""
+    value = truncate(value, width)
+    sign_bit = 1 << (width - 1)
+    return (value ^ sign_bit) - sign_bit
+
+
+def to_unsigned(value: int, width: int) -> int:
+    """Convert a possibly-negative Python int to its ``width``-bit unsigned form."""
+    return value & mask(width)
+
+
+def popcount(value: int) -> int:
+    """Number of set bits (Hamming weight)."""
+    return value.bit_count()
+
+
+def hamming_weight(value: int) -> int:
+    """Alias of :func:`popcount`, matching the paper's terminology."""
+    return value.bit_count()
+
+
+def hamming_distance(a: int, b: int) -> int:
+    """Number of differing bits between ``a`` and ``b``."""
+    return (a ^ b).bit_count()
+
+
+def rotate_right(value: int, amount: int, width: int = 32) -> int:
+    """Rotate ``value`` right by ``amount`` within ``width`` bits."""
+    amount %= width
+    value = truncate(value, width)
+    if amount == 0:
+        return value
+    return truncate((value >> amount) | (value << (width - amount)), width)
+
+
+def bit_positions(value: int) -> list[int]:
+    """Indices of the set bits of ``value``, lowest first."""
+    positions = []
+    index = 0
+    while value:
+        if value & 1:
+            positions.append(index)
+        value >>= 1
+        index += 1
+    return positions
+
+
+def from_bit_positions(positions: Iterator[int] | list[int] | tuple[int, ...]) -> int:
+    """Inverse of :func:`bit_positions`."""
+    value = 0
+    for position in positions:
+        value |= 1 << position
+    return value
+
+
+def iter_masks(width: int, k: int) -> Iterator[int]:
+    """Yield every ``width``-bit mask with exactly ``k`` bits set.
+
+    This enumerates the paper's :math:`\\binom{n}{k}` bit masks for a given
+    flip count ``k`` (Section IV). Masks are yielded in a deterministic
+    order (lexicographic by bit-position tuple).
+    """
+    if k < 0 or k > width:
+        return
+    for positions in combinations(range(width), k):
+        yield from_bit_positions(positions)
+
+
+def iter_all_masks(width: int) -> Iterator[tuple[int, int]]:
+    """Yield ``(k, mask)`` for every mask of every popcount ``k`` in ``0..width``."""
+    for k in range(width + 1):
+        for m in iter_masks(width, k):
+            yield k, m
+
+
+def apply_and_flip(word: int, flip_mask: int, width: int) -> int:
+    """Apply a 1→0 (AND-model) glitch: clear the bits selected by ``flip_mask``."""
+    return word & ~flip_mask & mask(width)
+
+
+def apply_or_flip(word: int, flip_mask: int, width: int) -> int:
+    """Apply a 0→1 (OR-model) glitch: set the bits selected by ``flip_mask``."""
+    return (word | flip_mask) & mask(width)
+
+
+def apply_xor_flip(word: int, flip_mask: int, width: int) -> int:
+    """Apply a bidirectional (XOR-model) glitch: toggle the selected bits."""
+    return (word ^ flip_mask) & mask(width)
+
+
+FLIP_MODELS = {
+    "and": apply_and_flip,
+    "or": apply_or_flip,
+    "xor": apply_xor_flip,
+}
+
+
+def apply_flip(word: int, flip_mask: int, width: int, model: str) -> int:
+    """Apply a named flip model (``"and"``, ``"or"``, or ``"xor"``)."""
+    try:
+        func = FLIP_MODELS[model]
+    except KeyError:
+        raise ValueError(f"unknown flip model {model!r}; expected one of {sorted(FLIP_MODELS)}") from None
+    return func(word, flip_mask, width)
+
+
+def halfwords_to_bytes(words: list[int] | tuple[int, ...]) -> bytes:
+    """Pack 16-bit halfwords little-endian, as Thumb code is stored in flash."""
+    out = bytearray()
+    for word in words:
+        if word != word & 0xFFFF:
+            raise ValueError(f"halfword out of range: {word:#x}")
+        out.append(word & 0xFF)
+        out.append((word >> 8) & 0xFF)
+    return bytes(out)
+
+
+def bytes_to_halfwords(data: bytes) -> list[int]:
+    """Unpack little-endian bytes into 16-bit halfwords."""
+    if len(data) % 2:
+        raise ValueError("byte string length must be even to form halfwords")
+    return [data[i] | (data[i + 1] << 8) for i in range(0, len(data), 2)]

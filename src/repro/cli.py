@@ -1,0 +1,181 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``assemble <file.s>`` — assemble Thumb source, print a hex listing.
+- ``disassemble <hex>`` — disassemble halfwords given as hex bytes.
+- ``harden <file.c>`` — compile MiniC with GlitchResistor defenses and
+  print the instrumentation report plus section sizes.
+- ``attack <file.c>`` — harden (or not, with ``--defense none``) and run a
+  strided glitch campaign against the ``win`` symbol.
+- ``experiment <name>`` — run one paper artifact
+  (fig2 | table1 | ... | table7 | search) and print it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.resistor import ResistorConfig
+
+
+def _config_from_args(args) -> ResistorConfig:
+    sensitive = tuple(args.sensitive or ())
+    if args.defense == "all":
+        return ResistorConfig.all(sensitive=sensitive)
+    if args.defense == "all-no-delay":
+        return ResistorConfig.all_but_delay(sensitive=sensitive)
+    if args.defense == "none":
+        return ResistorConfig.none()
+    return ResistorConfig.only(args.defense, sensitive=sensitive)
+
+
+def cmd_assemble(args) -> int:
+    from repro.isa import assemble
+
+    with open(args.source) as handle:
+        program = assemble(handle.read(), base=int(args.base, 0))
+    print(f"; {len(program.code)} bytes at {program.base:#010x}")
+    for address, size, text in program.listing:
+        raw = program.code[address - program.base:address - program.base + size]
+        print(f"{address:#010x}: {raw.hex():<12} {text.strip()}")
+    for name, address in sorted(program.symbols.items(), key=lambda kv: kv[1]):
+        print(f"; {name} = {address:#010x}")
+    return 0
+
+
+def cmd_disassemble(args) -> int:
+    from repro.isa.disassembler import disassemble, format_listing
+
+    data = bytes.fromhex(args.hex_bytes.replace(" ", ""))
+    print(format_listing(disassemble(data, base=int(args.base, 0))))
+    return 0
+
+
+def cmd_harden(args) -> int:
+    from repro.resistor import harden
+
+    with open(args.source) as handle:
+        source = handle.read()
+    hardened = harden(source, _config_from_args(args))
+    print(hardened.report.render())
+    sizes = hardened.sizes
+    print(f"\nsections: text={sizes.text} data={sizes.data} bss={sizes.bss} "
+          f"(total {sizes.total} bytes)")
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(hardened.compiled.assembly)
+        print(f"assembly written to {args.output}")
+    return 0
+
+
+def cmd_attack(args) -> int:
+    from repro.hw.scan import run_defense_scan
+    from repro.resistor import harden
+
+    with open(args.source) as handle:
+        source = handle.read()
+    config = _config_from_args(args)
+    hardened = harden(source, config)
+    if "win" not in hardened.image.symbols:
+        print("error: the program must define a win() function (the attack goal)",
+              file=sys.stderr)
+        return 1
+    result = run_defense_scan(
+        hardened.image, args.attack,
+        scenario=args.source, defense=config.describe(), stride=args.stride,
+    )
+    print(f"attack={args.attack} defense={config.describe()} stride={args.stride}")
+    print(f"  attempts:   {result.attempts}")
+    print(f"  successes:  {result.successes} ({result.success_rate * 100:.4f}%)")
+    print(f"  detections: {result.detections} ({result.detection_rate * 100:.1f}% "
+          f"of det+succ)")
+    print(f"  resets:     {result.resets}")
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    import repro.experiments as experiments
+
+    name = args.name
+    if name == "fig2":
+        result = experiments.run_figure2()
+    elif name == "table1":
+        result = experiments.run_table1(stride=args.stride)
+    elif name == "table2":
+        result = experiments.run_table2(stride=args.stride)
+    elif name == "table3":
+        result = experiments.run_table3(stride=args.stride)
+    elif name == "table4":
+        result = experiments.run_table4()
+    elif name == "table5":
+        result = experiments.run_table5()
+    elif name == "table6":
+        result = experiments.run_table6(stride=args.stride)
+    elif name == "table7":
+        result = experiments.run_table7()
+    elif name == "search":
+        result = experiments.run_search()
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(name)
+    print(result.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Glitching Demystified reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_asm = sub.add_parser("assemble", help="assemble Thumb-16 source")
+    p_asm.add_argument("source")
+    p_asm.add_argument("--base", default="0x08000000")
+    p_asm.set_defaults(func=cmd_assemble)
+
+    p_dis = sub.add_parser("disassemble", help="disassemble hex bytes")
+    p_dis.add_argument("hex_bytes")
+    p_dis.add_argument("--base", default="0x08000000")
+    p_dis.set_defaults(func=cmd_disassemble)
+
+    defense_choices = [
+        "all", "all-no-delay", "none",
+        "enums", "returns", "branches", "loops", "integrity", "delay",
+    ]
+
+    p_hard = sub.add_parser("harden", help="compile MiniC with GlitchResistor")
+    p_hard.add_argument("source")
+    p_hard.add_argument("--defense", choices=defense_choices, default="all")
+    p_hard.add_argument("--sensitive", nargs="*", metavar="GLOBAL")
+    p_hard.add_argument("--output", "-o", help="write the generated assembly here")
+    p_hard.set_defaults(func=cmd_harden)
+
+    p_attack = sub.add_parser("attack", help="glitch a firmware's win() goal")
+    p_attack.add_argument("source")
+    p_attack.add_argument("--defense", choices=defense_choices, default="none")
+    p_attack.add_argument("--sensitive", nargs="*", metavar="GLOBAL")
+    p_attack.add_argument("--attack", choices=["single", "long", "windowed"],
+                          default="single")
+    p_attack.add_argument("--stride", type=int, default=4)
+    p_attack.set_defaults(func=cmd_attack)
+
+    p_exp = sub.add_parser("experiment", help="run one paper artifact")
+    p_exp.add_argument("name", choices=[
+        "fig2", "table1", "table2", "table3", "table4", "table5",
+        "table6", "table7", "search",
+    ])
+    p_exp.add_argument("--stride", type=int, default=4)
+    p_exp.set_defaults(func=cmd_experiment)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

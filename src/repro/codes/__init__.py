@@ -1,0 +1,28 @@
+"""Constant diversification codes (Section VI-A).
+
+GlitchResistor replaces ENUM values and constant return codes with values
+generated from Reed-Solomon error-correcting codes so that the minimum
+pairwise Hamming distance between any two valid constants is large — a
+glitch that flips a few bits can no longer turn one valid value into
+another. The paper used the mersinvald/Reed-Solomon C++ library with a
+2-byte message and an ECC length equal to the constant width (4 bytes);
+this package reimplements the same construction in pure Python over
+GF(2^8) and adds the distance utilities used to verify it.
+"""
+
+from repro.codes.gf256 import GF256
+from repro.codes.reed_solomon import ReedSolomon, rs_encode_value
+from repro.codes.hamming import (
+    min_pairwise_distance,
+    pairwise_distances,
+    generate_diversified_constants,
+)
+
+__all__ = [
+    "GF256",
+    "ReedSolomon",
+    "rs_encode_value",
+    "min_pairwise_distance",
+    "pairwise_distances",
+    "generate_diversified_constants",
+]

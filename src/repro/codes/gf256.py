@@ -1,0 +1,119 @@
+"""GF(2^8) arithmetic with the conventional 0x11D primitive polynomial.
+
+Log/antilog tables are precomputed once at import; all operations are
+table-driven, matching how embedded Reed-Solomon implementations (including
+the one the paper used) are written.
+"""
+
+from __future__ import annotations
+
+PRIMITIVE_POLY = 0x11D
+FIELD_SIZE = 256
+
+
+def _build_tables() -> tuple[list[int], list[int]]:
+    exp = [0] * (FIELD_SIZE * 2)
+    log = [0] * FIELD_SIZE
+    value = 1
+    for power in range(FIELD_SIZE - 1):
+        exp[power] = value
+        log[value] = power
+        value <<= 1
+        if value & 0x100:
+            value ^= PRIMITIVE_POLY
+    for power in range(FIELD_SIZE - 1, FIELD_SIZE * 2):
+        exp[power] = exp[power - (FIELD_SIZE - 1)]
+    return exp, log
+
+
+_EXP, _LOG = _build_tables()
+
+
+class GF256:
+    """Namespace of GF(2^8) field operations (all static)."""
+
+    @staticmethod
+    def add(a: int, b: int) -> int:
+        """Addition == subtraction == XOR in characteristic 2."""
+        return a ^ b
+
+    @staticmethod
+    def sub(a: int, b: int) -> int:
+        return a ^ b
+
+    @staticmethod
+    def mul(a: int, b: int) -> int:
+        if a == 0 or b == 0:
+            return 0
+        return _EXP[_LOG[a] + _LOG[b]]
+
+    @staticmethod
+    def div(a: int, b: int) -> int:
+        if b == 0:
+            raise ZeroDivisionError("division by zero in GF(256)")
+        if a == 0:
+            return 0
+        return _EXP[(_LOG[a] - _LOG[b]) % (FIELD_SIZE - 1)]
+
+    @staticmethod
+    def pow(a: int, exponent: int) -> int:
+        if a == 0:
+            if exponent == 0:
+                return 1
+            return 0
+        return _EXP[(_LOG[a] * exponent) % (FIELD_SIZE - 1)]
+
+    @staticmethod
+    def inverse(a: int) -> int:
+        if a == 0:
+            raise ZeroDivisionError("zero has no inverse in GF(256)")
+        return _EXP[(FIELD_SIZE - 1) - _LOG[a]]
+
+    # -- polynomial helpers (coefficients high-order first) ---------------
+
+    @staticmethod
+    def poly_scale(poly: list[int], scalar: int) -> list[int]:
+        return [GF256.mul(coefficient, scalar) for coefficient in poly]
+
+    @staticmethod
+    def poly_add(p: list[int], q: list[int]) -> list[int]:
+        result = [0] * max(len(p), len(q))
+        result[len(result) - len(p):] = p
+        for i, coefficient in enumerate(q):
+            result[i + len(result) - len(q)] ^= coefficient
+        return result
+
+    @staticmethod
+    def poly_mul(p: list[int], q: list[int]) -> list[int]:
+        result = [0] * (len(p) + len(q) - 1)
+        for i, pc in enumerate(p):
+            if pc == 0:
+                continue
+            for j, qc in enumerate(q):
+                result[i + j] ^= GF256.mul(pc, qc)
+        return result
+
+    @staticmethod
+    def poly_eval(poly: list[int], x: int) -> int:
+        """Horner evaluation."""
+        result = poly[0]
+        for coefficient in poly[1:]:
+            result = GF256.mul(result, x) ^ coefficient
+        return result
+
+    @staticmethod
+    def poly_divmod(dividend: list[int], divisor: list[int]) -> tuple[list[int], list[int]]:
+        """Synthetic division; returns (quotient, remainder)."""
+        output = list(dividend)
+        normalizer = divisor[0]
+        for i in range(len(dividend) - len(divisor) + 1):
+            output[i] = GF256.div(output[i], normalizer)
+            coefficient = output[i]
+            if coefficient != 0:
+                for j in range(1, len(divisor)):
+                    output[i + j] ^= GF256.mul(divisor[j], coefficient)
+        separator = len(dividend) - len(divisor) + 1
+        return output[:separator], output[separator:]
+
+
+__all__ = ["GF256", "PRIMITIVE_POLY", "FIELD_SIZE"]

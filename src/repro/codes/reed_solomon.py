@@ -1,0 +1,161 @@
+"""Reed-Solomon encoder/decoder over GF(2^8).
+
+The encoder matches the classic systematic RS construction (generator
+polynomial :math:`\\prod_i (x - \\alpha^i)`): the paper's constant
+diversification encodes each small integer as a 2-byte message and uses the
+``nsym``-byte ECC as the diversified constant.
+
+A full decoder (syndromes, Berlekamp-Massey, Chien search, Forney) is
+included both for completeness and because the test suite uses it as an
+oracle: corrupting up to ``nsym // 2`` symbols of a codeword must decode
+back to the original message. The decoder follows the well-known
+"Reed-Solomon codes for coders" reference structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codes.gf256 import GF256
+
+
+class ReedSolomonError(Exception):
+    """Raised when decoding fails (too many symbol errors)."""
+
+
+@dataclass(frozen=True)
+class ReedSolomon:
+    """An RS code with ``nsym`` parity symbols appended to each message."""
+
+    nsym: int
+
+    def generator_poly(self) -> list[int]:
+        poly = [1]
+        for i in range(self.nsym):
+            poly = GF256.poly_mul(poly, [1, GF256.pow(2, i)])
+        return poly
+
+    # ------------------------------------------------------------------
+    # encoding
+    # ------------------------------------------------------------------
+
+    def encode(self, message: bytes) -> bytes:
+        """Return the full systematic codeword ``message + ecc``."""
+        return bytes(message) + self.ecc(message)
+
+    def ecc(self, message: bytes) -> bytes:
+        """Return only the parity symbols for ``message``."""
+        generator = self.generator_poly()
+        padded = list(message) + [0] * self.nsym
+        _, remainder = GF256.poly_divmod(padded, generator)
+        return bytes(remainder)
+
+    # ------------------------------------------------------------------
+    # decoding
+    # ------------------------------------------------------------------
+
+    def syndromes(self, codeword: bytes) -> list[int]:
+        return [GF256.poly_eval(list(codeword), GF256.pow(2, i)) for i in range(self.nsym)]
+
+    def decode(self, codeword: bytes) -> bytes:
+        """Correct up to ``nsym // 2`` symbol errors; return the message part."""
+        codeword_list = list(codeword)
+        syndromes = self.syndromes(codeword)
+        if max(syndromes) == 0:
+            return bytes(codeword_list[: len(codeword) - self.nsym])
+        error_locator = self._berlekamp_massey(syndromes)
+        error_positions = self._chien_search(error_locator, len(codeword))
+        if len(error_positions) != len(error_locator) - 1:
+            raise ReedSolomonError("could not locate all errors")
+        corrected = self._forney(codeword_list, syndromes, error_positions)
+        if max(self.syndromes(bytes(corrected))) != 0:
+            raise ReedSolomonError("correction failed (residual syndromes)")
+        return bytes(corrected[: len(codeword) - self.nsym])
+
+    # -- decoder internals ------------------------------------------------
+
+    def _berlekamp_massey(self, syndromes: list[int]) -> list[int]:
+        error_locator = [1]
+        old_locator = [1]
+        for i in range(self.nsym):
+            old_locator.append(0)
+            delta = syndromes[i]
+            for j in range(1, len(error_locator)):
+                delta ^= GF256.mul(error_locator[len(error_locator) - 1 - j], syndromes[i - j])
+            if delta != 0:
+                if len(old_locator) > len(error_locator):
+                    new_locator = GF256.poly_scale(old_locator, delta)
+                    old_locator = GF256.poly_scale(error_locator, GF256.inverse(delta))
+                    error_locator = new_locator
+                error_locator = GF256.poly_add(
+                    error_locator, GF256.poly_scale(old_locator, delta)
+                )
+        while error_locator and error_locator[0] == 0:
+            error_locator.pop(0)
+        if len(error_locator) - 1 > self.nsym // 2:
+            raise ReedSolomonError("too many errors to correct")
+        return error_locator
+
+    def _chien_search(self, error_locator: list[int], codeword_length: int) -> list[int]:
+        """Return error positions (indices into the codeword).
+
+        The locator σ(x) has roots at the *inverse* error locations, so the
+        reversed polynomial is evaluated at α^i to find them directly.
+        """
+        reversed_locator = list(reversed(error_locator))
+        positions = []
+        for i in range(codeword_length):
+            if GF256.poly_eval(reversed_locator, GF256.pow(2, i)) == 0:
+                positions.append(codeword_length - 1 - i)
+        return positions
+
+    def _forney(
+        self, codeword: list[int], syndromes: list[int], error_positions: list[int]
+    ) -> list[int]:
+        """Compute error magnitudes via Forney (product-form derivative)."""
+        coefficient_positions = [len(codeword) - 1 - p for p in error_positions]
+        # errata locator from the known positions
+        locator = [1]
+        for position in coefficient_positions:
+            locator = GF256.poly_mul(locator, [GF256.pow(2, position), 1])
+        # error evaluator = (syndromes_reversed * locator) mod x^(errors+1)
+        _, evaluator = GF256.poly_divmod(
+            GF256.poly_mul(list(reversed(syndromes)), locator),
+            [1] + [0] * len(locator),
+        )
+        x_values = [GF256.pow(2, position) for position in coefficient_positions]
+        corrected = list(codeword)
+        for i, x_i in enumerate(x_values):
+            x_i_inverse = GF256.inverse(x_i)
+            # derivative of the locator evaluated at 1/X_i, in product form
+            denominator = 1
+            for j, x_j in enumerate(x_values):
+                if j != i:
+                    denominator = GF256.mul(
+                        denominator, 1 ^ GF256.mul(x_i_inverse, x_j)
+                    )
+            if denominator == 0:
+                raise ReedSolomonError("Forney denominator is zero")
+            # e_i = X_i^(1-b) Ω(X_i^{-1}) / Λ'(X_i^{-1}); with b = 0 first root
+            # the X_i factors cancel against Λ' = X_i·Π(1 ⊕ X_i^{-1} X_j).
+            numerator = GF256.poly_eval(evaluator, x_i_inverse)
+            magnitude = GF256.div(numerator, denominator)
+            corrected[error_positions[i]] ^= magnitude
+        return corrected
+
+
+def rs_encode_value(number: int, value_bytes: int = 4, message_bytes: int = 2) -> int:
+    """The paper's construction: ECC(``number`` as a ``message_bytes`` message).
+
+    The ``value_bytes``-byte ECC becomes the diversified constant. With the
+    paper's defaults (2-byte message, 4-byte ECC) this supports up to 2^16
+    unique values per set.
+    """
+    if number < 0 or number >= (1 << (8 * message_bytes)):
+        raise ValueError(f"number {number} does not fit in a {message_bytes}-byte message")
+    rs = ReedSolomon(nsym=value_bytes)
+    ecc = rs.ecc(number.to_bytes(message_bytes, "big"))
+    return int.from_bytes(ecc, "big")
+
+
+__all__ = ["ReedSolomon", "ReedSolomonError", "rs_encode_value"]

@@ -1,0 +1,148 @@
+"""End-to-end compile driver: MiniC source → bootable flash image.
+
+``compile_source`` runs the full pipeline and returns a
+:class:`CompiledProgram` carrying the assembled image (loadable by
+:class:`repro.hw.mcu.Board`), the IR module (for inspection), the final
+assembly text, and the section sizes for Table V.
+
+The integer-division runtime (``__gr_udiv`` and friends) is itself written
+in MiniC (shift-subtract, no division) and compiled by the same pipeline
+whenever a module needs it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.compiler import ir
+from repro.compiler.codegen import generate_module
+from repro.compiler.layout import FLASH_BASE, LayoutResult, SectionSizes, layout_module
+from repro.compiler.lowering import lower
+from repro.compiler.parser import parse
+from repro.compiler.passes import DEFAULT_OPTIMIZATIONS, PassManager
+from repro.compiler.passes.pass_manager import IRPass
+from repro.compiler.sema import Program, analyze
+from repro.isa.assembler import AssembledProgram, assemble
+
+#: the division runtime, in MiniC (shift-subtract; must not use / or %)
+RUNTIME_SOURCE = """
+unsigned int __gr_udiv(unsigned int n, unsigned int d) {
+    unsigned int q = 0;
+    unsigned int bit = 1;
+    if (d == 0) { __halt(); }
+    while (d < n && (d & 0x80000000) == 0) {
+        d = d << 1;
+        bit = bit << 1;
+    }
+    while (bit != 0) {
+        if (n >= d) {
+            n = n - d;
+            q = q | bit;
+        }
+        d = d >> 1;
+        bit = bit >> 1;
+    }
+    return q;
+}
+
+unsigned int __gr_urem(unsigned int n, unsigned int d) {
+    return n - __gr_udiv(n, d) * d;
+}
+
+int __gr_sdiv(int a, int b) {
+    unsigned int ua = (a < 0) ? (unsigned int)(0 - a) : (unsigned int)a;
+    unsigned int ub = (b < 0) ? (unsigned int)(0 - b) : (unsigned int)b;
+    unsigned int uq = __gr_udiv(ua, ub);
+    if ((a < 0) != (b < 0)) { return 0 - (int)uq; }
+    return (int)uq;
+}
+
+int __gr_srem(int a, int b) {
+    return a - __gr_sdiv(a, b) * b;
+}
+"""
+
+
+@dataclass
+class CompiledProgram:
+    """Everything produced by one compile."""
+
+    source: str
+    program: Program
+    module: ir.IRModule
+    assembly: str
+    image: AssembledProgram
+    sizes: SectionSizes
+    pass_log: list[tuple[str, str]] = field(default_factory=list)
+
+    def symbol(self, name: str) -> int:
+        return self.image.address_of(name)
+
+
+def _module_needs_runtime(module: ir.IRModule) -> bool:
+    for function in module.functions.values():
+        for _, instr in function.instructions():
+            if isinstance(instr, ir.BinOp) and instr.op in ("udiv", "sdiv", "urem", "srem"):
+                return True
+    return False
+
+
+def _runtime_assembly() -> str:
+    program = analyze(parse(RUNTIME_SOURCE))
+    module = lower(program)
+    manager = PassManager([cls() for cls in DEFAULT_OPTIMIZATIONS])
+    manager.run(module)
+    return generate_module(module).text
+
+
+def compile_source(
+    source: str,
+    extra_passes: Sequence[IRPass] = (),
+    optimize: bool = True,
+    base: int = FLASH_BASE,
+    entry_function: str = "main",
+    init_function: Optional[str] = None,
+    program_transform=None,
+) -> CompiledProgram:
+    """Compile MiniC ``source`` into a bootable image.
+
+    ``extra_passes`` run *before* the baseline optimisations — this is where
+    GlitchResistor's IR defenses plug in. ``program_transform`` (if given)
+    runs on the analyzed AST program before lowering, which is where the
+    AST-level ENUM rewriter plugs in. ``init_function`` is called by crt0
+    before ``main`` (the random-delay seed update hook).
+    """
+    unit = parse(source)
+    program = analyze(unit)
+    if program_transform is not None:
+        program = program_transform(program)
+    module = lower(program)
+
+    manager = PassManager(list(extra_passes))
+    if optimize:
+        for pass_class in DEFAULT_OPTIMIZATIONS:
+            manager.add(pass_class())
+    manager.run(module)
+
+    runtime_assembly = _runtime_assembly() if _module_needs_runtime(module) else ""
+    result: LayoutResult = layout_module(
+        module,
+        base=base,
+        entry_function=entry_function,
+        init_function=init_function,
+        runtime_assembly=runtime_assembly,
+    )
+    image = assemble(result.assembly, base=base)
+    return CompiledProgram(
+        source=source,
+        program=program,
+        module=module,
+        assembly=result.assembly,
+        image=image,
+        sizes=result.sizes,
+        pass_log=list(manager.log),
+    )
+
+
+__all__ = ["CompiledProgram", "compile_source", "RUNTIME_SOURCE"]

@@ -1,0 +1,375 @@
+"""The MiniC intermediate representation.
+
+A deliberately small, non-SSA IR: temporaries are write-once integers
+(``t0, t1, ...``), locals live in numbered stack slots, and control flow is
+explicit basic blocks with one terminator each. This is the level at which
+GlitchResistor's redundancy, integrity, and delay passes operate — the
+moral equivalent of the paper's LLVM ``FunctionPass``/``ModulePass`` layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Optional
+
+from repro.compiler.sema import GlobalInfo
+from repro.errors import PassError
+
+BINARY_OPS = (
+    "add", "sub", "mul", "sdiv", "udiv", "srem", "urem",
+    "and", "or", "xor", "shl", "lshr", "ashr",
+)
+CMP_OPS = ("eq", "ne", "slt", "sle", "sgt", "sge", "ult", "ule", "ugt", "uge")
+
+#: complement of each comparison (used to negate branch conditions)
+CMP_INVERSE = {
+    "eq": "ne", "ne": "eq",
+    "slt": "sge", "sge": "slt", "sle": "sgt", "sgt": "sle",
+    "ult": "uge", "uge": "ult", "ule": "ugt", "ugt": "ule",
+}
+
+
+# ----------------------------------------------------------------------
+# instructions
+# ----------------------------------------------------------------------
+
+@dataclass
+class Instr:
+    result: Optional[int] = None
+
+    def operands(self) -> tuple[int, ...]:
+        return ()
+
+    def replace_operands(self, mapping: dict[int, int]) -> "Instr":
+        return self
+
+
+@dataclass
+class Const(Instr):
+    value: int = 0
+
+    def render(self) -> str:
+        return f"t{self.result} = const {self.value:#x}"
+
+
+@dataclass
+class BinOp(Instr):
+    op: str = "add"
+    lhs: int = 0
+    rhs: int = 0
+
+    def operands(self) -> tuple[int, ...]:
+        return (self.lhs, self.rhs)
+
+    def replace_operands(self, mapping: dict[int, int]) -> "BinOp":
+        return replace(self, lhs=mapping.get(self.lhs, self.lhs), rhs=mapping.get(self.rhs, self.rhs))
+
+    def render(self) -> str:
+        return f"t{self.result} = {self.op} t{self.lhs}, t{self.rhs}"
+
+
+@dataclass
+class Cmp(Instr):
+    op: str = "eq"
+    lhs: int = 0
+    rhs: int = 0
+
+    def operands(self) -> tuple[int, ...]:
+        return (self.lhs, self.rhs)
+
+    def replace_operands(self, mapping: dict[int, int]) -> "Cmp":
+        return replace(self, lhs=mapping.get(self.lhs, self.lhs), rhs=mapping.get(self.rhs, self.rhs))
+
+    def render(self) -> str:
+        return f"t{self.result} = cmp {self.op} t{self.lhs}, t{self.rhs}"
+
+
+@dataclass
+class LoadGlobal(Instr):
+    name: str = ""
+    width: int = 4
+    signed: bool = True
+    volatile: bool = False
+
+    def render(self) -> str:
+        keyword = "volatile load" if self.volatile else "load"
+        return f"t{self.result} = {keyword} @{self.name} (w{self.width})"
+
+
+@dataclass
+class StoreGlobal(Instr):
+    name: str = ""
+    operand: int = 0
+    width: int = 4
+    volatile: bool = False
+
+    def operands(self) -> tuple[int, ...]:
+        return (self.operand,)
+
+    def replace_operands(self, mapping: dict[int, int]) -> "StoreGlobal":
+        return replace(self, operand=mapping.get(self.operand, self.operand))
+
+    def render(self) -> str:
+        keyword = "volatile store" if self.volatile else "store"
+        return f"{keyword} @{self.name} = t{self.operand} (w{self.width})"
+
+
+@dataclass
+class LoadLocal(Instr):
+    slot: int = 0
+
+    def render(self) -> str:
+        return f"t{self.result} = local[{self.slot}]"
+
+
+@dataclass
+class StoreLocal(Instr):
+    slot: int = 0
+    operand: int = 0
+
+    def operands(self) -> tuple[int, ...]:
+        return (self.operand,)
+
+    def replace_operands(self, mapping: dict[int, int]) -> "StoreLocal":
+        return replace(self, operand=mapping.get(self.operand, self.operand))
+
+    def render(self) -> str:
+        return f"local[{self.slot}] = t{self.operand}"
+
+
+@dataclass
+class RawLoad(Instr):
+    address: int = 0
+    width: int = 4
+    signed: bool = False
+
+    def operands(self) -> tuple[int, ...]:
+        return (self.address,)
+
+    def replace_operands(self, mapping: dict[int, int]) -> "RawLoad":
+        return replace(self, address=mapping.get(self.address, self.address))
+
+    def render(self) -> str:
+        return f"t{self.result} = mmio_load [t{self.address}] (w{self.width})"
+
+
+@dataclass
+class RawStore(Instr):
+    address: int = 0
+    operand: int = 0
+    width: int = 4
+
+    def operands(self) -> tuple[int, ...]:
+        return (self.address, self.operand)
+
+    def replace_operands(self, mapping: dict[int, int]) -> "RawStore":
+        return replace(
+            self,
+            address=mapping.get(self.address, self.address),
+            operand=mapping.get(self.operand, self.operand),
+        )
+
+    def render(self) -> str:
+        return f"mmio_store [t{self.address}] = t{self.operand} (w{self.width})"
+
+
+@dataclass
+class Call(Instr):
+    func: str = ""
+    args: tuple[int, ...] = ()
+
+    def operands(self) -> tuple[int, ...]:
+        return self.args
+
+    def replace_operands(self, mapping: dict[int, int]) -> "Call":
+        return replace(self, args=tuple(mapping.get(a, a) for a in self.args))
+
+    def render(self) -> str:
+        args = ", ".join(f"t{a}" for a in self.args)
+        target = f"t{self.result} = " if self.result is not None else ""
+        return f"{target}call {self.func}({args})"
+
+
+@dataclass
+class Halt(Instr):
+    def render(self) -> str:
+        return "halt"
+
+
+# ----------------------------------------------------------------------
+# terminators
+# ----------------------------------------------------------------------
+
+@dataclass
+class Terminator:
+    def successors(self) -> tuple[str, ...]:
+        return ()
+
+
+@dataclass
+class Jump(Terminator):
+    target: str = ""
+
+    def successors(self) -> tuple[str, ...]:
+        return (self.target,)
+
+    def render(self) -> str:
+        return f"jump {self.target}"
+
+
+@dataclass
+class CondBr(Terminator):
+    cond: int = 0
+    if_true: str = ""
+    if_false: str = ""
+    #: loop-guard metadata recorded by lowering; consumed by GlitchResistor
+    is_loop_guard: bool = False
+    #: set by the redundancy passes so a branch is not instrumented twice
+    redundant_clone: bool = False
+
+    def successors(self) -> tuple[str, ...]:
+        return (self.if_true, self.if_false)
+
+    def render(self) -> str:
+        guard = " [loop-guard]" if self.is_loop_guard else ""
+        return f"condbr t{self.cond} ? {self.if_true} : {self.if_false}{guard}"
+
+
+@dataclass
+class Ret(Terminator):
+    operand: Optional[int] = None
+
+    def render(self) -> str:
+        return f"ret t{self.operand}" if self.operand is not None else "ret"
+
+
+@dataclass
+class Unreachable(Terminator):
+    def render(self) -> str:
+        return "unreachable"
+
+
+# ----------------------------------------------------------------------
+# containers
+# ----------------------------------------------------------------------
+
+@dataclass
+class Block:
+    label: str
+    instrs: list[Instr] = field(default_factory=list)
+    terminator: Optional[Terminator] = None
+
+    def render(self) -> str:
+        lines = [f"{self.label}:"]
+        for instr in self.instrs:
+            lines.append(f"  {instr.render()}")
+        if self.terminator is not None:
+            lines.append(f"  {self.terminator.render()}")
+        return "\n".join(lines)
+
+
+@dataclass
+class IRFunction:
+    name: str
+    param_count: int
+    returns_value: bool
+    blocks: dict[str, Block] = field(default_factory=dict)
+    entry: str = "entry"
+    n_temps: int = 0
+    n_slots: int = 0
+    slot_names: dict[int, str] = field(default_factory=dict)
+    _label_counter: int = 0
+
+    # -- construction helpers -------------------------------------------
+
+    def new_temp(self) -> int:
+        temp = self.n_temps
+        self.n_temps += 1
+        return temp
+
+    def new_slot(self, name: str = "") -> int:
+        slot = self.n_slots
+        self.n_slots += 1
+        if name:
+            self.slot_names[slot] = name
+        return slot
+
+    def new_block(self, hint: str) -> Block:
+        label = f"{hint}.{self._label_counter}"
+        self._label_counter += 1
+        block = Block(label=label)
+        self.blocks[label] = block
+        return block
+
+    def block_order(self) -> list[Block]:
+        """Blocks in reverse-postorder from the entry (unreachable last)."""
+        seen: set[str] = set()
+        order: list[str] = []
+
+        def visit(label: str) -> None:
+            if label in seen or label not in self.blocks:
+                return
+            seen.add(label)
+            terminator = self.blocks[label].terminator
+            if terminator is not None:
+                for successor in terminator.successors():
+                    visit(successor)
+            order.append(label)
+
+        visit(self.entry)
+        ordered = list(reversed(order))
+        ordered.extend(label for label in self.blocks if label not in seen)
+        return [self.blocks[label] for label in ordered]
+
+    def split_block(self, label: str, index: int, hint: str = "split") -> Block:
+        """Split ``label`` before instruction ``index``; returns the new tail block."""
+        block = self.blocks[label]
+        if not 0 <= index <= len(block.instrs):
+            raise PassError(f"split index {index} out of range in {label}")
+        tail = self.new_block(hint)
+        tail.instrs = block.instrs[index:]
+        tail.terminator = block.terminator
+        block.instrs = block.instrs[:index]
+        block.terminator = Jump(target=tail.label)
+        return tail
+
+    def instructions(self) -> Iterator[tuple[Block, Instr]]:
+        for block in self.blocks.values():
+            for instr in block.instrs:
+                yield block, instr
+
+    def defining_instr(self, temp: int) -> Optional[Instr]:
+        for _, instr in self.instructions():
+            if instr.result == temp:
+                return instr
+        return None
+
+    def render(self) -> str:
+        header = f"function {self.name}({self.param_count} params)"
+        return header + "\n" + "\n".join(block.render() for block in self.block_order())
+
+
+@dataclass
+class IRModule:
+    functions: dict[str, IRFunction] = field(default_factory=dict)
+    globals: dict[str, GlobalInfo] = field(default_factory=dict)
+    #: enum metadata carried through for reporting
+    enum_values: dict[str, int] = field(default_factory=dict)
+
+    def render(self) -> str:
+        parts = [
+            f"global @{g.name} (w{g.ctype.size}) = {g.initial:#x}"
+            for g in self.globals.values()
+        ]
+        parts.extend(f.render() for f in self.functions.values())
+        return "\n\n".join(parts)
+
+
+__all__ = [
+    "BINARY_OPS", "CMP_OPS", "CMP_INVERSE",
+    "Instr", "Const", "BinOp", "Cmp",
+    "LoadGlobal", "StoreGlobal", "LoadLocal", "StoreLocal",
+    "RawLoad", "RawStore", "Call", "Halt",
+    "Terminator", "Jump", "CondBr", "Ret", "Unreachable",
+    "Block", "IRFunction", "IRModule",
+]

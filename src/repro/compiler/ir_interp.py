@@ -1,0 +1,176 @@
+"""IR interpreter — executes :class:`~repro.compiler.ir.IRModule` directly.
+
+Used to (a) differentially test lowering against the AST interpreter, and
+(b) verify that GlitchResistor's IR transformations preserve semantics
+without going through codegen and the emulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.compiler import ir
+from repro.errors import PassError
+
+WORD_MASK = 0xFFFFFFFF
+
+
+class IRHalt(Exception):
+    """Raised by the ``halt`` instruction."""
+
+
+class IRStepLimit(Exception):
+    pass
+
+
+def _signed(value: int) -> int:
+    value &= WORD_MASK
+    return value - (1 << 32) if value & (1 << 31) else value
+
+
+def _c_div(a: int, b: int) -> int:
+    if b == 0:
+        raise ZeroDivisionError("division by zero")
+    quotient = abs(a) // abs(b)
+    return -quotient if (a < 0) != (b < 0) else quotient
+
+
+_BIN = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "shl": lambda a, b: a << (b & 31),
+    "lshr": lambda a, b: a >> (b & 31),
+    "ashr": lambda a, b: _signed(a) >> (b & 31),
+    "udiv": lambda a, b: a // b if b else _raise_div(),
+    "urem": lambda a, b: a % b if b else _raise_div(),
+    "sdiv": lambda a, b: _c_div(_signed(a), _signed(b)),
+    "srem": lambda a, b: _signed(a) - _c_div(_signed(a), _signed(b)) * _signed(b),
+}
+
+_CMP = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "ult": lambda a, b: a < b,
+    "ule": lambda a, b: a <= b,
+    "ugt": lambda a, b: a > b,
+    "uge": lambda a, b: a >= b,
+    "slt": lambda a, b: _signed(a) < _signed(b),
+    "sle": lambda a, b: _signed(a) <= _signed(b),
+    "sgt": lambda a, b: _signed(a) > _signed(b),
+    "sge": lambda a, b: _signed(a) >= _signed(b),
+}
+
+
+def _raise_div():
+    raise ZeroDivisionError("division by zero")
+
+
+@dataclass
+class IRInterpreter:
+    module: ir.IRModule
+    mmio_read: Optional[Callable[[int, int], int]] = None
+    mmio_write: Optional[Callable[[int, int, int], None]] = None
+    step_limit: int = 2_000_000
+    globals: dict[str, int] = field(default_factory=dict)
+    steps: int = 0
+    call_trace: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for info in self.module.globals.values():
+            self.globals.setdefault(info.name, info.initial)
+
+    # ------------------------------------------------------------------
+
+    def run(self, entry: str = "main", args: tuple[int, ...] = ()) -> Optional[int]:
+        try:
+            return self.call(entry, args)
+        except IRHalt:
+            return None
+
+    def call(self, name: str, args: tuple[int, ...] = ()) -> Optional[int]:
+        function = self.module.functions.get(name)
+        if function is None:
+            if name == "__nop":
+                return None
+            raise PassError(f"call to unknown IR function {name!r}")
+        if len(args) != function.param_count:
+            raise PassError(f"{name!r} expects {function.param_count} args, got {len(args)}")
+        self.call_trace.append(name)
+        temps: dict[int, int] = {}
+        slots: dict[int, int] = {i: (args[i] & WORD_MASK) for i in range(len(args))}
+        label = function.entry
+        while True:
+            block = function.blocks.get(label)
+            if block is None:
+                raise PassError(f"jump to unknown block {label!r} in {name!r}")
+            for instr in block.instrs:
+                self.steps += 1
+                if self.steps > self.step_limit:
+                    raise IRStepLimit(f"exceeded {self.step_limit} IR steps")
+                self._execute(instr, temps, slots)
+            terminator = block.terminator
+            if isinstance(terminator, ir.Jump):
+                label = terminator.target
+            elif isinstance(terminator, ir.CondBr):
+                label = terminator.if_true if temps[terminator.cond] else terminator.if_false
+            elif isinstance(terminator, ir.Ret):
+                if terminator.operand is None:
+                    return None
+                return temps[terminator.operand] & WORD_MASK
+            elif isinstance(terminator, ir.Unreachable):
+                raise PassError(f"executed unreachable in {name!r}")
+            else:
+                raise PassError(f"block {label!r} has no terminator")
+
+    # ------------------------------------------------------------------
+
+    def _execute(self, instr: ir.Instr, temps: dict[int, int], slots: dict[int, int]) -> None:
+        if isinstance(instr, ir.Const):
+            temps[instr.result] = instr.value & WORD_MASK
+        elif isinstance(instr, ir.BinOp):
+            temps[instr.result] = _BIN[instr.op](temps[instr.lhs], temps[instr.rhs]) & WORD_MASK
+        elif isinstance(instr, ir.Cmp):
+            temps[instr.result] = int(_CMP[instr.op](temps[instr.lhs], temps[instr.rhs]))
+        elif isinstance(instr, ir.LoadLocal):
+            temps[instr.result] = slots.get(instr.slot, 0)
+        elif isinstance(instr, ir.StoreLocal):
+            slots[instr.slot] = temps[instr.operand] & WORD_MASK
+        elif isinstance(instr, ir.LoadGlobal):
+            raw = self.globals.get(instr.name, 0) & ((1 << (8 * instr.width)) - 1)
+            if instr.signed and raw & (1 << (8 * instr.width - 1)):
+                raw -= 1 << (8 * instr.width)
+            temps[instr.result] = raw & WORD_MASK
+        elif isinstance(instr, ir.StoreGlobal):
+            self.globals[instr.name] = temps[instr.operand] & ((1 << (8 * instr.width)) - 1)
+        elif isinstance(instr, ir.RawLoad):
+            if self.mmio_read is None:
+                raise PassError("mmio_load without a device map")
+            value = self.mmio_read(temps[instr.address], instr.width)
+            value &= (1 << (8 * instr.width)) - 1
+            if instr.signed and value & (1 << (8 * instr.width - 1)):
+                value -= 1 << (8 * instr.width)
+            temps[instr.result] = value & WORD_MASK
+        elif isinstance(instr, ir.RawStore):
+            if self.mmio_write is None:
+                raise PassError("mmio_store without a device map")
+            self.mmio_write(
+                temps[instr.address],
+                instr.width,
+                temps[instr.operand] & ((1 << (8 * instr.width)) - 1),
+            )
+        elif isinstance(instr, ir.Call):
+            result = self.call(instr.func, tuple(temps[a] for a in instr.args))
+            if instr.result is not None:
+                temps[instr.result] = 0 if result is None else result & WORD_MASK
+        elif isinstance(instr, ir.Halt):
+            raise IRHalt()
+        else:  # pragma: no cover
+            raise PassError(f"unknown IR instruction {instr!r}")
+
+
+__all__ = ["IRInterpreter", "IRHalt", "IRStepLimit"]

@@ -1,0 +1,187 @@
+"""Image layout: crt0, sections, global placement, and size accounting.
+
+Produces the flash image the board boots:
+
+- ``_start`` (crt0): copy the ``.data`` initialisation image from flash to
+  SRAM, zero ``.bss``, optionally call ``__gr_init`` (GlitchResistor's
+  boot-time hook — PRNG seed update), then ``bl main`` and halt.
+- function code (+ per-function literal pools), runtime helpers.
+- the ``.data`` image.
+
+Globals live in SRAM. GlitchResistor's integrity shadows ask for the
+``far`` region — a separately-placed block "to ensure that it is not
+physically co-located with the initial variable" (§VI-B).
+
+Section sizes (.text / .data / .bss) feed Table V.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler import ir
+from repro.compiler.codegen import CodegenResult, _global_symbol, generate_module
+from repro.errors import LayoutError
+
+FLASH_BASE = 0x0800_0000
+SRAM_BASE = 0x2000_0000
+NEAR_GLOBALS_BASE = SRAM_BASE + 0x100
+FAR_GLOBALS_BASE = SRAM_BASE + 0x3000
+
+
+@dataclass
+class SectionSizes:
+    """Byte counts per section (the paper's Table V columns)."""
+
+    text: int = 0
+    data: int = 0
+    bss: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.text + self.data + self.bss
+
+
+@dataclass
+class LayoutResult:
+    assembly: str
+    sizes: SectionSizes
+    global_addresses: dict[str, int] = field(default_factory=dict)
+
+
+
+
+def layout_module(
+    module: ir.IRModule,
+    base: int = FLASH_BASE,
+    entry_function: str = "main",
+    init_function: str | None = None,
+    runtime_assembly: str = "",
+) -> LayoutResult:
+    """Lay out ``module`` into a complete assembly program."""
+    if entry_function not in module.functions:
+        raise LayoutError(f"no {entry_function!r} function to boot into")
+    if init_function is not None and init_function not in module.functions:
+        raise LayoutError(f"init function {init_function!r} is not defined")
+
+    addresses = _place_globals(module)
+    initialized = [g for g in module.globals.values() if g.has_initializer]
+    zeroed = [g for g in module.globals.values() if not g.has_initializer]
+
+    lines: list[str] = []
+    for name, address in addresses.items():
+        lines.append(f".equ {_global_symbol(name)}, 0x{address:08X}")
+    lines.append("")
+    lines.extend(_crt0(module, addresses, entry_function, init_function))
+
+    code = generate_module(module)
+    lines.append(code.text)
+    if code.used_runtime:
+        if not runtime_assembly:
+            raise LayoutError(
+                f"module needs runtime helpers {sorted(code.used_runtime)} "
+                "but no runtime assembly was provided"
+            )
+        lines.append(runtime_assembly)
+
+    lines.append(".align")
+    lines.append("__data_image:")
+    for info in initialized:
+        lines.append(f"    .word 0x{info.initial:08X}  ; {info.name}")
+    lines.append("__data_image_end:")
+
+    assembly = "\n".join(lines)
+
+    from repro.isa.assembler import assemble
+
+    program = assemble(assembly, base=base)
+    data_bytes = 4 * len(initialized)
+    sizes = SectionSizes(
+        text=len(program.code) - data_bytes,
+        data=data_bytes,
+        bss=4 * len(zeroed),
+    )
+    return LayoutResult(assembly=assembly, sizes=sizes, global_addresses=addresses)
+
+
+def _place_globals(module: ir.IRModule) -> dict[str, int]:
+    """Assign SRAM addresses.
+
+    Initialized near-globals come first (so crt0's copy loop is one
+    contiguous run), then zero-initialized near-globals, then the ``far``
+    block used by integrity shadows.
+    """
+    addresses: dict[str, int] = {}
+    near = NEAR_GLOBALS_BASE
+    ordered = [g for g in module.globals.values() if getattr(g, "region", "near") != "far"]
+    initialized = [g for g in ordered if g.has_initializer]
+    zeroed = [g for g in ordered if not g.has_initializer]
+    for info in initialized + zeroed:
+        addresses[info.name] = near
+        near += 4
+    if near > FAR_GLOBALS_BASE:
+        raise LayoutError("near-global region overflowed into the far region")
+    far = FAR_GLOBALS_BASE
+    for info in module.globals.values():
+        if getattr(info, "region", "near") == "far":
+            addresses[info.name] = far
+            far += 4
+    return addresses
+
+
+def _crt0(module: ir.IRModule, addresses: dict[str, int],
+          entry_function: str, init_function: str | None) -> list[str]:
+    ordered = [g for g in module.globals.values() if getattr(g, "region", "near") != "far"]
+    initialized = [g for g in ordered if g.has_initializer]
+    zeroed = [g for g in ordered if not g.has_initializer]
+    far = [g for g in module.globals.values() if getattr(g, "region", "near") == "far"]
+
+    lines = ["_start:"]
+    if initialized:
+        lines += [
+            "    ldr r0, =__data_image",
+            f"    ldr r1, ={_global_symbol(initialized[0].name)}",
+            f"    movs r2, #{len(initialized)}" if len(initialized) <= 255
+            else f"    ldr r2, ={len(initialized)}",
+            "__crt_copy:",
+            "    ldr r3, [r0]",
+            "    str r3, [r1]",
+            "    adds r0, #4",
+            "    adds r1, #4",
+            "    subs r2, r2, #1",
+            "    bne __crt_copy",
+        ]
+    for label, group in (("__crt_zero", zeroed), ("__crt_zero_far", far)):
+        if not group:
+            continue
+        lines += [
+            f"    ldr r1, ={_global_symbol(group[0].name)}",
+            f"    movs r2, #{len(group)}" if len(group) <= 255 else f"    ldr r2, ={len(group)}",
+            "    movs r3, #0",
+            f"{label}:",
+            "    str r3, [r1]",
+            "    adds r1, #4",
+            "    subs r2, r2, #1",
+            f"    bne {label}",
+        ]
+    if init_function is not None:
+        lines.append(f"    bl {init_function}")
+    lines += [
+        f"    bl {entry_function}",
+        "__crt_halt:",
+        "    bkpt #0",
+        "    .pool",
+        "",
+    ]
+    return lines
+
+
+__all__ = [
+    "SectionSizes",
+    "LayoutResult",
+    "layout_module",
+    "FLASH_BASE",
+    "SRAM_BASE",
+    "NEAR_GLOBALS_BASE",
+    "FAR_GLOBALS_BASE",
+]

@@ -1,0 +1,132 @@
+"""MiniC lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import CompileError
+
+KEYWORDS = {
+    "int", "unsigned", "signed", "short", "char", "void", "volatile", "const",
+    "enum", "if", "else", "while", "for", "return", "break", "continue",
+}
+
+#: multi-character operators, longest first
+_OPERATORS = (
+    "<<=", ">>=", "&&", "||", "==", "!=", "<=", ">=", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+    "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+    "(", ")", "{", "}", "[", "]", ";", ",", "?", ":",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "ident" | "keyword" | "number" | "op" | "eof"
+    text: str
+    line: int
+    col: int
+
+    @property
+    def value(self) -> int:
+        if self.kind != "number":
+            raise CompileError(f"token {self.text!r} is not a number", self.line, self.col)
+        if self.text.startswith("'"):
+            return ord(self.text[1:-1])
+        return int(self.text, 0)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Lex ``source`` into tokens (comments stripped, EOF appended)."""
+    return list(_tokens(source))
+
+
+def _tokens(source: str) -> Iterator[Token]:
+    line = 1
+    col = 1
+    index = 0
+    length = len(source)
+    while index < length:
+        ch = source[index]
+        if ch == "\n":
+            line += 1
+            col = 1
+            index += 1
+            continue
+        if ch in " \t\r":
+            index += 1
+            col += 1
+            continue
+        if source.startswith("//", index):
+            while index < length and source[index] != "\n":
+                index += 1
+            continue
+        if source.startswith("/*", index):
+            end = source.find("*/", index + 2)
+            if end < 0:
+                raise CompileError("unterminated block comment", line, col)
+            skipped = source[index:end + 2]
+            line += skipped.count("\n")
+            if "\n" in skipped:
+                col = len(skipped) - skipped.rfind("\n")
+            else:
+                col += len(skipped)
+            index = end + 2
+            continue
+        if ch.isalpha() or ch == "_":
+            start = index
+            while index < length and (source[index].isalnum() or source[index] == "_"):
+                index += 1
+            text = source[start:index]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            yield Token(kind, text, line, col)
+            col += index - start
+            continue
+        if ch.isdigit():
+            start = index
+            if source.startswith("0x", index) or source.startswith("0X", index):
+                index += 2
+                while index < length and source[index] in "0123456789abcdefABCDEF":
+                    index += 1
+            elif source.startswith("0b", index) or source.startswith("0B", index):
+                index += 2
+                while index < length and source[index] in "01":
+                    index += 1
+            else:
+                while index < length and source[index].isdigit():
+                    index += 1
+            # tolerate C suffixes (u, U, l, L)
+            while index < length and source[index] in "uUlL":
+                index += 1
+            text = source[start:index].rstrip("uUlL")
+            yield Token("number", text, line, col)
+            col += index - start
+            continue
+        if ch == "'":
+            if index + 2 < length and source[index + 2] == "'":
+                yield Token("number", source[index:index + 3], line, col)
+                index += 3
+                col += 3
+                continue
+            if source.startswith("'\\", index):
+                escape = {"n": "\n", "t": "\t", "0": "\0", "\\": "\\", "'": "'"}
+                if index + 3 < length and source[index + 3] == "'" and source[index + 2] in escape:
+                    literal = escape[source[index + 2]]
+                    yield Token("number", f"'{literal}'", line, col)
+                    index += 4
+                    col += 4
+                    continue
+            raise CompileError("malformed character literal", line, col)
+        for operator in _OPERATORS:
+            if source.startswith(operator, index):
+                yield Token("op", operator, line, col)
+                index += len(operator)
+                col += len(operator)
+                break
+        else:
+            raise CompileError(f"unexpected character {ch!r}", line, col)
+    yield Token("eof", "", line, col)
+
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]

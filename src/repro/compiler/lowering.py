@@ -1,0 +1,426 @@
+"""AST → IR lowering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.compiler import ast_nodes as ast
+from repro.compiler import ir
+from repro.compiler.sema import BUILTINS, Program
+from repro.errors import CompileError
+
+WORD_MASK = 0xFFFFFFFF
+
+
+@dataclass
+class _LoopContext:
+    break_target: str
+    continue_target: str
+
+
+class _FunctionLowerer:
+    def __init__(self, program: Program, function: ast.FunctionDef):
+        self.program = program
+        self.function = function
+        self.ir = ir.IRFunction(
+            name=function.name,
+            param_count=len(function.params),
+            returns_value=not function.return_type.is_void,
+        )
+        entry = ir.Block(label="entry")
+        self.ir.blocks["entry"] = entry
+        self.current = entry
+        self.scopes: list[dict[str, int]] = [{}]
+        self.loops: list[_LoopContext] = []
+        self.slot_unsigned: dict[int, bool] = {}
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> ir.IRFunction:
+        # Parameters arrive in r0-r3; codegen stores them into slots 0..n-1.
+        for param in self.function.params:
+            slot = self.ir.new_slot(param.name)
+            self.scopes[0][param.name] = slot
+            self.slot_unsigned[slot] = not param.ctype.signed
+        self._block(self.function.body)
+        if self.current.terminator is None:
+            if self.ir.returns_value:
+                zero = self._const(0)
+                self.current.terminator = ir.Ret(operand=zero)
+            else:
+                self.current.terminator = ir.Ret()
+        self._seal_dangling_blocks()
+        return self.ir
+
+    def _seal_dangling_blocks(self) -> None:
+        for block in self.ir.blocks.values():
+            if block.terminator is None:
+                block.terminator = ir.Ret() if not self.ir.returns_value else ir.Unreachable()
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _emit(self, instr: ir.Instr) -> Optional[int]:
+        self.current.instrs.append(instr)
+        return instr.result
+
+    def _const(self, value: int) -> int:
+        temp = self.ir.new_temp()
+        self._emit(ir.Const(result=temp, value=value & WORD_MASK))
+        return temp
+
+    def _switch_to(self, block: ir.Block) -> None:
+        self.current = block
+
+    def _lookup(self, name: str) -> Optional[int]:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        return None
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+
+    def _block(self, block: ast.Block) -> None:
+        self.scopes.append({})
+        for statement in block.statements:
+            self._statement(statement)
+        self.scopes.pop()
+
+    def _statement(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self._block(stmt)
+        elif isinstance(stmt, ast.Declaration):
+            slot = self.ir.new_slot(stmt.name)
+            self.scopes[-1][stmt.name] = slot
+            self.slot_unsigned[slot] = not stmt.ctype.signed
+            if stmt.init is not None:
+                value, _ = self._expr(stmt.init)
+                self._emit(ir.StoreLocal(slot=slot, operand=value))
+        elif isinstance(stmt, ast.ExprStmt):
+            self._expr(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            self._if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._for(stmt)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                value, _ = self._expr(stmt.value)
+                self.current.terminator = ir.Ret(operand=value)
+            else:
+                self.current.terminator = ir.Ret()
+            self._switch_to(self.ir.new_block("dead"))
+        elif isinstance(stmt, ast.Break):
+            if not self.loops:
+                raise CompileError("break outside a loop", stmt.line)
+            self.current.terminator = ir.Jump(target=self.loops[-1].break_target)
+            self._switch_to(self.ir.new_block("dead"))
+        elif isinstance(stmt, ast.Continue):
+            if not self.loops:
+                raise CompileError("continue outside a loop", stmt.line)
+            self.current.terminator = ir.Jump(target=self.loops[-1].continue_target)
+            self._switch_to(self.ir.new_block("dead"))
+        else:  # pragma: no cover
+            raise CompileError(f"cannot lower statement {stmt!r}", stmt.line)
+
+    def _if(self, stmt: ast.If) -> None:
+        cond, _ = self._expr(stmt.cond)
+        then_block = self.ir.new_block("if.then")
+        end_block = self.ir.new_block("if.end")
+        else_block = self.ir.new_block("if.else") if stmt.other is not None else end_block
+        self.current.terminator = ir.CondBr(
+            cond=cond, if_true=then_block.label, if_false=else_block.label
+        )
+        self._switch_to(then_block)
+        self._statement(stmt.then)
+        if self.current.terminator is None:
+            self.current.terminator = ir.Jump(target=end_block.label)
+        if stmt.other is not None:
+            self._switch_to(else_block)
+            self._statement(stmt.other)
+            if self.current.terminator is None:
+                self.current.terminator = ir.Jump(target=end_block.label)
+        self._switch_to(end_block)
+
+    def _while(self, stmt: ast.While) -> None:
+        cond_block = self.ir.new_block("while.cond")
+        body_block = self.ir.new_block("while.body")
+        end_block = self.ir.new_block("while.end")
+        self.current.terminator = ir.Jump(target=cond_block.label)
+        self._switch_to(cond_block)
+        cond, _ = self._expr(stmt.cond)
+        self.current.terminator = ir.CondBr(
+            cond=cond, if_true=body_block.label, if_false=end_block.label,
+            is_loop_guard=True,
+        )
+        self.loops.append(_LoopContext(break_target=end_block.label, continue_target=cond_block.label))
+        self._switch_to(body_block)
+        self._statement(stmt.body)
+        if self.current.terminator is None:
+            self.current.terminator = ir.Jump(target=cond_block.label)
+        self.loops.pop()
+        self._switch_to(end_block)
+
+    def _for(self, stmt: ast.For) -> None:
+        self.scopes.append({})
+        if stmt.init is not None:
+            self._statement(stmt.init)
+        cond_block = self.ir.new_block("for.cond")
+        body_block = self.ir.new_block("for.body")
+        step_block = self.ir.new_block("for.step")
+        end_block = self.ir.new_block("for.end")
+        self.current.terminator = ir.Jump(target=cond_block.label)
+        self._switch_to(cond_block)
+        if stmt.cond is not None:
+            cond, _ = self._expr(stmt.cond)
+            self.current.terminator = ir.CondBr(
+                cond=cond, if_true=body_block.label, if_false=end_block.label,
+                is_loop_guard=True,
+            )
+        else:
+            self.current.terminator = ir.Jump(target=body_block.label)
+        self.loops.append(_LoopContext(break_target=end_block.label, continue_target=step_block.label))
+        self._switch_to(body_block)
+        self._statement(stmt.body)
+        if self.current.terminator is None:
+            self.current.terminator = ir.Jump(target=step_block.label)
+        self._switch_to(step_block)
+        if stmt.step is not None:
+            self._expr(stmt.step)
+        self.current.terminator = ir.Jump(target=cond_block.label)
+        self.loops.pop()
+        self._switch_to(end_block)
+        self.scopes.pop()
+
+    # ------------------------------------------------------------------
+    # expressions → (temp, is_unsigned)
+    # ------------------------------------------------------------------
+
+    def _expr(self, expr: ast.Expr) -> tuple[int, bool]:
+        if isinstance(expr, ast.NumberLit):
+            return self._const(expr.value), expr.value >= (1 << 31)
+        if isinstance(expr, ast.Name):
+            return self._name_value(expr)
+        if isinstance(expr, ast.Unary):
+            return self._unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self._binary(expr)
+        if isinstance(expr, ast.Conditional):
+            return self._ternary(expr)
+        if isinstance(expr, ast.Call):
+            return self._call(expr)
+        if isinstance(expr, ast.MMIODeref):
+            address, _ = self._expr(expr.address)
+            temp = self.ir.new_temp()
+            self._emit(
+                ir.RawLoad(
+                    result=temp, address=address,
+                    width=max(1, expr.target_type.size),
+                    signed=expr.target_type.signed,
+                )
+            )
+            return temp, not expr.target_type.signed
+        if isinstance(expr, ast.Assign):
+            return self._assign(expr)
+        raise CompileError(f"cannot lower expression {expr!r}", expr.line)  # pragma: no cover
+
+    def _name_value(self, expr: ast.Name) -> tuple[int, bool]:
+        slot = self._lookup(expr.ident)
+        if slot is not None:
+            temp = self.ir.new_temp()
+            self._emit(ir.LoadLocal(result=temp, slot=slot))
+            return temp, self.slot_unsigned.get(slot, False)
+        if expr.ident in self.program.enum_values:
+            return self._const(self.program.enum_values[expr.ident]), False
+        info = self.program.globals.get(expr.ident)
+        if info is None:
+            raise CompileError(f"undefined identifier {expr.ident!r}", expr.line)
+        temp = self.ir.new_temp()
+        self._emit(
+            ir.LoadGlobal(
+                result=temp, name=info.name, width=info.ctype.size,
+                signed=info.ctype.signed, volatile=info.ctype.volatile,
+            )
+        )
+        return temp, not info.ctype.signed
+
+    def _unary(self, expr: ast.Unary) -> tuple[int, bool]:
+        operand, unsigned = self._expr(expr.operand)
+        temp = self.ir.new_temp()
+        if expr.op == "-":
+            zero = self._const(0)
+            self._emit(ir.BinOp(result=temp, op="sub", lhs=zero, rhs=operand))
+            return temp, unsigned
+        if expr.op == "~":
+            ones = self._const(WORD_MASK)
+            self._emit(ir.BinOp(result=temp, op="xor", lhs=operand, rhs=ones))
+            return temp, unsigned
+        if expr.op == "!":
+            zero = self._const(0)
+            self._emit(ir.Cmp(result=temp, op="eq", lhs=operand, rhs=zero))
+            return temp, False
+        raise CompileError(f"unsupported unary operator {expr.op!r}", expr.line)
+
+    _CMP_MAP = {
+        "==": ("eq", "eq"), "!=": ("ne", "ne"),
+        "<": ("slt", "ult"), "<=": ("sle", "ule"),
+        ">": ("sgt", "ugt"), ">=": ("sge", "uge"),
+    }
+
+    def _binary(self, expr: ast.Binary) -> tuple[int, bool]:
+        if expr.op in ("&&", "||"):
+            return self._short_circuit(expr)
+        left, left_unsigned = self._expr(expr.left)
+        right, right_unsigned = self._expr(expr.right)
+        unsigned = left_unsigned or right_unsigned
+        temp = self.ir.new_temp()
+        if expr.op in self._CMP_MAP:
+            signed_op, unsigned_op = self._CMP_MAP[expr.op]
+            self._emit(
+                ir.Cmp(
+                    result=temp, op=unsigned_op if unsigned else signed_op,
+                    lhs=left, rhs=right,
+                )
+            )
+            return temp, False
+        op = {
+            "+": "add", "-": "sub", "*": "mul",
+            "/": "udiv" if unsigned else "sdiv",
+            "%": "urem" if unsigned else "srem",
+            "&": "and", "|": "or", "^": "xor",
+            "<<": "shl", ">>": "lshr" if unsigned else "ashr",
+        }.get(expr.op)
+        if op is None:
+            raise CompileError(f"unsupported binary operator {expr.op!r}", expr.line)
+        self._emit(ir.BinOp(result=temp, op=op, lhs=left, rhs=right))
+        return temp, unsigned
+
+    def _short_circuit(self, expr: ast.Binary) -> tuple[int, bool]:
+        slot = self.ir.new_slot()
+        right_block = self.ir.new_block("sc.rhs")
+        end_block = self.ir.new_block("sc.end")
+        left, _ = self._expr(expr.left)
+        zero = self._const(0)
+        left_bool = self.ir.new_temp()
+        self._emit(ir.Cmp(result=left_bool, op="ne", lhs=left, rhs=zero))
+        self._emit(ir.StoreLocal(slot=slot, operand=left_bool))
+        if expr.op == "&&":
+            self.current.terminator = ir.CondBr(
+                cond=left_bool, if_true=right_block.label, if_false=end_block.label
+            )
+        else:
+            self.current.terminator = ir.CondBr(
+                cond=left_bool, if_true=end_block.label, if_false=right_block.label
+            )
+        self._switch_to(right_block)
+        right, _ = self._expr(expr.right)
+        zero2 = self._const(0)
+        right_bool = self.ir.new_temp()
+        self._emit(ir.Cmp(result=right_bool, op="ne", lhs=right, rhs=zero2))
+        self._emit(ir.StoreLocal(slot=slot, operand=right_bool))
+        self.current.terminator = ir.Jump(target=end_block.label)
+        self._switch_to(end_block)
+        temp = self.ir.new_temp()
+        self._emit(ir.LoadLocal(result=temp, slot=slot))
+        return temp, False
+
+    def _ternary(self, expr: ast.Conditional) -> tuple[int, bool]:
+        slot = self.ir.new_slot()
+        cond, _ = self._expr(expr.cond)
+        then_block = self.ir.new_block("sel.then")
+        else_block = self.ir.new_block("sel.else")
+        end_block = self.ir.new_block("sel.end")
+        self.current.terminator = ir.CondBr(
+            cond=cond, if_true=then_block.label, if_false=else_block.label
+        )
+        self._switch_to(then_block)
+        then_value, then_unsigned = self._expr(expr.then)
+        self._emit(ir.StoreLocal(slot=slot, operand=then_value))
+        self.current.terminator = ir.Jump(target=end_block.label)
+        self._switch_to(else_block)
+        else_value, else_unsigned = self._expr(expr.other)
+        self._emit(ir.StoreLocal(slot=slot, operand=else_value))
+        self.current.terminator = ir.Jump(target=end_block.label)
+        self._switch_to(end_block)
+        temp = self.ir.new_temp()
+        self._emit(ir.LoadLocal(result=temp, slot=slot))
+        return temp, then_unsigned or else_unsigned
+
+    def _call(self, expr: ast.Call) -> tuple[int, bool]:
+        if expr.func == "__halt":
+            self._emit(ir.Halt())
+            return self._const(0), False
+        args = tuple(self._expr(arg)[0] for arg in expr.args)
+        info = self.program.functions.get(expr.func)
+        returns_value = (
+            info is not None and not info.return_type.is_void
+            if info is not None
+            else not BUILTINS[expr.func][0].is_void
+        )
+        result = self.ir.new_temp() if returns_value else None
+        self._emit(ir.Call(result=result, func=expr.func, args=args))
+        if result is None:
+            return self._const(0), False
+        unsigned = info is not None and not info.return_type.signed
+        return result, unsigned
+
+    def _assign(self, expr: ast.Assign) -> tuple[int, bool]:
+        if expr.op != "=":
+            # compound assignment: lhs = lhs <op> value
+            base_op = expr.op[:-1]
+            read = (
+                ast.Name(line=expr.line, ident=expr.lhs.ident)
+                if isinstance(expr.lhs, ast.Name)
+                else ast.MMIODeref(
+                    line=expr.line,
+                    target_type=expr.lhs.target_type,
+                    address=expr.lhs.address,
+                )
+            )
+            value_expr = ast.Binary(line=expr.line, op=base_op, left=read, right=expr.value)
+        else:
+            value_expr = expr.value
+        value, unsigned = self._expr(value_expr)
+
+        if isinstance(expr.lhs, ast.Name):
+            slot = self._lookup(expr.lhs.ident)
+            if slot is not None:
+                self._emit(ir.StoreLocal(slot=slot, operand=value))
+                return value, unsigned
+            info = self.program.globals.get(expr.lhs.ident)
+            if info is None:
+                raise CompileError(f"undefined identifier {expr.lhs.ident!r}", expr.line)
+            self._emit(
+                ir.StoreGlobal(
+                    name=info.name, operand=value, width=info.ctype.size,
+                    volatile=info.ctype.volatile,
+                )
+            )
+            return value, unsigned
+        address, _ = self._expr(expr.lhs.address)
+        self._emit(
+            ir.RawStore(
+                address=address, operand=value,
+                width=max(1, expr.lhs.target_type.size),
+            )
+        )
+        return value, unsigned
+
+
+def lower(program: Program) -> ir.IRModule:
+    """Lower an analyzed program to an IR module."""
+    module = ir.IRModule(
+        globals=dict(program.globals),
+        enum_values=dict(program.enum_values),
+    )
+    for function in program.unit.functions():
+        module.functions[function.name] = _FunctionLowerer(program, function).run()
+    return module
+
+
+__all__ = ["lower"]

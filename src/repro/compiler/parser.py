@@ -1,0 +1,381 @@
+"""MiniC recursive-descent parser."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.compiler import ast_nodes as ast
+from repro.compiler.lexer import Token, tokenize
+from repro.errors import CompileError
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+
+#: binary operator precedence (higher binds tighter)
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_TYPE_KEYWORDS = {"int", "unsigned", "signed", "short", "char", "void", "volatile", "const"}
+
+
+class Parser:
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.position = 0
+
+    # ------------------------------------------------------------------
+    # token helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def peek(self, ahead: int = 1) -> Token:
+        index = min(self.position + ahead, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self.position += 1
+        return token
+
+    def expect(self, text: str) -> Token:
+        token = self.current
+        if token.text != text:
+            raise CompileError(f"expected {text!r}, found {token.text!r}", token.line, token.col)
+        return self.advance()
+
+    def accept(self, text: str) -> bool:
+        if self.current.text == text:
+            self.advance()
+            return True
+        return False
+
+    def at_type(self) -> bool:
+        return self.current.kind == "keyword" and self.current.text in _TYPE_KEYWORDS
+
+    # ------------------------------------------------------------------
+    # top level
+    # ------------------------------------------------------------------
+
+    def parse(self) -> ast.TranslationUnit:
+        unit = ast.TranslationUnit()
+        while self.current.kind != "eof":
+            if self.current.text == "enum" and self._is_enum_definition():
+                unit.items.append(self._enum_definition())
+                continue
+            unit.items.append(self._function_or_global())
+        return unit
+
+    def _is_enum_definition(self) -> bool:
+        # `enum [Name] {` at top level is a definition; `enum Name ident`
+        # would be a variable declaration of enum type (treated as int).
+        offset = 1
+        if self.peek(offset).kind == "ident":
+            offset += 1
+        return self.peek(offset).text == "{"
+
+    def _enum_definition(self) -> ast.EnumDef:
+        start = self.expect("enum")
+        name = None
+        if self.current.kind == "ident":
+            name = self.advance().text
+        self.expect("{")
+        enumerators: list[ast.Enumerator] = []
+        while not self.accept("}"):
+            ident = self.advance()
+            if ident.kind != "ident":
+                raise CompileError(f"expected enumerator name, found {ident.text!r}", ident.line, ident.col)
+            value = None
+            if self.accept("="):
+                value = self._expression()
+            enumerators.append(ast.Enumerator(name=ident.text, value=value, line=ident.line))
+            if not self.accept(","):
+                self.expect("}")
+                break
+        self.expect(";")
+        return ast.EnumDef(name=name, enumerators=enumerators, line=start.line)
+
+    def _function_or_global(self):
+        line = self.current.line
+        ctype = self._type()
+        ident = self.advance()
+        if ident.kind != "ident":
+            raise CompileError(f"expected identifier, found {ident.text!r}", ident.line, ident.col)
+        if self.current.text == "(":
+            return self._function(ctype, ident.text, line)
+        init = None
+        if self.accept("="):
+            init = self._expression()
+        self.expect(";")
+        return ast.GlobalVar(ctype=ctype, name=ident.text, init=init, line=line)
+
+    def _function(self, return_type: ast.CType, name: str, line: int) -> ast.FunctionDef:
+        self.expect("(")
+        params: list[ast.Param] = []
+        if not self.accept(")"):
+            if self.current.text == "void" and self.peek().text == ")":
+                self.advance()
+                self.expect(")")
+            else:
+                while True:
+                    ptype = self._type()
+                    pname = self.advance()
+                    if pname.kind != "ident":
+                        raise CompileError(
+                            f"expected parameter name, found {pname.text!r}", pname.line, pname.col
+                        )
+                    params.append(ast.Param(ctype=ptype, name=pname.text))
+                    if not self.accept(","):
+                        break
+                self.expect(")")
+        if self.accept(";"):
+            return ast.FunctionDef(name=name, return_type=return_type, params=params, body=None, line=line)
+        body = self._block()
+        return ast.FunctionDef(name=name, return_type=return_type, params=params, body=body, line=line)
+
+    # ------------------------------------------------------------------
+    # types
+    # ------------------------------------------------------------------
+
+    def _type(self) -> ast.CType:
+        volatile = False
+        const = False
+        signed: Optional[bool] = None
+        base: Optional[str] = None
+        while self.at_type() or self.current.text == "enum":
+            text = self.current.text
+            if text == "volatile":
+                volatile = True
+            elif text == "const":
+                const = True
+            elif text == "unsigned":
+                signed = False
+            elif text == "signed":
+                signed = True
+            elif text == "enum":
+                self.advance()
+                if self.current.kind == "ident":
+                    self.advance()
+                base = "int"
+                continue
+            elif text in ("int", "short", "char", "void"):
+                if base is not None and not (base == "short" and text == "int"):
+                    raise CompileError(
+                        f"duplicate type keyword {text!r}", self.current.line, self.current.col
+                    )
+                if not (base == "short" and text == "int"):
+                    base = text
+            self.advance()
+        if base is None:
+            if signed is None and not volatile and not const:
+                token = self.current
+                raise CompileError(f"expected a type, found {token.text!r}", token.line, token.col)
+            base = "int"
+        if signed is None:
+            signed = True
+        return ast.CType(base, signed=signed, volatile=volatile, const=const)
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+
+    def _block(self) -> ast.Block:
+        start = self.expect("{")
+        statements: list[ast.Stmt] = []
+        while not self.accept("}"):
+            statements.append(self._statement())
+        return ast.Block(line=start.line, statements=statements)
+
+    def _statement(self) -> ast.Stmt:
+        token = self.current
+        if token.text == "{":
+            return self._block()
+        if token.text == "if":
+            return self._if()
+        if token.text == "while":
+            return self._while()
+        if token.text == "for":
+            return self._for()
+        if token.text == "return":
+            self.advance()
+            value = None if self.current.text == ";" else self._expression()
+            self.expect(";")
+            return ast.Return(line=token.line, value=value)
+        if token.text == "break":
+            self.advance()
+            self.expect(";")
+            return ast.Break(line=token.line)
+        if token.text == "continue":
+            self.advance()
+            self.expect(";")
+            return ast.Continue(line=token.line)
+        if token.text == ";":
+            self.advance()
+            return ast.Block(line=token.line, statements=[])
+        if self.at_type():
+            return self._declaration()
+        expr = self._expression()
+        self.expect(";")
+        return ast.ExprStmt(line=token.line, expr=expr)
+
+    def _declaration(self) -> ast.Declaration:
+        line = self.current.line
+        ctype = self._type()
+        name = self.advance()
+        if name.kind != "ident":
+            raise CompileError(f"expected variable name, found {name.text!r}", name.line, name.col)
+        init = None
+        if self.accept("="):
+            init = self._expression()
+        self.expect(";")
+        return ast.Declaration(line=line, ctype=ctype, name=name.text, init=init)
+
+    def _if(self) -> ast.If:
+        start = self.expect("if")
+        self.expect("(")
+        cond = self._expression()
+        self.expect(")")
+        then = self._statement()
+        other = self._statement() if self.accept("else") else None
+        return ast.If(line=start.line, cond=cond, then=then, other=other)
+
+    def _while(self) -> ast.While:
+        start = self.expect("while")
+        self.expect("(")
+        cond = self._expression()
+        self.expect(")")
+        body = self._statement()
+        return ast.While(line=start.line, cond=cond, body=body)
+
+    def _for(self) -> ast.For:
+        start = self.expect("for")
+        self.expect("(")
+        init: Optional[ast.Stmt] = None
+        if not self.accept(";"):
+            if self.at_type():
+                init = self._declaration()
+            else:
+                init = ast.ExprStmt(line=self.current.line, expr=self._expression())
+                self.expect(";")
+        cond = None if self.current.text == ";" else self._expression()
+        self.expect(";")
+        step = None if self.current.text == ")" else self._expression()
+        self.expect(")")
+        body = self._statement()
+        return ast.For(line=start.line, init=init, cond=cond, step=step, body=body)
+
+    # ------------------------------------------------------------------
+    # expressions (precedence climbing)
+    # ------------------------------------------------------------------
+
+    def _expression(self) -> ast.Expr:
+        return self._assignment()
+
+    def _assignment(self) -> ast.Expr:
+        left = self._ternary()
+        if self.current.text in _ASSIGN_OPS:
+            op = self.advance().text
+            if not isinstance(left, (ast.Name, ast.MMIODeref)):
+                raise CompileError(
+                    "assignment target must be a variable or MMIO dereference",
+                    self.current.line, self.current.col,
+                )
+            value = self._assignment()
+            return ast.Assign(line=left.line, lhs=left, op=op, value=value)
+        return left
+
+    def _ternary(self) -> ast.Expr:
+        cond = self._binary(1)
+        if self.accept("?"):
+            then = self._expression()
+            self.expect(":")
+            other = self._ternary()
+            return ast.Conditional(line=cond.line, cond=cond, then=then, other=other)
+        return cond
+
+    def _binary(self, min_precedence: int) -> ast.Expr:
+        left = self._unary()
+        while True:
+            op = self.current.text
+            precedence = _PRECEDENCE.get(op)
+            if precedence is None or precedence < min_precedence:
+                return left
+            line = self.current.line
+            self.advance()
+            right = self._binary(precedence + 1)
+            left = ast.Binary(line=line, op=op, left=left, right=right)
+
+    def _unary(self) -> ast.Expr:
+        token = self.current
+        if token.text in ("!", "~", "-", "+"):
+            self.advance()
+            operand = self._unary()
+            if token.text == "+":
+                return operand
+            return ast.Unary(line=token.line, op=token.text, operand=operand)
+        if token.text == "*":
+            # the MMIO idiom: *(volatile TYPE *) expr
+            return self._mmio_deref()
+        return self._postfix()
+
+    def _mmio_deref(self) -> ast.MMIODeref:
+        star = self.expect("*")
+        self.expect("(")
+        ctype = self._type()
+        self.expect("*")
+        self.expect(")")
+        address = self._unary()
+        return ast.MMIODeref(line=star.line, target_type=ctype, address=address)
+
+    def _postfix(self) -> ast.Expr:
+        token = self.current
+        if token.text == "(":
+            # parenthesized expression (casts to int are tolerated and ignored)
+            self.advance()
+            if self.at_type():
+                self._type()
+                self.expect(")")
+                return self._unary()
+            expr = self._expression()
+            self.expect(")")
+            return expr
+        if token.kind == "number":
+            self.advance()
+            return ast.NumberLit(line=token.line, value=token.value)
+        if token.kind == "ident":
+            self.advance()
+            if self.current.text == "(":
+                return self._call(token)
+            return ast.Name(line=token.line, ident=token.text)
+        raise CompileError(f"unexpected token {token.text!r}", token.line, token.col)
+
+    def _call(self, name: Token) -> ast.Call:
+        self.expect("(")
+        args: list[ast.Expr] = []
+        if not self.accept(")"):
+            while True:
+                args.append(self._expression())
+                if not self.accept(","):
+                    break
+            self.expect(")")
+        return ast.Call(line=name.line, func=name.text, args=args)
+
+
+def parse(source: str) -> ast.TranslationUnit:
+    """Parse MiniC ``source`` into a translation unit."""
+    return Parser(source).parse()
+
+
+__all__ = ["Parser", "parse"]

@@ -1,0 +1,20 @@
+"""IR pass framework plus the baseline optimisation passes.
+
+GlitchResistor's defenses (in :mod:`repro.resistor`) are passes in the same
+framework — exactly how the paper layers its defenses as LLVM
+``FunctionPass``/``ModulePass`` plugins.
+"""
+
+from repro.compiler.passes.pass_manager import IRPass, PassManager
+from repro.compiler.passes.constfold import ConstantFoldPass
+from repro.compiler.passes.dce import DeadCodeEliminationPass
+
+DEFAULT_OPTIMIZATIONS = (ConstantFoldPass, DeadCodeEliminationPass)
+
+__all__ = [
+    "IRPass",
+    "PassManager",
+    "ConstantFoldPass",
+    "DeadCodeEliminationPass",
+    "DEFAULT_OPTIMIZATIONS",
+]

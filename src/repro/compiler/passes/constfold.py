@@ -1,0 +1,59 @@
+"""Constant folding over the IR.
+
+Folds ``BinOp``/``Cmp`` whose operands are ``Const`` definitions in the
+same function, iterating to a fixed point. Volatile loads are opaque, so
+GlitchResistor's redundancy code (whose loads are marked volatile, as the
+paper requires) survives folding untouched.
+"""
+
+from __future__ import annotations
+
+from repro.compiler import ir
+from repro.compiler.ir_interp import _BIN, _CMP
+from repro.compiler.passes.pass_manager import IRPass
+
+WORD_MASK = 0xFFFFFFFF
+
+
+class ConstantFoldPass(IRPass):
+    name = "constfold"
+
+    def run(self, module: ir.IRModule) -> str:
+        folded = 0
+        for function in module.functions.values():
+            folded += self._fold_function(function)
+        return f"folded {folded} instructions"
+
+    def _fold_function(self, function: ir.IRFunction) -> int:
+        folded = 0
+        changed = True
+        while changed:
+            changed = False
+            constants: dict[int, int] = {}
+            for block in function.blocks.values():
+                for instr in block.instrs:
+                    if isinstance(instr, ir.Const):
+                        constants[instr.result] = instr.value
+            for block in function.blocks.values():
+                for index, instr in enumerate(block.instrs):
+                    replacement = self._try_fold(instr, constants)
+                    if replacement is not None:
+                        block.instrs[index] = replacement
+                        folded += 1
+                        changed = True
+        return folded
+
+    def _try_fold(self, instr: ir.Instr, constants: dict[int, int]):
+        if isinstance(instr, ir.BinOp) and instr.lhs in constants and instr.rhs in constants:
+            try:
+                value = _BIN[instr.op](constants[instr.lhs], constants[instr.rhs]) & WORD_MASK
+            except ZeroDivisionError:
+                return None  # leave the trap to runtime
+            return ir.Const(result=instr.result, value=value)
+        if isinstance(instr, ir.Cmp) and instr.lhs in constants and instr.rhs in constants:
+            value = int(_CMP[instr.op](constants[instr.lhs], constants[instr.rhs]))
+            return ir.Const(result=instr.result, value=value)
+        return None
+
+
+__all__ = ["ConstantFoldPass"]

@@ -1,0 +1,83 @@
+"""Dead-code elimination.
+
+Removes (a) blocks unreachable from the entry and (b) side-effect-free
+instructions whose results are never used. Side effects — stores, MMIO,
+calls, ``halt``, and *volatile* loads — are never removed; this is the
+property the paper relies on when it marks its redundancy instrumentation
+volatile so "code added for redundancy is not optimized out".
+"""
+
+from __future__ import annotations
+
+from repro.compiler import ir
+from repro.compiler.passes.pass_manager import IRPass
+
+
+def _has_side_effects(instr: ir.Instr) -> bool:
+    if isinstance(instr, (ir.StoreGlobal, ir.StoreLocal, ir.RawStore, ir.Call, ir.Halt)):
+        return True
+    if isinstance(instr, ir.LoadGlobal) and instr.volatile:
+        return True
+    if isinstance(instr, ir.RawLoad):
+        return True  # MMIO reads always have side effects
+    return False
+
+
+class DeadCodeEliminationPass(IRPass):
+    name = "dce"
+
+    def run(self, module: ir.IRModule) -> str:
+        removed_instrs = 0
+        removed_blocks = 0
+        for function in module.functions.values():
+            removed_blocks += self._remove_unreachable(function)
+            removed_instrs += self._remove_dead(function)
+        return f"removed {removed_instrs} instructions, {removed_blocks} blocks"
+
+    def _remove_unreachable(self, function: ir.IRFunction) -> int:
+        reachable: set[str] = set()
+        worklist = [function.entry]
+        while worklist:
+            label = worklist.pop()
+            if label in reachable or label not in function.blocks:
+                continue
+            reachable.add(label)
+            terminator = function.blocks[label].terminator
+            if terminator is not None:
+                worklist.extend(terminator.successors())
+        dead = [label for label in function.blocks if label not in reachable]
+        for label in dead:
+            del function.blocks[label]
+        return len(dead)
+
+    def _remove_dead(self, function: ir.IRFunction) -> int:
+        removed = 0
+        changed = True
+        while changed:
+            changed = False
+            used: set[int] = set()
+            for block in function.blocks.values():
+                for instr in block.instrs:
+                    used.update(instr.operands())
+                terminator = block.terminator
+                if isinstance(terminator, ir.CondBr):
+                    used.add(terminator.cond)
+                elif isinstance(terminator, ir.Ret) and terminator.operand is not None:
+                    used.add(terminator.operand)
+            for block in function.blocks.values():
+                keep: list[ir.Instr] = []
+                for instr in block.instrs:
+                    if (
+                        instr.result is not None
+                        and instr.result not in used
+                        and not _has_side_effects(instr)
+                    ):
+                        removed += 1
+                        changed = True
+                        continue
+                    keep.append(instr)
+                block.instrs = keep
+        return removed
+
+
+__all__ = ["DeadCodeEliminationPass"]

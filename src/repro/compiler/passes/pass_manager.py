@@ -1,0 +1,39 @@
+"""Pass manager: runs module passes in order and records what they did."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.ir import IRModule
+
+
+class IRPass:
+    """Base class for module passes. Subclasses set :attr:`name` and
+    implement :meth:`run`, returning a short human-readable note."""
+
+    name = "pass"
+
+    def run(self, module: IRModule) -> str:
+        raise NotImplementedError
+
+
+@dataclass
+class PassManager:
+    passes: list[IRPass] = field(default_factory=list)
+    log: list[tuple[str, str]] = field(default_factory=list)
+
+    def add(self, ir_pass: IRPass) -> "PassManager":
+        self.passes.append(ir_pass)
+        return self
+
+    def run(self, module: IRModule) -> IRModule:
+        for ir_pass in self.passes:
+            note = ir_pass.run(module)
+            self.log.append((ir_pass.name, note or ""))
+        return module
+
+    def report(self) -> str:
+        return "\n".join(f"{name}: {note}" for name, note in self.log)
+
+
+__all__ = ["IRPass", "PassManager"]

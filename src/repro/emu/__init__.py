@@ -1,0 +1,17 @@
+"""Architectural (non-pipelined) Thumb CPU emulator.
+
+This is the Unicorn replacement used by the Section IV glitch-emulation
+campaigns: it executes decoded instructions one at a time against a mapped
+memory space and surfaces abnormal conditions as the typed faults the
+campaign classifier understands (bad fetch / bad read / invalid
+instruction / ...).
+
+The cycle-accurate pipelined core used for the "real-world" experiments
+lives in :mod:`repro.hw.pipeline` and reuses this package's memory model
+and instruction semantics.
+"""
+
+from repro.emu.memory import Memory, MemoryRegion, MMIORegion
+from repro.emu.cpu import CPU, RunResult
+
+__all__ = ["Memory", "MemoryRegion", "MMIORegion", "CPU", "RunResult"]

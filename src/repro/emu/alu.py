@@ -1,0 +1,99 @@
+"""ALU helpers implementing the ARM flag semantics for Thumb data processing.
+
+Every function operates on 32-bit unsigned words and returns the result plus
+whichever flags the operation defines, matching the ARM ARM pseudocode
+(``AddWithCarry``, ``Shift_C``).
+"""
+
+from __future__ import annotations
+
+from repro.bits import truncate
+
+WORD = 32
+WORD_MASK = 0xFFFFFFFF
+
+
+def add_with_carry(a: int, b: int, carry_in: bool) -> tuple[int, bool, bool]:
+    """ARM ``AddWithCarry``: returns ``(result, carry_out, overflow)``."""
+    a &= WORD_MASK
+    b &= WORD_MASK
+    unsigned_sum = a + b + (1 if carry_in else 0)
+    result = unsigned_sum & WORD_MASK
+    carry_out = unsigned_sum > WORD_MASK
+    signed_a = _signed(a)
+    signed_b = _signed(b)
+    signed_sum = signed_a + signed_b + (1 if carry_in else 0)
+    overflow = not (-(1 << 31) <= signed_sum < (1 << 31))
+    return result, carry_out, overflow
+
+
+def subtract(a: int, b: int) -> tuple[int, bool, bool]:
+    """``a - b`` via ``AddWithCarry(a, ~b, 1)`` — carry means *no borrow*."""
+    return add_with_carry(a, (~b) & WORD_MASK, True)
+
+
+def lsl_carry(value: int, amount: int, carry_in: bool) -> tuple[int, bool]:
+    """Logical shift left with carry-out; ``amount`` may exceed 32."""
+    value &= WORD_MASK
+    if amount == 0:
+        return value, carry_in
+    if amount < WORD:
+        result = truncate(value << amount, WORD)
+        carry = bool((value >> (WORD - amount)) & 1)
+        return result, carry
+    if amount == WORD:
+        return 0, bool(value & 1)
+    return 0, False
+
+
+def lsr_carry(value: int, amount: int, carry_in: bool) -> tuple[int, bool]:
+    """Logical shift right with carry-out; ``amount`` may exceed 32."""
+    value &= WORD_MASK
+    if amount == 0:
+        return value, carry_in
+    if amount < WORD:
+        return value >> amount, bool((value >> (amount - 1)) & 1)
+    if amount == WORD:
+        return 0, bool((value >> 31) & 1)
+    return 0, False
+
+
+def asr_carry(value: int, amount: int, carry_in: bool) -> tuple[int, bool]:
+    """Arithmetic shift right with carry-out; amounts ≥ 32 saturate to the sign."""
+    value &= WORD_MASK
+    if amount == 0:
+        return value, carry_in
+    sign = (value >> 31) & 1
+    if amount >= WORD:
+        result = WORD_MASK if sign else 0
+        return result, bool(sign)
+    result = (_signed(value) >> amount) & WORD_MASK
+    carry = bool((value >> (amount - 1)) & 1)
+    return result, carry
+
+
+def ror_carry(value: int, amount: int, carry_in: bool) -> tuple[int, bool]:
+    """Rotate right with carry-out."""
+    value &= WORD_MASK
+    if amount == 0:
+        return value, carry_in
+    shift = amount % WORD
+    if shift == 0:
+        return value, bool((value >> 31) & 1)
+    result = ((value >> shift) | (value << (WORD - shift))) & WORD_MASK
+    return result, bool((result >> 31) & 1)
+
+
+def _signed(value: int) -> int:
+    return value - (1 << WORD) if value & (1 << (WORD - 1)) else value
+
+
+__all__ = [
+    "add_with_carry",
+    "subtract",
+    "lsl_carry",
+    "lsr_carry",
+    "asr_carry",
+    "ror_carry",
+    "WORD_MASK",
+]

@@ -1,0 +1,175 @@
+"""Mapped memory with access permissions and typed access faults.
+
+The Section IV campaigns classify *bad read* and *bad fetch* outcomes by
+catching :class:`repro.errors.BadRead` / :class:`repro.errors.BadFetch`,
+so the memory model must fault on unmapped and permission-violating
+accesses exactly like Unicorn's ``UC_ERR_READ_UNMAPPED`` /
+``UC_ERR_FETCH_UNMAPPED`` did for the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import BadFetch, BadRead, BadWrite
+
+
+@dataclass
+class MemoryRegion:
+    """A contiguous byte-addressable region."""
+
+    name: str
+    base: int
+    size: int
+    readable: bool = True
+    writable: bool = True
+    executable: bool = False
+    data: bytearray = field(default_factory=bytearray)
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"region {self.name!r} must have positive size")
+        if not self.data:
+            self.data = bytearray(self.size)
+        elif len(self.data) != self.size:
+            raise ValueError(
+                f"region {self.name!r}: data length {len(self.data)} != size {self.size}"
+            )
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, address: int, length: int = 1) -> bool:
+        return self.base <= address and address + length <= self.end
+
+    def read(self, address: int, length: int) -> bytes:
+        offset = address - self.base
+        return bytes(self.data[offset:offset + length])
+
+    def write(self, address: int, payload: bytes) -> None:
+        offset = address - self.base
+        self.data[offset:offset + len(payload)] = payload
+
+
+class MMIORegion(MemoryRegion):
+    """A region backed by callbacks, for device registers (GPIO, flash ctrl, ...).
+
+    ``on_read(offset, length) -> int`` and ``on_write(offset, length, value)``
+    receive offsets relative to the region base.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        base: int,
+        size: int,
+        on_read: Optional[Callable[[int, int], int]] = None,
+        on_write: Optional[Callable[[int, int, int], None]] = None,
+    ):
+        super().__init__(name=name, base=base, size=size, readable=True, writable=True)
+        self._on_read = on_read
+        self._on_write = on_write
+
+    def read(self, address: int, length: int) -> bytes:
+        offset = address - self.base
+        if self._on_read is None:
+            return super().read(address, length)
+        value = self._on_read(offset, length) & ((1 << (8 * length)) - 1)
+        return value.to_bytes(length, "little")
+
+    def write(self, address: int, payload: bytes) -> None:
+        offset = address - self.base
+        if self._on_write is None:
+            super().write(address, payload)
+            return
+        self._on_write(offset, len(payload), int.from_bytes(payload, "little"))
+
+
+class Memory:
+    """An address space made of non-overlapping regions."""
+
+    def __init__(self) -> None:
+        self.regions: list[MemoryRegion] = []
+
+    def map_region(self, region: MemoryRegion) -> MemoryRegion:
+        for existing in self.regions:
+            if region.base < existing.end and existing.base < region.end:
+                raise ValueError(
+                    f"region {region.name!r} overlaps {existing.name!r} "
+                    f"([{region.base:#x}, {region.end:#x}) vs [{existing.base:#x}, {existing.end:#x}))"
+                )
+        self.regions.append(region)
+        self.regions.sort(key=lambda r: r.base)
+        return region
+
+    def map(self, name: str, base: int, size: int, **permissions: bool) -> MemoryRegion:
+        return self.map_region(MemoryRegion(name=name, base=base, size=size, **permissions))
+
+    def region_at(self, address: int, length: int = 1) -> Optional[MemoryRegion]:
+        for region in self.regions:
+            if region.contains(address, length):
+                return region
+        return None
+
+    # -- data accesses -------------------------------------------------
+
+    def read(self, address: int, length: int) -> bytes:
+        region = self.region_at(address, length)
+        if region is None or not region.readable:
+            raise BadRead(f"read of {length} bytes at unmapped address {address:#010x}", address)
+        return region.read(address, length)
+
+    def write(self, address: int, payload: bytes) -> None:
+        region = self.region_at(address, len(payload))
+        if region is None:
+            raise BadWrite(f"write of {len(payload)} bytes at unmapped address {address:#010x}", address)
+        if not region.writable:
+            raise BadWrite(f"write to read-only region {region.name!r} at {address:#010x}", address)
+        region.write(address, payload)
+
+    def read_u8(self, address: int) -> int:
+        return self.read(address, 1)[0]
+
+    def read_u16(self, address: int) -> int:
+        return int.from_bytes(self.read(address, 2), "little")
+
+    def read_u32(self, address: int) -> int:
+        return int.from_bytes(self.read(address, 4), "little")
+
+    def write_u8(self, address: int, value: int) -> None:
+        self.write(address, bytes([value & 0xFF]))
+
+    def write_u16(self, address: int, value: int) -> None:
+        self.write(address, (value & 0xFFFF).to_bytes(2, "little"))
+
+    def write_u32(self, address: int, value: int) -> None:
+        self.write(address, (value & 0xFFFFFFFF).to_bytes(4, "little"))
+
+    # -- instruction fetches --------------------------------------------
+
+    def fetch_u16(self, address: int) -> int:
+        if address % 2:
+            raise BadFetch(f"unaligned instruction fetch at {address:#010x}", address)
+        region = self.region_at(address, 2)
+        if region is None or not region.executable:
+            raise BadFetch(f"instruction fetch from non-executable address {address:#010x}", address)
+        return int.from_bytes(region.read(address, 2), "little")
+
+    def try_fetch_u16(self, address: int) -> Optional[int]:
+        """Fetch that returns None instead of faulting (used for BL suffix lookahead)."""
+        try:
+            return self.fetch_u16(address)
+        except BadFetch:
+            return None
+
+    def load(self, address: int, payload: bytes) -> None:
+        """Bulk-load bytes (e.g. a firmware image), bypassing write permissions."""
+        region = self.region_at(address, len(payload))
+        if region is None:
+            raise BadWrite(f"load target {address:#010x} (+{len(payload)}) is unmapped", address)
+        region.write(address, payload)
+
+
+__all__ = ["Memory", "MemoryRegion", "MMIORegion"]

@@ -1,0 +1,96 @@
+"""Exception hierarchy shared across the reproduction.
+
+The emulator communicates abnormal execution through typed exceptions so
+that glitching campaigns can classify outcomes the same way the paper's
+Unicorn-based framework classified emulator error codes (Section IV):
+*bad read*, *bad fetch*, *invalid instruction*, and a catch-all *failed*.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class EncodingError(ReproError):
+    """An instruction could not be encoded (bad operands, out-of-range immediate)."""
+
+
+class AssemblerError(ReproError):
+    """Assembly source was malformed (unknown mnemonic, undefined label, ...)."""
+
+
+class EmulationFault(ReproError):
+    """Base class for faults raised while executing code in the emulator."""
+
+    #: Short machine-readable kind used by outcome classification.
+    kind = "failed"
+
+    def __init__(self, message: str, address: int | None = None):
+        super().__init__(message)
+        self.address = address
+
+
+class InvalidInstruction(EmulationFault):
+    """The fetched halfword does not decode to a defined Thumb instruction."""
+
+    kind = "invalid_instruction"
+
+
+class BadFetch(EmulationFault):
+    """Instruction fetch from unmapped or non-executable memory (e.g. PC corrupted)."""
+
+    kind = "bad_fetch"
+
+
+class BadRead(EmulationFault):
+    """Data read from unmapped memory."""
+
+    kind = "bad_read"
+
+
+class BadWrite(EmulationFault):
+    """Data write to unmapped or read-only memory."""
+
+    kind = "bad_write"
+
+
+class AlignmentFault(EmulationFault):
+    """Unaligned access where the architecture requires alignment."""
+
+    kind = "bad_read"
+
+
+class ExecutionLimitExceeded(EmulationFault):
+    """The step budget ran out before the program reached a terminal state."""
+
+    kind = "timeout"
+
+
+class HardFault(EmulationFault):
+    """The simulated MCU took an unrecoverable fault (reset required)."""
+
+    kind = "hard_fault"
+
+
+class CompileError(ReproError):
+    """MiniC source failed to lex, parse, type-check, or lower."""
+
+    def __init__(self, message: str, line: int | None = None, col: int | None = None):
+        location = "" if line is None else f" at line {line}" + ("" if col is None else f", col {col}")
+        super().__init__(message + location)
+        self.line = line
+        self.col = col
+
+
+class PassError(ReproError):
+    """An IR or AST transformation pass was misconfigured or hit an invariant violation."""
+
+
+class LayoutError(ReproError):
+    """Image layout failed (overlapping sections, oversized segment, missing symbol)."""
+
+
+class GlitchConfigError(ReproError):
+    """A glitching campaign was configured with out-of-range parameters."""

@@ -1,0 +1,43 @@
+"""Experiment drivers: one per table/figure in the paper's evaluation.
+
+Each driver exposes a ``run_*`` function returning a result object with a
+``render()`` method that prints rows in the paper's format, plus the
+paper's reference numbers for side-by-side comparison (recorded in
+EXPERIMENTS.md).
+
+==================  ==========================================
+paper artifact      driver
+==================  ==========================================
+Figure 2 (a/b/c)    :func:`repro.experiments.fig2.run_figure2`
+Table I             :func:`repro.experiments.table1.run_table1`
+Table II            :func:`repro.experiments.table2.run_table2`
+Table III           :func:`repro.experiments.table3.run_table3`
+§V-B search         :func:`repro.experiments.param_search.run_search`
+Table IV            :func:`repro.experiments.table4.run_table4`
+Table V             :func:`repro.experiments.table5.run_table5`
+Table VI            :func:`repro.experiments.table6.run_table6`
+Table VII           :func:`repro.experiments.table7.run_table7`
+==================  ==========================================
+"""
+
+from repro.experiments.fig2 import run_figure2
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+from repro.experiments.table4 import run_table4
+from repro.experiments.table5 import run_table5
+from repro.experiments.table6 import run_table6
+from repro.experiments.table7 import run_table7
+from repro.experiments.param_search import run_search
+
+__all__ = [
+    "run_figure2",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "run_table6",
+    "run_table7",
+    "run_search",
+]

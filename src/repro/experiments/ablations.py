@@ -1,0 +1,128 @@
+"""Robustness ablations over the fault model itself.
+
+The fault model's constants were calibrated once (DESIGN.md §5); a fair
+question is whether the paper-shape conclusions depend on the particular
+pseudo-random seed or on the sweet-spot location. These ablations re-run
+the headline orderings under perturbed models:
+
+- ``seed_robustness`` — Table I's guard ordering across fresh seeds;
+- ``band_robustness`` — the same ordering with the susceptibility band
+  moved around the (width, offset) plane;
+- ``defense_robustness`` — Table VI's "defended < undefended" inequality
+  across seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.render import render_table
+from repro.hw.faults import FaultModel
+from repro.hw.scan import run_defense_scan, run_single_glitch_scan
+
+
+@dataclass
+class AblationOutcome:
+    label: str
+    rates: dict[str, float] = field(default_factory=dict)
+    ordering_holds: bool = False
+
+
+@dataclass
+class AblationResult:
+    title: str
+    outcomes: list[AblationOutcome] = field(default_factory=list)
+
+    @property
+    def fraction_holding(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return sum(o.ordering_holds for o in self.outcomes) / len(self.outcomes)
+
+    def render(self) -> str:
+        rows = [
+            [o.label, *(f"{v * 100:.3f}%" for v in o.rates.values()),
+             "yes" if o.ordering_holds else "NO"]
+            for o in self.outcomes
+        ]
+        headers = ["variant", *next(iter(self.outcomes)).rates.keys(), "shape holds"]
+        body = render_table(self.title, headers, rows)
+        return body + f"\nshape holds in {self.fraction_holding * 100:.0f}% of variants"
+
+
+def seed_robustness(
+    seeds: tuple[int, ...] = (0x600D5EED, 1, 2, 3), stride: int = 4
+) -> AblationResult:
+    """Does `while(!a)` stay the most vulnerable guard across seeds?"""
+    result = AblationResult(title="Ablation: Table I guard ordering vs fault-model seed")
+    for seed in seeds:
+        model = FaultModel(seed=seed)
+        rates = {
+            guard: run_single_glitch_scan(guard, stride=stride, fault_model=model).success_rate
+            for guard in ("not_a", "a", "a_ne_const")
+        }
+        result.outcomes.append(
+            AblationOutcome(
+                label=f"seed={seed:#x}",
+                rates=rates,
+                ordering_holds=rates["not_a"] > max(rates["a"], rates["a_ne_const"]),
+            )
+        )
+    return result
+
+
+def band_robustness(
+    centers: tuple[tuple[float, float], ...] = ((20, -10), (-15, 25), (5, 5)),
+    stride: int = 4,
+) -> AblationResult:
+    """Move the susceptibility sweet spot: the guard ordering should follow
+    the firmware structure, not the band location."""
+    result = AblationResult(title="Ablation: Table I guard ordering vs susceptibility band")
+    for width_center, offset_center in centers:
+        model = FaultModel(width_center=width_center, offset_center=offset_center)
+        rates = {
+            guard: run_single_glitch_scan(guard, stride=stride, fault_model=model).success_rate
+            for guard in ("not_a", "a", "a_ne_const")
+        }
+        result.outcomes.append(
+            AblationOutcome(
+                label=f"band@({width_center:+.0f},{offset_center:+.0f})",
+                rates=rates,
+                ordering_holds=rates["not_a"] > max(rates["a"], rates["a_ne_const"]),
+            )
+        )
+    return result
+
+
+def defense_robustness(
+    seeds: tuple[int, ...] = (0x600D5EED, 11, 12), stride: int = 6
+) -> AblationResult:
+    """Across seeds, the full defense stack must beat the undefended build."""
+    from repro.firmware.guards import build_defended_guard
+    from repro.resistor import ResistorConfig
+
+    result = AblationResult(title="Ablation: Table VI 'defended beats undefended' vs seed")
+    defended = build_defended_guard("if_success", ResistorConfig.all())
+    undefended = build_defended_guard("if_success", ResistorConfig.none())
+    for seed in seeds:
+        model = FaultModel(seed=seed)
+        defended_scan = run_defense_scan(
+            defended.image, "single", defense="all", stride=stride, fault_model=model
+        )
+        undefended_scan = run_defense_scan(
+            undefended.image, "single", defense="none", stride=stride, fault_model=model
+        )
+        result.outcomes.append(
+            AblationOutcome(
+                label=f"seed={seed:#x}",
+                rates={
+                    "defended": defended_scan.success_rate,
+                    "undefended": undefended_scan.success_rate,
+                },
+                ordering_holds=defended_scan.success_rate <= undefended_scan.success_rate,
+            )
+        )
+    return result
+
+
+__all__ = ["AblationResult", "AblationOutcome", "seed_robustness", "band_robustness", "defense_robustness"]

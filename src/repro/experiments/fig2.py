@@ -1,0 +1,79 @@
+"""Figure 2: glitching effects in emulation (RQ1).
+
+Three panels: (a) AND-model flips, (b) OR-model flips, (c) AND with the
+hardened decoder that treats 0x0000 as invalid. We add the XOR model as an
+ablation (the paper ran it and reports it lies between AND and OR).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.glitchsim import figure2 as _figure2_data
+from repro.glitchsim import run_branch_campaign
+from repro.glitchsim.results import (
+    FigureData,
+    render_figure_ascii,
+    summarize_mean_success,
+    to_csv,
+)
+
+#: the paper's headline numbers (Conclusion): "bit-level corruption can
+#: 'skip' control flow instructions in ARM with a high likelihood in theory
+#: (60% when flipping to 0 and 30% when flipping to 1)"
+PAPER_MEAN_SUCCESS = {"and": 0.60, "or": 0.30}
+
+
+@dataclass
+class Figure2Result:
+    panels: dict[str, FigureData] = field(default_factory=dict)
+
+    def mean_success(self, panel: str) -> float:
+        return summarize_mean_success(self.panels[panel])
+
+    def render(self) -> str:
+        parts = []
+        for name, data in self.panels.items():
+            parts.append(render_figure_ascii(data))
+            parts.append("")
+        parts.append("Cross-model summary (mean success over all 14 branches):")
+        for name in self.panels:
+            mean = self.mean_success(name)
+            reference = PAPER_MEAN_SUCCESS.get(name.split("-")[0])
+            ref_text = f" (paper ≈{reference * 100:.0f}%)" if reference else ""
+            parts.append(f"  {name:<14} {mean * 100:6.2f}%{ref_text}")
+        return "\n".join(parts)
+
+    def to_csv(self) -> str:
+        return "\n\n".join(f"# {name}\n{to_csv(data)}" for name, data in self.panels.items())
+
+
+def run_figure2(
+    k_values: tuple[int, ...] | None = None,
+    conditions: list[str] | None = None,
+    include_xor: bool = True,
+) -> Figure2Result:
+    """Regenerate Figure 2. Full sweep by default; pass ``k_values`` /
+    ``conditions`` to subsample for quick runs."""
+    result = Figure2Result()
+    result.panels["and"] = _figure2_data(
+        run_branch_campaign("and", k_values=k_values, conditions=conditions),
+        title="Figure 2a: AND model (1→0 flips)",
+    )
+    result.panels["or"] = _figure2_data(
+        run_branch_campaign("or", k_values=k_values, conditions=conditions),
+        title="Figure 2b: OR model (0→1 flips)",
+    )
+    result.panels["and-0invalid"] = _figure2_data(
+        run_branch_campaign("and", zero_is_invalid=True, k_values=k_values, conditions=conditions),
+        title="Figure 2c: AND model, 0x0000 decoded as invalid",
+    )
+    if include_xor:
+        result.panels["xor"] = _figure2_data(
+            run_branch_campaign("xor", k_values=k_values, conditions=conditions),
+            title="Figure 2 ablation: XOR model (bidirectional flips)",
+        )
+    return result
+
+
+__all__ = ["Figure2Result", "run_figure2", "PAPER_MEAN_SUCCESS"]

@@ -1,0 +1,30 @@
+"""Plain-text table rendering shared by the experiment drivers."""
+
+from __future__ import annotations
+
+
+def render_table(title: str, headers: list[str], rows: list[list[str]]) -> str:
+    """Render an aligned ASCII table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(str(cell)))
+    divider = "-+-".join("-" * w for w in widths)
+
+    def fmt(row):
+        return " | ".join(str(cell).ljust(width) for cell, width in zip(row, widths))
+
+    lines = [title, "=" * len(title), fmt(headers), divider]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def pct(value: float, digits: int = 4) -> str:
+    return f"{value * 100:.{digits}g}%"
+
+
+def compare_line(label: str, paper: str, measured: str) -> str:
+    return f"  {label:<42} paper: {paper:<16} measured: {measured}"
+
+
+__all__ = ["render_table", "pct", "compare_line"]

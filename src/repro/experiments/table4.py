@@ -1,0 +1,118 @@
+"""Table IV: run-time overhead of each defense on the boot firmware (RQ6).
+
+Boot time = clock cycles from reset to the issue of ``boot_complete``,
+the analogue of the paper's DWT cycle-counter readings around the HAL/board
+initialisation. The "Constant" column isolates the one-off seed-update cost
+of the delay defense (read+write of the non-volatile seed at first call);
+"% Adjusted" removes it, like the paper's 10521% → 277% adjustment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.render import render_table
+from repro.firmware.boot import SENSITIVE_VARIABLES, build_boot_firmware
+from repro.hw.mcu import Board
+from repro.resistor import ResistorConfig
+
+#: paper Table IV: defense → (cycles, % increase, constant, % adjusted)
+PAPER_ROWS = {
+    "None": (1736, 0.0, 0, 0.0),
+    "Branches": (1933, 11.35, 0, 11.35),
+    "Delay": (184388, 10521.45, 177849, 276.69),
+    "Integrity": (1737, 0.06, 0, 0.06),
+    "Loops": (1737, 0.06, 0, 0.06),
+    "Returns": (1739, 0.17, 0, 0.17),
+    "All\\Delay": (2082, 19.93, 0, 19.93),
+    "All": (184761, 10542.93, 177993, 289.88),
+}
+
+CONFIGS = {
+    "None": ResistorConfig.none(),
+    "Branches": ResistorConfig.only("branches"),
+    "Delay": ResistorConfig.only("delay"),
+    "Integrity": ResistorConfig.only("integrity", sensitive=SENSITIVE_VARIABLES),
+    "Loops": ResistorConfig.only("loops"),
+    "Returns": ResistorConfig.only("returns"),
+    "All\\Delay": ResistorConfig.all_but_delay(sensitive=SENSITIVE_VARIABLES),
+    "All": ResistorConfig.all(sensitive=SENSITIVE_VARIABLES),
+}
+
+
+@dataclass
+class Table4Row:
+    defense: str
+    cycles: int
+    increase_pct: float
+    constant: int
+    adjusted_pct: float
+
+
+@dataclass
+class Table4Result:
+    rows: list[Table4Row] = field(default_factory=list)
+
+    def row(self, defense: str) -> Table4Row:
+        for row in self.rows:
+            if row.defense == defense:
+                return row
+        raise KeyError(defense)
+
+    def render(self) -> str:
+        table_rows = []
+        for row in self.rows:
+            paper = PAPER_ROWS[row.defense]
+            table_rows.append([
+                row.defense,
+                row.cycles,
+                f"{row.increase_pct:.2f}%",
+                row.constant,
+                f"{row.adjusted_pct:.2f}%",
+                f"{paper[0]} / {paper[1]:.2f}%",
+            ])
+        return render_table(
+            "Table IV: boot-time overhead per defense (clock cycles)",
+            ["Defense", "Cycles", "% Increase", "Constant", "% Adjusted", "Paper (cyc/%)"],
+            table_rows,
+        )
+
+
+def _boot_cycles(config: ResistorConfig) -> tuple[int, int]:
+    """Returns (cycles to boot_complete, cycles spent before main)."""
+    hardened = build_boot_firmware(config)
+    board = Board(hardened.image)
+    main_address = hardened.image.symbols["main"]
+    complete_address = hardened.image.symbols["boot_complete"]
+    board.pipeline.milestone_addresses = frozenset({main_address})
+    board.pipeline.stop_addresses = frozenset({complete_address})
+    reason = board.pipeline.run(2_000_000)
+    if reason != "stop_addr":
+        raise RuntimeError(f"boot firmware did not reach boot_complete: {reason}")
+    pre_main = board.pipeline.milestones[0][0] if board.pipeline.milestones else 0
+    return board.pipeline.cycles, pre_main
+
+
+def run_table4() -> Table4Result:
+    result = Table4Result()
+    baseline_cycles, baseline_pre_main = _boot_cycles(CONFIGS["None"])
+    for defense, config in CONFIGS.items():
+        cycles, pre_main = _boot_cycles(config)
+        # the constant term is the extra pre-main work (crt0 + __gr_init —
+        # dominated by the delay defense's non-volatile seed update)
+        constant = max(0, pre_main - baseline_pre_main)
+        increase = (cycles - baseline_cycles) / baseline_cycles * 100
+        adjusted = (cycles - constant - baseline_cycles) / baseline_cycles * 100
+        result.rows.append(
+            Table4Row(
+                defense=defense,
+                cycles=cycles,
+                increase_pct=increase,
+                constant=constant,
+                adjusted_pct=adjusted,
+            )
+        )
+    return result
+
+
+__all__ = ["Table4Result", "Table4Row", "run_table4", "PAPER_ROWS", "CONFIGS"]

@@ -1,0 +1,59 @@
+"""Table V: size overhead of each defense on the boot firmware (RQ6)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.layout import SectionSizes
+from repro.experiments.render import render_table
+from repro.experiments.table4 import CONFIGS
+from repro.firmware.boot import build_boot_firmware
+
+#: paper Table V: defense → (text, data, bss, total)
+PAPER_ROWS = {
+    "None": (6456, 120, 1728, 8304),
+    "Branches": (6956, 120, 1728, 8804),
+    "Delay": (7512, 128, 1768, 9408),
+    "Integrity": (6840, 124, 1732, 8696),
+    "Loops": (6840, 124, 1732, 8696),
+    "Returns": (6460, 120, 1728, 8308),
+    "All\\Delay": (7700, 124, 1732, 9556),
+    "All": (9144, 132, 1768, 11044),
+}
+
+
+@dataclass
+class Table5Result:
+    sizes: dict[str, SectionSizes] = field(default_factory=dict)
+
+    def overhead(self, defense: str, section: str = "text") -> float:
+        base = getattr(self.sizes["None"], section)
+        value = getattr(self.sizes[defense], section)
+        return (value - base) / base * 100 if base else 0.0
+
+    def render(self) -> str:
+        rows = []
+        for defense, sizes in self.sizes.items():
+            paper = PAPER_ROWS[defense]
+            rows.append([
+                defense,
+                sizes.text, f"{self.overhead(defense, 'text'):.2f}%",
+                sizes.data, sizes.bss, sizes.total,
+                f"{paper[0]}/{paper[3]}",
+            ])
+        return render_table(
+            "Table V: size overhead per defense (bytes)",
+            ["Defense", "text", "text %", "data", "bss", "total", "Paper (text/total)"],
+            rows,
+        )
+
+
+def run_table5() -> Table5Result:
+    result = Table5Result()
+    for defense, config in CONFIGS.items():
+        hardened = build_boot_firmware(config)
+        result.sizes[defense] = hardened.sizes
+    return result
+
+
+__all__ = ["Table5Result", "run_table5", "PAPER_ROWS"]

@@ -1,0 +1,83 @@
+"""Table VII: qualitative comparison with prior software-based defenses.
+
+A static matrix (the paper's is a literature survey, not a measurement);
+GlitchResistor's row is cross-checked against what this reproduction's
+implementation actually provides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.render import render_table
+
+YES = "yes"
+NO = "-"
+
+COLUMNS = [
+    "Generic", "Extensible", "Backward Compatible",
+    "Constant Diversification", "Data Integrity", "Control-flow Hardening",
+    "Random Delay",
+]
+
+#: rows transcribed from the paper's Table VII
+ROWS = {
+    "Data Encoding [37,14]": (NO, NO, NO, YES, YES, NO, NO),
+    "CAMFAS [17]": (YES, NO, NO, NO, YES, NO, NO),
+    "Loop Hardening [60]": (YES, NO, YES, NO, NO, YES, NO),
+    "IIR [58]": (NO, NO, NO, NO, YES, NO, NO),
+    "CountCompile [11]": (YES, NO, YES, NO, NO, YES, NO),
+    "CountC [36]": (NO, NO, NO, NO, NO, YES, NO),
+    "SWIFT [63]": (YES, NO, NO, NO, YES, YES, NO),
+    "CFCSS [55]": (YES, NO, NO, NO, NO, YES, NO),
+    "GlitchResistor": (YES, YES, YES, YES, YES, YES, YES),
+}
+
+
+@dataclass
+class Table7Result:
+    rows: dict = None
+
+    def __post_init__(self):
+        if self.rows is None:
+            self.rows = dict(ROWS)
+
+    def render(self) -> str:
+        table_rows = [[name, *values] for name, values in self.rows.items()]
+        return render_table(
+            "Table VII: software-based glitching defenses compared",
+            ["Defense", *COLUMNS],
+            table_rows,
+        )
+
+    def glitchresistor_claims_verified(self) -> dict[str, bool]:
+        """Cross-check GlitchResistor's claimed properties against this
+        reproduction's implementation."""
+        from repro.resistor import ResistorConfig
+        from repro.resistor.driver import harden
+
+        source = """
+        enum E { A, B };
+        int g = 1;
+        int f(void) { if (g == 1) { return A; } return B; }
+        int main(void) { int i = 0; while (i < 2) { i = i + 1; g = g + i; } if (f() == A) { return 1; } return 0; }
+        """
+        hardened = harden(source, ResistorConfig.all(sensitive=("g",)))
+        report = hardened.report
+        return {
+            "Constant Diversification": bool(report.enums_rewritten) and bool(report.return_codes),
+            "Data Integrity": report.integrity_loads > 0 and report.integrity_stores > 0,
+            "Control-flow Hardening": report.branches_instrumented > 0
+            and report.loops_instrumented > 0,
+            "Random Delay": report.delays_injected > 0,
+            "Backward Compatible": True,  # original source compiles unmodified
+            "Extensible": True,  # defenses are IRPass plugins (see PassManager)
+            "Generic": True,  # operates on any MiniC program, not one app
+        }
+
+
+def run_table7() -> Table7Result:
+    return Table7Result()
+
+
+__all__ = ["Table7Result", "run_table7", "ROWS", "COLUMNS"]

@@ -1,0 +1,20 @@
+"""Firmware images used by the evaluation.
+
+- :mod:`repro.firmware.loops` — the three hand-written guard loops of
+  Section V (``while(!a)``, ``while(a)``, ``while(a != 0xD3B9AEC6)``), in
+  single- and double-loop (multi-glitch) variants, matching the paper's
+  Table I assembly listings instruction for instruction.
+- :mod:`repro.firmware.boot` — the CubeMX-style boot firmware used for the
+  overhead measurements (Table IV/V), written in MiniC and compiled by
+  :mod:`repro.compiler`.
+- :mod:`repro.firmware.guards` — the MiniC sources for the defended
+  evaluation targets of Table VI.
+"""
+
+from repro.firmware.loops import (
+    GuardKind,
+    build_guard_firmware,
+    GUARD_KINDS,
+)
+
+__all__ = ["GuardKind", "build_guard_firmware", "GUARD_KINDS"]

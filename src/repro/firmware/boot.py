@@ -1,0 +1,114 @@
+"""The CubeMX-style boot firmware used for the overhead evaluation (§VII-A).
+
+Mirrors the paper's measurement target: "a simple, indicative firmware ...
+initializes the board, and then loops forever, reading the number of ticks
+... The variable that is used to store the tick counter was marked as a
+sensitive variable, and two functions that use ENUMs and constant return
+values are used to check the tick value. The firmware will call a success
+function if the tick value is ever equal to 0, which was designed to be
+impossible."
+
+Boot time (Table IV) is the cycle count from reset to the issue of
+``boot_complete`` — the equivalent of the paper reading the DWT cycle
+counter once at reset and once after HAL/board initialisation.
+"""
+
+from __future__ import annotations
+
+from repro.hw.mcu import TRIGGER_ADDRESS
+from repro.resistor import HardenedProgram, ResistorConfig, harden
+
+#: pretend-peripheral registers, mapped inside our GPIO block so writes land
+#: in real MMIO (their values are scratch, like RCC/SysTick config writes)
+_RCC_CR = TRIGGER_ADDRESS + 0x20
+_RCC_CFGR = TRIGGER_ADDRESS + 0x24
+_SYSTICK_LOAD = TRIGGER_ADDRESS + 0x28
+_SYSTICK_CTRL = TRIGGER_ADDRESS + 0x2C
+
+BOOT_SOURCE = f"""
+enum HalStatus {{ HAL_OK, HAL_ERROR, HAL_BUSY, HAL_TIMEOUT }};
+
+volatile unsigned int uwTick;
+unsigned int SystemCoreClock = 8000000;
+
+void win(void) {{
+    for (;;) {{ }}
+}}
+
+int HAL_InitTick(void) {{
+    *(volatile unsigned int *)0x{_SYSTICK_LOAD:08X} = 7999;
+    *(volatile unsigned int *)0x{_SYSTICK_CTRL:08X} = 7;
+    uwTick = 0;
+    return HAL_OK;
+}}
+
+int HAL_Init(void) {{
+    if (HAL_InitTick() != HAL_OK) {{
+        return HAL_ERROR;
+    }}
+    return HAL_OK;
+}}
+
+int SystemClock_Config(void) {{
+    *(volatile unsigned int *)0x{_RCC_CR:08X} = 0x01000083;
+    unsigned int ready = 0;
+    for (int i = 0; i < 4; i = i + 1) {{
+        ready = *(volatile unsigned int *)0x{_RCC_CR:08X};
+    }}
+    *(volatile unsigned int *)0x{_RCC_CFGR:08X} = 0x00000000;
+    SystemCoreClock = 48000000;
+    return HAL_OK;
+}}
+
+int check_tick_sane(void) {{
+    if (uwTick == 0) {{
+        return HAL_OK;
+    }}
+    return HAL_ERROR;
+}}
+
+void boot_complete(void) {{
+    // marker: issuing this function ends the boot-time measurement
+    __nop();
+}}
+
+int main(void) {{
+    if (HAL_Init() != HAL_OK) {{
+        return HAL_ERROR;
+    }}
+    if (SystemClock_Config() != HAL_OK) {{
+        return HAL_ERROR;
+    }}
+    boot_complete();
+    for (;;) {{
+        uwTick = uwTick + 1;
+        if (uwTick == 0) {{
+            // designed to be impossible (2^32 increments away)
+            win();
+        }}
+        if (check_tick_sane() == HAL_OK) {{
+            win();
+        }}
+    }}
+    return HAL_OK;
+}}
+"""
+
+#: the paper marks the tick counter sensitive
+SENSITIVE_VARIABLES = ("uwTick",)
+
+
+def build_boot_firmware(config: ResistorConfig) -> HardenedProgram:
+    """Compile the boot firmware under a defense configuration.
+
+    Integrity protection needs the sensitive list filled in; the Table IV/V
+    presets pass it automatically.
+    """
+    if config.integrity and not config.sensitive_variables:
+        from dataclasses import replace
+
+        config = replace(config, sensitive_variables=SENSITIVE_VARIABLES)
+    return harden(BOOT_SOURCE, config)
+
+
+__all__ = ["BOOT_SOURCE", "SENSITIVE_VARIABLES", "build_boot_firmware"]

@@ -1,0 +1,80 @@
+"""MiniC sources for the defended evaluation targets (Table VI).
+
+Two scenarios, per §VII-B:
+
+- ``while(!a)`` — the *worst case* for the defenses: the guard variable is
+  volatile (so the redundant check cannot re-load it) and the loop was the
+  most glitchable condition in Section V.
+- ``if (a == SUCCESS)`` — the *best case*: an uninitialized enum guard
+  (diversified by the ENUM rewriter) around a success path that should be
+  unreachable, "more indicative of how programmers write code".
+
+Both raise the GPIO trigger immediately before the guard, exactly like the
+hand-written Section V firmware, and expose ``win`` (the state a successful
+glitch reaches) plus GlitchResistor's ``gr_detected``.
+"""
+
+from __future__ import annotations
+
+from repro.hw.mcu import TRIGGER_ADDRESS
+from repro.resistor import HardenedProgram, ResistorConfig, harden
+
+WHILE_NOT_A_SOURCE = f"""
+volatile int a;
+
+void win(void) {{
+    for (;;) {{ }}
+}}
+
+int main(void) {{
+    a = 0;
+    *(volatile unsigned int *)0x{TRIGGER_ADDRESS:08X} = 1;
+    while (!a) {{ }}
+    win();
+    return 0;
+}}
+"""
+
+IF_SUCCESS_SOURCE = f"""
+enum BootStatus {{ SUCCESS, FAILURE }};
+
+volatile int a;
+
+void win(void) {{
+    for (;;) {{ }}
+}}
+
+int main(void) {{
+    a = FAILURE;
+    *(volatile unsigned int *)0x{TRIGGER_ADDRESS:08X} = 1;
+    if (a == SUCCESS) {{
+        win();
+    }}
+    for (;;) {{ }}
+    return 0;
+}}
+"""
+
+GUARD_SOURCES = {
+    "while_not_a": WHILE_NOT_A_SOURCE,
+    "if_success": IF_SUCCESS_SOURCE,
+}
+
+
+def build_defended_guard(scenario: str, config: ResistorConfig) -> HardenedProgram:
+    """Compile one Table VI scenario with the given defense configuration."""
+    try:
+        source = GUARD_SOURCES[scenario]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {scenario!r}; expected one of {sorted(GUARD_SOURCES)}"
+        ) from None
+    return harden(source, config)
+
+
+__all__ = [
+    "WHILE_NOT_A_SOURCE",
+    "IF_SUCCESS_SOURCE",
+    "GUARD_SOURCES",
+    "build_defended_guard",
+]

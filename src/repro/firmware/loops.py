@@ -1,0 +1,185 @@
+"""The Section V guard-loop firmware, matching the paper's Table I listings.
+
+Three guard conditions, "implemented as empty infinite loops, with volatile
+variables so they are not optimized out by the compiler (a successful
+glitch would exit the loop)":
+
+- ``while (!a)`` with ``a = 0`` — compiles to
+  ``MOV R3, SP; ADDS R3, #7; LDRB R3, [R3]; CMP R3, #0; BEQ .loop``
+- ``while (a)`` with ``a = 1`` — same body, ``BNE .loop``
+- ``while (a != 0xD3B9AEC6)`` with ``a = 0xE7D25763`` — compiles to
+  ``LDR R2, [SP, #0x10]; LDR R3, =0xD3B9AEC6; CMP R2, R3; BNE .loop``
+
+On our 3-stage pipeline each iteration occupies exactly 8 clock cycles
+(loads take 2, the taken branch takes 3), reproducing the paper's
+cycle-to-instruction mapping in Table I.
+
+Variants:
+
+- ``single`` — one trigger, one loop, ``win`` on exit (Table I).
+- ``double`` — trigger, loop, trigger reset + re-trigger, second identical
+  loop, ``win`` (Table II's multi-glitch: "the trigger being reset,
+  triggered, and a second glitch inserted").
+- ``contiguous`` — two back-to-back loops after a single trigger
+  (Table III's long glitch spanning both loops).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa import AssembledProgram, assemble
+from repro.hw.mcu import FLASH_BASE, TRIGGER_ADDRESS
+
+GUARD_KINDS = ("not_a", "a", "a_ne_const")
+
+#: Table I's magic comparison constant and stored value.
+MAGIC_CONSTANT = 0xD3B9AEC6
+STORED_VALUE = 0xE7D25763
+
+
+@dataclass(frozen=True)
+class GuardKind:
+    """Descriptor for one of the three guard conditions."""
+
+    name: str
+    description: str
+    comparator_register: int  # the register the paper post-mortems
+
+
+_DESCRIPTORS = {
+    "not_a": GuardKind("not_a", "while(!a), a=0", comparator_register=3),
+    "a": GuardKind("a", "while(a), a=1", comparator_register=3),
+    "a_ne_const": GuardKind(
+        "a_ne_const", f"while(a!=0x{MAGIC_CONSTANT:08X}), a=0x{STORED_VALUE:08X}",
+        comparator_register=2,
+    ),
+}
+
+
+def guard_descriptor(kind: str) -> GuardKind:
+    try:
+        return _DESCRIPTORS[kind]
+    except KeyError:
+        raise ValueError(f"unknown guard kind {kind!r}; expected one of {GUARD_KINDS}") from None
+
+
+def _loop_body(kind: str, label: str) -> str:
+    if kind == "not_a":
+        return f"""
+{label}:
+    mov r3, sp
+    adds r3, #7
+    ldrb r3, [r3]
+    cmp r3, #0
+    beq {label}
+"""
+    if kind == "a":
+        return f"""
+{label}:
+    mov r3, sp
+    adds r3, #7
+    ldrb r3, [r3]
+    cmp r3, #0
+    bne {label}
+"""
+    if kind == "a_ne_const":
+        return f"""
+{label}:
+    ldr r2, [sp, #0x10]
+    ldr r3, =0x{MAGIC_CONSTANT:08X}
+    cmp r2, r3
+    bne {label}
+"""
+    raise ValueError(f"unknown guard kind {kind!r}")
+
+
+def _prologue(kind: str) -> str:
+    """Initialise the guarded variable and load the trigger address."""
+    if kind in ("not_a", "a"):
+        initial = 0 if kind == "not_a" else 1
+        return f"""
+_start:
+    sub sp, #24
+    movs r3, #{initial}
+    mov r0, sp
+    adds r0, #7
+    strb r3, [r0]
+    ldr r0, =0x{TRIGGER_ADDRESS:08X}
+"""
+    return f"""
+_start:
+    sub sp, #24
+    ldr r3, =0x{STORED_VALUE:08X}
+    str r3, [sp, #0x10]
+    ldr r0, =0x{TRIGGER_ADDRESS:08X}
+"""
+
+
+_TRIGGER = """
+    movs r1, #1
+    str r1, [r0]
+"""
+
+_TRIGGER_RESET = """
+    movs r1, #0
+    str r1, [r0]
+"""
+
+
+def build_guard_firmware(kind: str, variant: str = "single") -> AssembledProgram:
+    """Assemble the guard firmware; exports ``_start``, ``loop``, ``win``
+    (and ``loop2`` / ``exit1`` for the two-loop variants)."""
+    guard_descriptor(kind)
+    if variant == "single":
+        source = (
+            _prologue(kind)
+            + _TRIGGER
+            + _loop_body(kind, "loop")
+            + """
+win:
+    bkpt #0
+    .pool
+"""
+        )
+    elif variant == "double":
+        source = (
+            _prologue(kind)
+            + _TRIGGER
+            + _loop_body(kind, "loop")
+            + "exit1:"
+            + _TRIGGER_RESET
+            + _TRIGGER
+            + _loop_body(kind, "loop2")
+            + """
+win:
+    bkpt #0
+    .pool
+"""
+        )
+    elif variant == "contiguous":
+        source = (
+            _prologue(kind)
+            + _TRIGGER
+            + _loop_body(kind, "loop")
+            + "exit1:\n"
+            + _loop_body(kind, "loop2")
+            + """
+win:
+    bkpt #0
+    .pool
+"""
+        )
+    else:
+        raise ValueError(f"unknown variant {variant!r}")
+    return assemble(source, base=FLASH_BASE)
+
+
+__all__ = [
+    "GUARD_KINDS",
+    "GuardKind",
+    "guard_descriptor",
+    "build_guard_firmware",
+    "MAGIC_CONSTANT",
+    "STORED_VALUE",
+]

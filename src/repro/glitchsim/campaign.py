@@ -1,0 +1,124 @@
+"""Exhaustive bit-flip campaigns over instruction encodings (Section IV).
+
+For an instruction of ``n`` bits the campaign enumerates every
+:math:`\\binom{n}{k}` mask for every ``k``, applies it under a flip model
+(AND / OR / XOR), executes the corrupted snippet, and tallies outcomes.
+
+The executed outcome depends only on the *resulting* corrupted word, so the
+harness caches per-word results; a full 16-bit sweep costs at most 2^16
+distinct executions even though it aggregates 2^16 masks per model.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.bits import apply_flip, iter_masks
+from repro.glitchsim.harness import OUTCOME_CATEGORIES, SnippetHarness
+from repro.glitchsim.snippets import BranchSnippet, all_branch_snippets
+
+INSTRUCTION_BITS = 16
+
+
+@dataclass
+class InstructionSweep:
+    """Aggregated outcomes for one instruction under one flip model."""
+
+    mnemonic: str
+    model: str
+    target_word: int
+    zero_is_invalid: bool = False
+    #: per flip-count k: Counter of outcome categories
+    by_k: dict[int, Counter] = field(default_factory=dict)
+
+    @property
+    def totals(self) -> Counter:
+        total: Counter = Counter()
+        for counter in self.by_k.values():
+            total.update(counter)
+        return total
+
+    def success_rate(self, k: int | None = None) -> float:
+        """Fraction of masks classified *success* (overall, or for one ``k``)."""
+        counter = self.totals if k is None else self.by_k.get(k, Counter())
+        attempts = sum(counter.values())
+        if attempts == 0:
+            return 0.0
+        return counter.get("success", 0) / attempts
+
+    def category_fractions(self) -> dict[str, float]:
+        """Overall fraction per outcome category (the Figure 2 histograms)."""
+        totals = self.totals
+        attempts = sum(totals.values())
+        if attempts == 0:
+            return {category: 0.0 for category in OUTCOME_CATEGORIES}
+        return {category: totals.get(category, 0) / attempts for category in OUTCOME_CATEGORIES}
+
+
+@dataclass
+class CampaignResult:
+    """One full campaign: every conditional branch under one flip model."""
+
+    model: str
+    zero_is_invalid: bool
+    sweeps: list[InstructionSweep]
+
+    def sweep_for(self, mnemonic: str) -> InstructionSweep:
+        for sweep in self.sweeps:
+            if sweep.mnemonic == mnemonic:
+                return sweep
+        raise KeyError(mnemonic)
+
+    def ranked_by_success(self) -> list[InstructionSweep]:
+        return sorted(self.sweeps, key=lambda s: s.success_rate(), reverse=True)
+
+
+def sweep_instruction(
+    snippet: BranchSnippet,
+    model: str,
+    zero_is_invalid: bool = False,
+    k_values: tuple[int, ...] | None = None,
+) -> InstructionSweep:
+    """Sweep every mask of every flip count ``k`` for one instruction.
+
+    ``k_values`` restricts the sweep (useful for fast tests); ``None`` means
+    the full ``0..16`` range the paper used.
+    """
+    harness = SnippetHarness(snippet, zero_is_invalid=zero_is_invalid)
+    sweep = InstructionSweep(
+        mnemonic=snippet.mnemonic,
+        model=model,
+        target_word=snippet.target_word,
+        zero_is_invalid=zero_is_invalid,
+    )
+    ks = k_values if k_values is not None else tuple(range(INSTRUCTION_BITS + 1))
+    for k in ks:
+        counter: Counter = Counter()
+        for mask in iter_masks(INSTRUCTION_BITS, k):
+            corrupted = apply_flip(snippet.target_word, mask, INSTRUCTION_BITS, model)
+            outcome = harness.run(corrupted)
+            counter[outcome.category] += 1
+        sweep.by_k[k] = counter
+    return sweep
+
+
+def run_branch_campaign(
+    model: str,
+    zero_is_invalid: bool = False,
+    k_values: tuple[int, ...] | None = None,
+    conditions: list[str] | None = None,
+) -> CampaignResult:
+    """Run the Figure 2 campaign for all (or selected) conditional branches."""
+    snippets = all_branch_snippets()
+    if conditions is not None:
+        wanted = {f"b{c}" if not c.startswith("b") else c for c in conditions}
+        snippets = [s for s in snippets if s.mnemonic in wanted]
+    sweeps = [
+        sweep_instruction(snippet, model, zero_is_invalid=zero_is_invalid, k_values=k_values)
+        for snippet in snippets
+    ]
+    return CampaignResult(model=model, zero_is_invalid=zero_is_invalid, sweeps=sweeps)
+
+
+__all__ = ["InstructionSweep", "CampaignResult", "sweep_instruction", "run_branch_campaign"]

@@ -1,0 +1,142 @@
+"""Run a corrupted snippet and classify the outcome (paper's Figure 2 buckets).
+
+Categories, matching Section IV verbatim:
+
+- ``success`` — the instruction immediately following the conditional branch,
+  which would otherwise not be executed, executed successfully (observed via
+  the 0xdead marker register).
+- ``bad_read`` — the system attempted to read (or write) unmapped memory.
+- ``invalid_instruction`` — the emulator did not recognise the perturbed
+  instruction.
+- ``bad_fetch`` — an instruction was fetched from unmapped memory (e.g. the
+  PC was modified).
+- ``failed`` — any unrecognised error (including non-terminating runs).
+- ``no_effect`` — the modification had no effect on the execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.emu import CPU, Memory
+from repro.errors import (
+    AlignmentFault,
+    BadFetch,
+    BadRead,
+    BadWrite,
+    EmulationFault,
+    InvalidInstruction,
+)
+from repro.glitchsim.snippets import (
+    BranchSnippet,
+    FLASH_BASE,
+    NORMAL_MARKER,
+    NORMAL_REGISTER,
+    RAM_BASE,
+    RAM_SIZE,
+    SUCCESS_MARKER,
+    SUCCESS_REGISTER,
+)
+
+OUTCOME_CATEGORIES = (
+    "success",
+    "bad_read",
+    "invalid_instruction",
+    "bad_fetch",
+    "failed",
+    "no_effect",
+)
+
+_STEP_LIMIT = 64
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """The classified result of executing one corrupted snippet."""
+
+    category: str
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.category not in OUTCOME_CATEGORIES:
+            raise ValueError(f"unknown outcome category {self.category!r}")
+
+
+class SnippetHarness:
+    """Executes a snippet with its target halfword replaced by a corrupted word.
+
+    Results are memoised per corrupted word: the outcome is a pure function
+    of the resulting machine word, which turns the :math:`2^{16}` masks per
+    flip-count into at most :math:`2^{16}` distinct executions total.
+    """
+
+    def __init__(self, snippet: BranchSnippet, zero_is_invalid: bool = False):
+        self.snippet = snippet
+        self.zero_is_invalid = zero_is_invalid
+        self._cache: dict[int, Outcome] = {}
+        self._halfwords = list(snippet.program.halfwords)
+        self._flash_size = max(0x400, (len(snippet.program.code) + 0x3FF) & ~0x3FF)
+
+    def run(self, corrupted_word: int) -> Outcome:
+        """Classify the execution with ``corrupted_word`` in the target slot."""
+        corrupted_word &= 0xFFFF
+        cached = self._cache.get(corrupted_word)
+        if cached is not None:
+            return cached
+        outcome = self._execute(corrupted_word)
+        self._cache[corrupted_word] = outcome
+        return outcome
+
+    # ------------------------------------------------------------------
+
+    def _execute(self, corrupted_word: int) -> Outcome:
+        memory = Memory()
+        memory.map("flash", FLASH_BASE, self._flash_size, writable=False, executable=True)
+        memory.map("ram", RAM_BASE, RAM_SIZE)
+
+        halfwords = list(self._halfwords)
+        halfwords[self.snippet.target_index] = corrupted_word
+        from repro.bits import halfwords_to_bytes
+
+        memory.load(FLASH_BASE, halfwords_to_bytes(halfwords))
+
+        cpu = CPU(memory, zero_is_invalid=self.zero_is_invalid)
+        cpu.pc = self.snippet.program.base
+        cpu.sp = RAM_BASE + RAM_SIZE
+
+        try:
+            result = cpu.run(_STEP_LIMIT)
+        except InvalidInstruction as exc:
+            return Outcome("invalid_instruction", str(exc))
+        except BadFetch as exc:
+            return Outcome("bad_fetch", str(exc))
+        except (BadRead, BadWrite, AlignmentFault) as exc:
+            return Outcome("bad_read", str(exc))
+        except EmulationFault as exc:
+            return Outcome("failed", str(exc))
+
+        if result.reason != "halted":
+            return Outcome("failed", f"did not halt within {_STEP_LIMIT} steps")
+        if cpu.regs[SUCCESS_REGISTER] == SUCCESS_MARKER:
+            return Outcome("success")
+        if cpu.regs[NORMAL_REGISTER] == NORMAL_MARKER:
+            return Outcome("no_effect")
+        return Outcome("failed", "halted without reaching either marker")
+
+
+@lru_cache(maxsize=64)
+def _shared_harness(mnemonic: str, zero_is_invalid: bool) -> SnippetHarness:
+    from repro.glitchsim.snippets import branch_snippet
+
+    return SnippetHarness(branch_snippet(mnemonic[1:]), zero_is_invalid=zero_is_invalid)
+
+
+def classify_branch_corruption(
+    mnemonic: str, corrupted_word: int, zero_is_invalid: bool = False
+) -> Outcome:
+    """One-shot helper: classify ``corrupted_word`` in the ``mnemonic`` snippet."""
+    return _shared_harness(mnemonic, zero_is_invalid).run(corrupted_word)
+
+
+__all__ = ["Outcome", "SnippetHarness", "OUTCOME_CATEGORIES", "classify_branch_corruption"]

@@ -1,0 +1,209 @@
+"""Instruction-class fault-tolerance sweeps — the emulation analogue of §V-A.
+
+The real-world experiments found that instruction classes differ sharply in
+glitchability: loads/stores are susceptible, register-register ALU ops
+"appear to be exceptionally difficult to glitch". This module asks the
+*encoding-level* version of that question: for a representative instruction
+of each class, what fraction of unidirectional bit-flip corruptions
+
+- silently neutralise it (it no longer performs its job but execution
+  continues — the dangerous "skip" outcome), versus
+- derail execution (fault/invalid — detectable by a watchdog)?
+
+This extends the Figure 2 framework beyond conditional branches, using the
+same snippet + classification machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bits import apply_flip, iter_masks
+from repro.emu import CPU, Memory
+from repro.errors import (
+    AlignmentFault,
+    BadFetch,
+    BadRead,
+    BadWrite,
+    EmulationFault,
+    InvalidInstruction,
+)
+from repro.isa import assemble
+
+FLASH_BASE = 0x0800_0000
+RAM_BASE = 0x2000_0000
+RAM_SIZE = 0x1000
+
+#: (class name, snippet source, judge) — ``target:`` marks the instruction
+#: under test; ``judge(cpu)`` decides whether its architectural job was done.
+_CLASS_CASES: dict[str, tuple[str, str]] = {
+    # load: r2 must receive the value stored at [r1]
+    "load": (
+        """
+        ldr r1, =0x20000800
+        ldr r0, =0xCAFE0042
+        str r0, [r1]
+        movs r2, #0
+    target:
+        ldr r2, [r1]
+        bkpt #0
+        """,
+        "load",
+    ),
+    # store: memory at [r1] must receive r0
+    "store": (
+        """
+        ldr r1, =0x20000800
+        ldr r0, =0xCAFE0042
+    target:
+        str r0, [r1]
+        bkpt #0
+        """,
+        "store",
+    ),
+    # compare: the flags must reflect r0 == r1 (checked via a dependent branch)
+    "compare": (
+        """
+        movs r0, #5
+        movs r1, #5
+        movs r3, #0
+    target:
+        cmp r0, r1
+        beq good
+        bkpt #0
+    good:
+        movs r3, #1
+        bkpt #0
+        """,
+        "compare",
+    ),
+    # alu: r2 must become r0 + r1
+    "alu": (
+        """
+        movs r0, #21
+        movs r1, #21
+        movs r2, #0
+    target:
+        adds r2, r0, r1
+        bkpt #0
+        """,
+        "alu",
+    ),
+    # move: r2 must receive r0
+    "move": (
+        """
+        movs r0, #0x5A
+        movs r2, #0
+    target:
+        adds r2, r0, #0
+        bkpt #0
+        """,
+        "move",
+    ),
+}
+
+
+@dataclass
+class ClassSweepResult:
+    """Per-class tallies over all masks of all flip counts."""
+
+    instruction_class: str
+    model: str
+    attempts: int = 0
+    #: the job silently didn't happen but execution completed normally
+    silent_neutralizations: int = 0
+    #: execution derailed (fault / invalid / no clean halt)
+    derailments: int = 0
+    #: the corrupted encoding still did its job
+    still_effective: int = 0
+
+    @property
+    def silent_rate(self) -> float:
+        return self.silent_neutralizations / self.attempts if self.attempts else 0.0
+
+    @property
+    def derail_rate(self) -> float:
+        return self.derailments / self.attempts if self.attempts else 0.0
+
+
+def _judge(kind: str, cpu: CPU) -> bool:
+    """Did the target instruction do its architectural job?"""
+    if kind == "load":
+        return cpu.regs[2] == 0xCAFE0042
+    if kind == "store":
+        try:
+            return cpu.memory.read_u32(0x2000_0800) == 0xCAFE0042
+        except EmulationFault:
+            return False
+    if kind == "compare":
+        return cpu.regs[3] == 1
+    if kind == "alu":
+        return cpu.regs[2] == 42
+    if kind == "move":
+        return cpu.regs[2] == 0x5A
+    raise ValueError(kind)  # pragma: no cover
+
+
+def sweep_instruction_class(
+    instruction_class: str, model: str = "and", k_values: tuple[int, ...] | None = None
+) -> ClassSweepResult:
+    """Sweep every bit-flip mask over one class's target instruction."""
+    try:
+        source, judge_kind = _CLASS_CASES[instruction_class]
+    except KeyError:
+        raise ValueError(
+            f"unknown instruction class {instruction_class!r}; "
+            f"expected one of {sorted(_CLASS_CASES)}"
+        ) from None
+    program = assemble(source, base=FLASH_BASE)
+    target_index = (program.symbols["target"] - FLASH_BASE) // 2
+    halfwords = program.halfwords
+    original = halfwords[target_index]
+
+    result = ClassSweepResult(instruction_class=instruction_class, model=model)
+    cache: dict[int, str] = {}
+    ks = k_values if k_values is not None else tuple(range(17))
+    for k in ks:
+        for mask in iter_masks(16, k):
+            corrupted = apply_flip(original, mask, 16, model)
+            bucket = cache.get(corrupted)
+            if bucket is None:
+                bucket = _classify(halfwords, target_index, corrupted, judge_kind)
+                cache[corrupted] = bucket
+            result.attempts += 1
+            if bucket == "effective":
+                result.still_effective += 1
+            elif bucket == "silent":
+                result.silent_neutralizations += 1
+            else:
+                result.derailments += 1
+    return result
+
+
+def _classify(halfwords: list[int], index: int, corrupted: int, judge_kind: str) -> str:
+    words = list(halfwords)
+    words[index] = corrupted
+    from repro.bits import halfwords_to_bytes
+
+    memory = Memory()
+    memory.map("flash", FLASH_BASE, 0x400, writable=False, executable=True)
+    memory.map("ram", RAM_BASE, RAM_SIZE)
+    memory.load(FLASH_BASE, halfwords_to_bytes(words))
+    cpu = CPU(memory)
+    cpu.pc = FLASH_BASE
+    cpu.sp = RAM_BASE + RAM_SIZE
+    try:
+        outcome = cpu.run(64)
+    except (InvalidInstruction, BadFetch, BadRead, BadWrite, AlignmentFault, EmulationFault):
+        return "derailed"
+    if outcome.reason != "halted":
+        return "derailed"
+    return "effective" if _judge(judge_kind, cpu) else "silent"
+
+
+def sweep_all_classes(model: str = "and") -> dict[str, ClassSweepResult]:
+    """Sweep every class; returns {class: result}."""
+    return {name: sweep_instruction_class(name, model) for name in _CLASS_CASES}
+
+
+__all__ = ["ClassSweepResult", "sweep_instruction_class", "sweep_all_classes"]

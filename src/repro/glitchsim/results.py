@@ -1,0 +1,106 @@
+"""Figure 2 data extraction and rendering (ASCII + CSV).
+
+The paper's Figure 2 plots, per conditional branch instruction:
+
+- the glitch *success rate* as a function of the number of flipped bits
+  (one line per ``k``, the "# of 1s in Bitmask" colour scale), and
+- a stacked histogram of the outcome categories across all masks.
+
+We emit the same data as machine-readable rows plus an ASCII rendering so
+the benchmark harness can print paper-comparable output without plotting
+dependencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.glitchsim.campaign import CampaignResult, InstructionSweep
+from repro.glitchsim.harness import OUTCOME_CATEGORIES
+
+_CATEGORY_LABELS = {
+    "success": "Success",
+    "bad_read": "Bad Read",
+    "invalid_instruction": "Invalid Instruction",
+    "bad_fetch": "Bad Fetch",
+    "failed": "Failed",
+    "no_effect": "No Effect",
+}
+
+
+@dataclass
+class FigureData:
+    """All series needed to regenerate one Figure 2 panel."""
+
+    title: str
+    model: str
+    zero_is_invalid: bool
+    instructions: list[str] = field(default_factory=list)
+    #: (instruction, k) → success rate in [0, 1]
+    success_by_k: dict[tuple[str, int], float] = field(default_factory=dict)
+    #: instruction → {category: fraction}
+    histogram: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: instruction → overall success rate
+    overall_success: dict[str, float] = field(default_factory=dict)
+
+
+def figure2(result: CampaignResult, title: str = "") -> FigureData:
+    """Convert a campaign result into Figure 2 panel data (sorted by success)."""
+    ranked = result.ranked_by_success()
+    data = FigureData(
+        title=title or f"Figure 2 ({result.model.upper()} model)",
+        model=result.model,
+        zero_is_invalid=result.zero_is_invalid,
+    )
+    for sweep in ranked:
+        name = sweep.mnemonic.upper()
+        data.instructions.append(name)
+        data.overall_success[name] = sweep.success_rate()
+        data.histogram[name] = sweep.category_fractions()
+        for k, counter in sorted(sweep.by_k.items()):
+            attempts = sum(counter.values())
+            rate = counter.get("success", 0) / attempts if attempts else 0.0
+            data.success_by_k[(name, k)] = rate
+    return data
+
+
+def to_csv(data: FigureData) -> str:
+    """Emit the success-rate series and histograms as CSV text."""
+    lines = ["instruction,k,success_rate"]
+    for (name, k), rate in sorted(data.success_by_k.items()):
+        lines.append(f"{name},{k},{rate:.6f}")
+    lines.append("")
+    lines.append("instruction," + ",".join(OUTCOME_CATEGORIES))
+    for name in data.instructions:
+        fractions = data.histogram[name]
+        lines.append(name + "," + ",".join(f"{fractions[c]:.6f}" for c in OUTCOME_CATEGORIES))
+    return "\n".join(lines)
+
+
+def render_figure_ascii(data: FigureData, width: int = 40) -> str:
+    """ASCII rendering: success-rate bars plus the outcome histogram table."""
+    lines = [data.title, "=" * len(data.title), ""]
+    lines.append("Overall success rate per instruction (all masks, all k):")
+    for name in data.instructions:
+        rate = data.overall_success[name]
+        bar = "#" * round(rate * width)
+        lines.append(f"  {name:<5} {rate * 100:6.2f}% |{bar}")
+    lines.append("")
+    header = f"  {'instr':<6}" + "".join(f"{_CATEGORY_LABELS[c]:>21}" for c in OUTCOME_CATEGORIES)
+    lines.append("Outcome histogram (% of all masks):")
+    lines.append(header)
+    for name in data.instructions:
+        fractions = data.histogram[name]
+        row = f"  {name:<6}" + "".join(f"{fractions[c] * 100:>20.2f}%" for c in OUTCOME_CATEGORIES)
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def summarize_mean_success(data: FigureData) -> float:
+    """Mean overall success rate across instructions (paper: ≈60% AND, ≈30% OR)."""
+    if not data.instructions:
+        return 0.0
+    return sum(data.overall_success.values()) / len(data.instructions)
+
+
+__all__ = ["FigureData", "figure2", "to_csv", "render_figure_ascii", "summarize_mean_success"]

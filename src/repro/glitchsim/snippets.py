@@ -1,0 +1,115 @@
+"""Per-instruction test snippets for the emulation campaign.
+
+Following Section IV: "All of our test cases are manually written for the
+instruction in question such that a successful glitch (i.e., the targeted
+instruction was skipped) will place the value 0xdead in a known register,
+and a normal execution will place the value 0xaaaa in a separate known
+register."
+
+Each snippet sets up the NZCV flags so the targeted conditional branch
+*would* be taken, then branches over the "skipped" marker code:
+
+.. code-block:: asm
+
+       <flag setup>
+       b<cc> taken       ; ← the glitched halfword
+       ldr r2, =0xdead   ; only reachable if the branch was "skipped"
+       bkpt #0
+   taken:
+       ldr r3, =0xaaaa   ; the normal path
+       bkpt #0
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa import AssembledProgram, assemble
+from repro.isa.conditions import CONDITION_NAMES
+
+SUCCESS_MARKER = 0xDEAD
+NORMAL_MARKER = 0xAAAA
+SUCCESS_REGISTER = 2
+NORMAL_REGISTER = 3
+
+FLASH_BASE = 0x0800_0000
+RAM_BASE = 0x2000_0000
+RAM_SIZE = 0x2000
+
+#: Flag-setup sequences per condition, chosen so the condition holds.
+_FLAG_SETUPS: dict[str, str] = {
+    "eq": "movs r0, #1\n    cmp r0, #1",
+    "ne": "movs r0, #1\n    cmp r0, #0",
+    "cs": "movs r0, #1\n    cmp r0, #0",
+    "cc": "movs r0, #0\n    cmp r0, #1",
+    "mi": "movs r0, #0\n    cmp r0, #1",
+    "pl": "movs r0, #1\n    cmp r0, #0",
+    "vs": "movs r0, #1\n    lsls r0, r0, #31\n    subs r0, r0, #1\n    adds r0, r0, #1",
+    "vc": "movs r0, #1\n    cmp r0, #0",
+    "hi": "movs r0, #1\n    cmp r0, #0",
+    "ls": "movs r0, #0\n    cmp r0, #0",
+    "ge": "movs r0, #1\n    cmp r0, #0",
+    "lt": "movs r0, #0\n    cmp r0, #1",
+    "gt": "movs r0, #1\n    cmp r0, #0",
+    "le": "movs r0, #0\n    cmp r0, #1",
+}
+
+
+@dataclass(frozen=True)
+class BranchSnippet:
+    """An assembled snippet plus the location of the instruction under test."""
+
+    mnemonic: str
+    program: AssembledProgram
+    target_address: int
+    target_word: int
+
+    @property
+    def target_index(self) -> int:
+        """Halfword index of the targeted instruction within the code."""
+        return (self.target_address - self.program.base) // 2
+
+
+def branch_snippet(condition: str) -> BranchSnippet:
+    """Build the snippet isolating the conditional branch ``b<condition>``."""
+    if condition not in _FLAG_SETUPS:
+        raise ValueError(f"unknown condition {condition!r}")
+    source = f"""
+    {_FLAG_SETUPS[condition]}
+target:
+    b{condition} taken
+    ldr r2, ={SUCCESS_MARKER:#x}
+    bkpt #0
+taken:
+    ldr r3, ={NORMAL_MARKER:#x}
+    bkpt #0
+"""
+    program = assemble(source, base=FLASH_BASE)
+    target_address = program.symbols["target"]
+    index = (target_address - program.base) // 2
+    target_word = program.halfwords[index]
+    return BranchSnippet(
+        mnemonic=f"b{condition}",
+        program=program,
+        target_address=target_address,
+        target_word=target_word,
+    )
+
+
+def all_branch_snippets() -> list[BranchSnippet]:
+    """Snippets for all 14 conditional branches, in condition-number order."""
+    return [branch_snippet(name) for name in CONDITION_NAMES]
+
+
+__all__ = [
+    "BranchSnippet",
+    "branch_snippet",
+    "all_branch_snippets",
+    "SUCCESS_MARKER",
+    "NORMAL_MARKER",
+    "SUCCESS_REGISTER",
+    "NORMAL_REGISTER",
+    "FLASH_BASE",
+    "RAM_BASE",
+    "RAM_SIZE",
+]

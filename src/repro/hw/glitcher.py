@@ -1,0 +1,215 @@
+"""The ChipWhisperer-style clock-glitch controller.
+
+Drives one :class:`~repro.hw.mcu.Board` through glitched runs:
+
+1. reset the board (power-cycle semantics — the seed flash page persists);
+2. run until the firmware raises the GPIO trigger pin;
+3. starting one cycle after the trigger (the paper's "perfect trigger...
+   exactly 1 clock cycle before the targeted instruction"), apply the armed
+   :class:`~repro.hw.clock.GlitchParams` for ``repeat`` contiguous cycles;
+4. keep running until a terminal symbol issues (``win``,
+   ``gr_detected``), the core crashes ("reset"), or the settle budget
+   expires ("no_effect" / "partial").
+
+A parameter-deterministic fast path skips full simulation for grid points
+the fault model says produce neither a fault nor a crash — the
+overwhelming majority of the 9,801-point scans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import EmulationFault
+from repro.hw.clock import GlitchParams
+from repro.hw.faults import FaultEffect, FaultModel, PipelineView
+from repro.hw.mcu import Board
+from repro.isa.assembler import AssembledProgram
+
+#: cycles allowed from power-on to the (first) trigger
+BOOT_BUDGET = 50_000
+#: cycles allowed after the last glitched cycle for consequences to land
+SETTLE_CYCLES = 400
+
+
+@dataclass
+class AttemptResult:
+    """Outcome of one glitched run."""
+
+    category: str  # success | detected | reset | no_effect | partial
+    params: GlitchParams
+    triggers_seen: int = 0
+    cycles: int = 0
+    registers: tuple[int, ...] = ()
+    effects: tuple[FaultEffect, ...] = ()
+    stop_symbol: Optional[str] = None
+    simulated: bool = True  # False when the fast path decided the outcome
+
+    @property
+    def succeeded(self) -> bool:
+        return self.category == "success"
+
+
+@dataclass
+class GlitchStatistics:
+    """Running tally over many attempts."""
+
+    attempts: int = 0
+    by_category: dict = field(default_factory=dict)
+
+    def record(self, result: AttemptResult) -> None:
+        self.attempts += 1
+        self.by_category[result.category] = self.by_category.get(result.category, 0) + 1
+
+    def rate(self, category: str) -> float:
+        if self.attempts == 0:
+            return 0.0
+        return self.by_category.get(category, 0) / self.attempts
+
+
+class ClockGlitcher:
+    """Arms and fires clock glitches against one firmware image."""
+
+    def __init__(
+        self,
+        firmware: AssembledProgram,
+        fault_model: Optional[FaultModel] = None,
+        win_symbol: str = "win",
+        detect_symbol: Optional[str] = None,
+        expected_triggers: int = 1,
+        zero_is_invalid: bool = False,
+    ):
+        self.board = Board(firmware, zero_is_invalid=zero_is_invalid)
+        self.fault_model = fault_model or FaultModel()
+        self.firmware = firmware
+        self.expected_triggers = expected_triggers
+        self.win_address = firmware.symbols.get(win_symbol)
+        if self.win_address is None:
+            raise ValueError(f"firmware does not define the {win_symbol!r} symbol")
+        self.detect_address = (
+            firmware.symbols.get(detect_symbol) if detect_symbol else None
+        )
+        if detect_symbol and self.detect_address is None:
+            raise ValueError(f"firmware does not define the {detect_symbol!r} symbol")
+
+    # ------------------------------------------------------------------
+
+    def run_attempt(self, params: GlitchParams, force_simulation: bool = False) -> AttemptResult:
+        """Run one glitched attempt and classify it."""
+        occurrences = self._occurrence_plan(params)
+        if not force_simulation:
+            if not occurrences:
+                return AttemptResult(category="no_effect", params=params, simulated=False)
+            if occurrences[0][1] == "crash":
+                # The first thing this parameter point does is crash the core.
+                return AttemptResult(category="reset", params=params, simulated=False)
+        return self._simulate(params)
+
+    def run_unglitched(self, max_cycles: int = BOOT_BUDGET) -> AttemptResult:
+        """Baseline run with the glitcher disarmed (sanity/tuning)."""
+        return self._simulate(None, max_cycles=max_cycles)
+
+    # ------------------------------------------------------------------
+
+    def _occurrence_plan(self, params: GlitchParams) -> list[tuple[int, str]]:
+        """Parameter-deterministic (rel_cycle, 'fault'|'crash') decisions."""
+        plan: list[tuple[int, str]] = []
+        for rel in params.glitched_cycles():
+            decision = self.fault_model.occurrence_decision(params, rel)
+            if decision is not None:
+                plan.append((rel, decision))
+                if decision == "crash":
+                    break  # the core resets at the first crashing cycle
+        return plan
+
+    def _simulate(
+        self, params: Optional[GlitchParams], max_cycles: int = BOOT_BUDGET
+    ) -> AttemptResult:
+        board = self.board
+        board.reset()
+        pipeline = board.pipeline
+        stops = {self.win_address}
+        if self.detect_address is not None:
+            stops.add(self.detect_address)
+        pipeline.stop_addresses = frozenset(stops)
+        exit1 = self.firmware.symbols.get("exit1")
+        if exit1 is not None:
+            pipeline.milestone_addresses = frozenset({exit1})
+
+        windows: list[int] = []  # rel-cycle-0 anchors (trigger cycle + 1)
+        board.trigger_callback = lambda value: windows.append(pipeline.cycles + 1)
+
+        effects: list[FaultEffect] = []
+        occurrence_counter = [0]
+
+        def resolver(cycle: int, view: PipelineView) -> Optional[FaultEffect]:
+            if params is None:
+                return None
+            for window_index, base in enumerate(windows):
+                rel = cycle - base
+                if rel in params.glitched_cycles():
+                    index = occurrence_counter[0]
+                    occurrence_counter[0] += 1
+                    effect = self.fault_model.effect_at(
+                        params, rel, view, index,
+                        window_index=window_index, absolute_cycle=cycle,
+                    )
+                    if effect is not None:
+                        effects.append(effect)
+                    return effect
+            return None
+
+        pipeline.glitch_resolver = resolver
+
+        category = "no_effect"
+        stop_symbol: Optional[str] = None
+        try:
+            while True:
+                if pipeline.stopped_at is not None:
+                    if pipeline.stopped_at == self.win_address:
+                        category = "success"
+                        stop_symbol = "win"
+                    else:
+                        category = "detected"
+                        stop_symbol = "detected"
+                    break
+                if board.cpu.halted:
+                    category = "no_effect"
+                    stop_symbol = "halted"
+                    break
+                if pipeline.cycles >= max_cycles:
+                    break
+                if params is not None and len(windows) >= self.expected_triggers:
+                    last_end = windows[-1] + params.ext_offset + params.repeat
+                    if pipeline.cycles > last_end + SETTLE_CYCLES:
+                        break
+                elif params is not None and windows:
+                    first_end = windows[0] + params.ext_offset + params.repeat
+                    # waiting for a later trigger that may never come
+                    if pipeline.cycles > first_end + 4 * SETTLE_CYCLES:
+                        break
+                pipeline.step_cycle()
+        except EmulationFault:
+            category = "reset"
+
+        if self.expected_triggers > 1 and category in ("no_effect", "reset"):
+            # "Partial" = the first glitch broke out of loop 1 (observable:
+            # the second trigger fired / the exit1 milestone issued) but the
+            # run never reached the final success state.
+            if len(windows) >= 2 or pipeline.milestones:
+                category = "partial"
+
+        board.persist_nonvolatile()
+        return AttemptResult(
+            category=category,
+            params=params if params is not None else GlitchParams(0, 0, 0),
+            triggers_seen=len(windows),
+            cycles=pipeline.cycles,
+            registers=tuple(board.cpu.regs),
+            effects=tuple(effects),
+            stop_symbol=stop_symbol,
+        )
+
+
+__all__ = ["ClockGlitcher", "AttemptResult", "GlitchStatistics", "BOOT_BUDGET", "SETTLE_CYCLES"]

@@ -1,0 +1,348 @@
+"""Parameter scans reproducing Tables I, II, and III.
+
+Each scan sweeps the full ``[-49, 49] × [-49, 49]`` (width, offset) grid —
+9,801 attempts — per clock cycle (or per cycle-range for long glitches)
+and tallies successes, crashes, and the post-mortem comparator register
+values the paper reports.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.hw.clock import GRID_POINTS, GlitchParams, OFFSET_RANGE, WIDTH_RANGE
+from repro.hw.faults import FaultModel
+from repro.hw.glitcher import AttemptResult, ClockGlitcher
+from repro.isa.disassembler import disassemble_one
+
+
+# ----------------------------------------------------------------------
+# result containers
+# ----------------------------------------------------------------------
+
+@dataclass
+class CycleRow:
+    """One Table I row: a single glitched clock cycle."""
+
+    cycle: int
+    instruction: str
+    attempts: int = 0
+    successes: int = 0
+    resets: int = 0
+    register_values: Counter = field(default_factory=Counter)
+
+
+@dataclass
+class SingleGlitchScan:
+    """Table I: single glitches across the loop's clock cycles."""
+
+    guard: str
+    rows: list[CycleRow]
+
+    @property
+    def total_attempts(self) -> int:
+        return sum(row.attempts for row in self.rows)
+
+    @property
+    def total_successes(self) -> int:
+        return sum(row.successes for row in self.rows)
+
+    @property
+    def success_rate(self) -> float:
+        return self.total_successes / self.total_attempts if self.total_attempts else 0.0
+
+    @property
+    def unique_register_values(self) -> int:
+        values: set[int] = set()
+        for row in self.rows:
+            values.update(row.register_values)
+        return len(values)
+
+
+@dataclass
+class MultiCycleRow:
+    """One Table II row: partial vs full double-glitch successes."""
+
+    cycle: int
+    attempts: int = 0
+    partial: int = 0
+    full: int = 0
+
+
+@dataclass
+class MultiGlitchScan:
+    """Table II: two identical back-to-back glitches."""
+
+    guard: str
+    rows: list[MultiCycleRow]
+
+    @property
+    def total_attempts(self) -> int:
+        return sum(row.attempts for row in self.rows)
+
+    @property
+    def total_partial(self) -> int:
+        return sum(row.partial for row in self.rows)
+
+    @property
+    def total_full(self) -> int:
+        return sum(row.full for row in self.rows)
+
+    @property
+    def partial_rate(self) -> float:
+        return self.total_partial / self.total_attempts if self.total_attempts else 0.0
+
+    @property
+    def full_rate(self) -> float:
+        return self.total_full / self.total_attempts if self.total_attempts else 0.0
+
+
+@dataclass
+class LongRangeRow:
+    """One Table III row: a contiguous glitch over cycles 0..last."""
+
+    last_cycle: int
+    attempts: int = 0
+    successes: int = 0
+
+
+@dataclass
+class LongGlitchScan:
+    """Table III: long glitches over two subsequent loops."""
+
+    guard: str
+    rows: list[LongRangeRow]
+
+    @property
+    def total_attempts(self) -> int:
+        return sum(row.attempts for row in self.rows)
+
+    @property
+    def total_successes(self) -> int:
+        return sum(row.successes for row in self.rows)
+
+    @property
+    def success_rate(self) -> float:
+        return self.total_successes / self.total_attempts if self.total_attempts else 0.0
+
+
+# ----------------------------------------------------------------------
+# grid iteration (with an optional stride for fast tests)
+# ----------------------------------------------------------------------
+
+def _grid(stride: int) -> Iterable[tuple[int, int]]:
+    for width in WIDTH_RANGE[::stride]:
+        for offset in OFFSET_RANGE[::stride]:
+            yield width, offset
+
+
+def map_cycles_to_instructions(glitcher: ClockGlitcher, n_cycles: int) -> dict[int, str]:
+    """Observe which instruction *executes* at each post-trigger clock cycle.
+
+    This regenerates Table I's cycle → instruction column directly from the
+    pipeline rather than assuming it.
+    """
+    board = glitcher.board
+    board.reset()
+    pipeline = board.pipeline
+    windows: list[int] = []
+    board.trigger_callback = lambda value: windows.append(pipeline.cycles + 1)
+    mapping: dict[int, str] = {}
+
+    def trace(cycle: int, address: int, raw: tuple[int, ...]) -> None:
+        if not windows:
+            return
+        rel = cycle - windows[0]
+        if 0 <= rel < n_cycles and rel not in mapping:
+            mapping[rel] = disassemble_one(raw[0], raw[1] if len(raw) == 2 else None)
+
+    pipeline.trace_hook = trace
+    budget = 10_000
+    while pipeline.cycles < budget:
+        if windows and pipeline.cycles - windows[0] >= n_cycles:
+            break
+        pipeline.step_cycle()
+    board.persist_nonvolatile()
+    # Pipeline-refill bubbles after a taken branch belong to the branch
+    # (Table I lists BEQ spanning cycles 5-7).
+    previous = "-"
+    for rel in range(n_cycles):
+        if rel in mapping:
+            previous = mapping[rel]
+        else:
+            mapping[rel] = previous
+    return mapping
+
+
+# ----------------------------------------------------------------------
+# scans
+# ----------------------------------------------------------------------
+
+def run_single_glitch_scan(
+    guard: str,
+    cycles: Iterable[int] = range(8),
+    fault_model: Optional[FaultModel] = None,
+    stride: int = 1,
+    glitcher: Optional[ClockGlitcher] = None,
+) -> SingleGlitchScan:
+    """Table I: scan every (width, offset) for each glitched clock cycle."""
+    from repro.firmware.loops import build_guard_firmware, guard_descriptor
+
+    descriptor = guard_descriptor(guard)
+    if glitcher is None:
+        firmware = build_guard_firmware(guard, "single")
+        glitcher = ClockGlitcher(firmware, fault_model=fault_model)
+    instruction_map = map_cycles_to_instructions(glitcher, max(cycles, default=0) + 1)
+    rows = []
+    for cycle in cycles:
+        row = CycleRow(cycle=cycle, instruction=instruction_map.get(cycle, "-"))
+        for width, offset in _grid(stride):
+            result = glitcher.run_attempt(GlitchParams(cycle, width, offset))
+            row.attempts += 1
+            if result.category == "success":
+                row.successes += 1
+                value = result.registers[descriptor.comparator_register] & 0xFFFFFFFF
+                row.register_values[value] += 1
+            elif result.category == "reset":
+                row.resets += 1
+        rows.append(row)
+    return SingleGlitchScan(guard=guard, rows=rows)
+
+
+def run_multi_glitch_scan(
+    guard: str,
+    cycles: Iterable[int] = range(8),
+    fault_model: Optional[FaultModel] = None,
+    stride: int = 1,
+) -> MultiGlitchScan:
+    """Table II: the same glitch fired after each of two triggers."""
+    from repro.firmware.loops import build_guard_firmware
+
+    firmware = build_guard_firmware(guard, "double")
+    glitcher = ClockGlitcher(firmware, fault_model=fault_model, expected_triggers=2)
+    rows = []
+    for cycle in cycles:
+        row = MultiCycleRow(cycle=cycle)
+        for width, offset in _grid(stride):
+            result = glitcher.run_attempt(GlitchParams(cycle, width, offset))
+            row.attempts += 1
+            if result.category == "success":
+                row.full += 1
+            elif result.category == "partial":
+                row.partial += 1
+        rows.append(row)
+    return MultiGlitchScan(guard=guard, rows=rows)
+
+
+def run_long_glitch_scan(
+    guard: str,
+    last_cycles: Iterable[int] = range(10, 21),
+    fault_model: Optional[FaultModel] = None,
+    stride: int = 1,
+) -> LongGlitchScan:
+    """Table III: one glitch spanning cycles 0..last over two adjacent loops."""
+    from repro.firmware.loops import build_guard_firmware
+
+    firmware = build_guard_firmware(guard, "contiguous")
+    glitcher = ClockGlitcher(firmware, fault_model=fault_model)
+    rows = []
+    for last in last_cycles:
+        row = LongRangeRow(last_cycle=last)
+        for width, offset in _grid(stride):
+            result = glitcher.run_attempt(
+                GlitchParams(ext_offset=0, width=width, offset=offset, repeat=last + 1)
+            )
+            row.attempts += 1
+            if result.category == "success":
+                row.successes += 1
+        rows.append(row)
+    return LongGlitchScan(guard=guard, rows=rows)
+
+
+__all__ = [
+    "CycleRow",
+    "SingleGlitchScan",
+    "MultiCycleRow",
+    "MultiGlitchScan",
+    "LongRangeRow",
+    "LongGlitchScan",
+    "run_single_glitch_scan",
+    "run_multi_glitch_scan",
+    "run_long_glitch_scan",
+    "map_cycles_to_instructions",
+]
+
+
+# ----------------------------------------------------------------------
+# Table VI: attacks against defended firmware
+# ----------------------------------------------------------------------
+
+@dataclass
+class DefenseScanResult:
+    """Successes and detections for one attack against one defended build."""
+
+    scenario: str
+    defense: str
+    attack: str
+    attempts: int = 0
+    successes: int = 0
+    detections: int = 0
+    resets: int = 0
+    no_effect: int = 0
+
+    @property
+    def success_rate(self) -> float:
+        return self.successes / self.attempts if self.attempts else 0.0
+
+    @property
+    def detection_rate(self) -> float:
+        """Paper's definition: detections / (detections + successes)."""
+        denominator = self.detections + self.successes
+        return self.detections / denominator if denominator else 0.0
+
+
+#: Table VI attack shapes: (ext_offsets, repeat per attempt)
+ATTACK_SHAPES = {
+    # single glitch, clock cycle varied 0-10 → 11 × 9,801 = 107,811 attempts
+    "single": tuple((ext, 1) for ext in range(0, 11)),
+    # long glitch, 10-100 cycles in increments of 10 → 10 × 9,801 = 98,010
+    "long": tuple((0, repeat) for repeat in range(10, 101, 10)),
+    # windowed long glitch: fixed 10 cycles, start varied 0-100 by 10 → 107,811
+    "windowed": tuple((start, 10) for start in range(0, 101, 10)),
+}
+
+
+def run_defense_scan(
+    image,
+    attack: str,
+    scenario: str = "",
+    defense: str = "",
+    fault_model: Optional[FaultModel] = None,
+    stride: int = 1,
+    detect_symbol: Optional[str] = "gr_detected",
+) -> DefenseScanResult:
+    """Attack a (possibly defended) firmware image with one Table VI attack."""
+    try:
+        shape = ATTACK_SHAPES[attack]
+    except KeyError:
+        raise ValueError(f"unknown attack {attack!r}; expected one of {sorted(ATTACK_SHAPES)}")
+    detect = detect_symbol if detect_symbol and detect_symbol in image.symbols else None
+    glitcher = ClockGlitcher(image, fault_model=fault_model, detect_symbol=detect)
+    result = DefenseScanResult(scenario=scenario, defense=defense, attack=attack)
+    for ext_offset, repeat in shape:
+        for width, offset in _grid(stride):
+            outcome = glitcher.run_attempt(
+                GlitchParams(ext_offset=ext_offset, width=width, offset=offset, repeat=repeat)
+            )
+            result.attempts += 1
+            if outcome.category == "success":
+                result.successes += 1
+            elif outcome.category == "detected":
+                result.detections += 1
+            elif outcome.category == "reset":
+                result.resets += 1
+            else:
+                result.no_effect += 1
+    return result

@@ -1,0 +1,117 @@
+"""Per-cycle pipeline tracing and ASCII visualisation.
+
+The paper's Table I hinges on attributing each post-trigger clock cycle to
+the instruction in flight ("Since the processor being glitched has a
+three-stage pipeline, it is difficult to determine which instruction, and
+which portion of the pipeline was affected by the glitch, but the location
+of the glitch at least bounds the glitch's effects"). This module records
+exactly that attribution — which instruction occupied the execute stage at
+every cycle, what sat in decode and fetch — and renders it as a pipeline
+diagram, optionally annotated with the glitch window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.hw.pipeline import PipelinedCPU
+from repro.isa.disassembler import disassemble_one
+
+
+@dataclass
+class CycleRecord:
+    """Pipeline occupancy at one clock cycle."""
+
+    cycle: int
+    execute: Optional[str] = None
+    execute_address: Optional[int] = None
+    decode: Optional[str] = None
+    fetch: Optional[str] = None
+
+
+@dataclass
+class PipelineTrace:
+    records: list[CycleRecord] = field(default_factory=list)
+    trigger_cycle: Optional[int] = None
+
+    def window(self, start: int, length: int) -> list[CycleRecord]:
+        """Records for ``length`` cycles starting at relative cycle ``start``
+        (relative to the trigger if one was seen, else absolute)."""
+        base = (self.trigger_cycle + 1) if self.trigger_cycle is not None else 0
+        lo = base + start
+        return [r for r in self.records if lo <= r.cycle < lo + length]
+
+    def render(
+        self,
+        start: int = 0,
+        length: int = 16,
+        glitch_cycles: tuple[int, ...] = (),
+    ) -> str:
+        """ASCII pipeline diagram; ``glitch_cycles`` (relative) get a ⚡ mark."""
+        base = (self.trigger_cycle + 1) if self.trigger_cycle is not None else 0
+        rows = ["cycle | X | execute              | decode               | fetch"]
+        rows.append("-" * 78)
+        for record in self.window(start, length):
+            rel = record.cycle - base
+            mark = "⚡" if rel in glitch_cycles else " "
+            rows.append(
+                f"{rel:>5} | {mark} | {(record.execute or '-'):<20} | "
+                f"{(record.decode or '-'):<20} | {record.fetch or '-'}"
+            )
+        return "\n".join(rows)
+
+
+def trace_pipeline(
+    board,
+    max_cycles: int = 2000,
+    stop_after_trigger: Optional[int] = None,
+) -> PipelineTrace:
+    """Run ``board`` (freshly reset) while recording pipeline occupancy.
+
+    ``stop_after_trigger`` stops that many cycles after the first trigger
+    (handy for tracing exactly the paper's 8-cycle loop window).
+    """
+    board.reset()
+    pipeline: PipelinedCPU = board.pipeline
+    trace = PipelineTrace()
+    trigger_seen: list[int] = []
+    board.trigger_callback = lambda value: trigger_seen.append(pipeline.cycles)
+
+    while pipeline.cycles < max_cycles:
+        if trigger_seen and stop_after_trigger is not None:
+            if pipeline.cycles - trigger_seen[0] > stop_after_trigger:
+                break
+        record = CycleRecord(cycle=pipeline.cycles)
+        slot = pipeline.execute_slot
+        if slot is None and pipeline.decode_latch is not None:
+            # a 1-cycle instruction will issue+execute this very cycle
+            address, raw = pipeline.decode_latch
+            if not (len(raw) == 1 and (raw[0] >> 11) == 0b11110):
+                record.execute = _safe_disasm(raw)
+                record.execute_address = address
+        elif slot is not None:
+            record.execute = _safe_disasm(slot.raw)
+            record.execute_address = slot.address
+        if pipeline.decode_latch is not None:
+            record.decode = _safe_disasm(pipeline.decode_latch[1])
+        if pipeline.fetch_latch is not None:
+            record.fetch = _safe_disasm((pipeline.fetch_latch[1],))
+        trace.records.append(record)
+        try:
+            pipeline.step_cycle()
+        except Exception:
+            break
+        if pipeline.stopped_at is not None or board.cpu.halted:
+            break
+    if trigger_seen:
+        trace.trigger_cycle = trigger_seen[0]
+    board.persist_nonvolatile()
+    return trace
+
+
+def _safe_disasm(raw: tuple[int, ...]) -> str:
+    return disassemble_one(raw[0], raw[1] if len(raw) == 2 else None).split(";")[0].strip()
+
+
+__all__ = ["CycleRecord", "PipelineTrace", "trace_pipeline"]

@@ -1,0 +1,58 @@
+"""16-bit ARM Thumb (ARMv6-M-flavoured) instruction-set substrate.
+
+This package replaces the Capstone/Keystone/Unicorn toolchain used by the
+paper's emulation framework (Section IV) with a self-contained, table-driven
+implementation:
+
+- :mod:`repro.isa.registers` / :mod:`repro.isa.conditions` — architectural
+  naming and condition-code semantics.
+- :mod:`repro.isa.instruction` — the decoded-instruction data model.
+- :mod:`repro.isa.decoder` — halfword(s) → :class:`Instruction`, raising
+  :class:`repro.errors.InvalidInstruction` on undefined encodings, which is
+  how glitch campaigns observe *Invalid Instruction* outcomes.
+- :mod:`repro.isa.encoder` — :class:`Instruction` fields → halfword(s).
+- :mod:`repro.isa.assembler` — two-pass text assembler with labels,
+  directives, and ``ldr rX, =imm`` literal pools.
+- :mod:`repro.isa.disassembler` — linear-sweep disassembly for post-mortem
+  inspection of corrupted code.
+"""
+
+from repro.isa.registers import (
+    LR,
+    PC,
+    SP,
+    register_name,
+    register_number,
+)
+from repro.isa.conditions import (
+    CONDITION_NAMES,
+    condition_holds,
+    condition_name,
+    condition_number,
+)
+from repro.isa.instruction import Instruction
+from repro.isa.decoder import decode, decode_stream
+from repro.isa.encoder import encode
+from repro.isa.assembler import Assembler, AssembledProgram, assemble
+from repro.isa.disassembler import disassemble, disassemble_one
+
+__all__ = [
+    "SP",
+    "LR",
+    "PC",
+    "register_name",
+    "register_number",
+    "CONDITION_NAMES",
+    "condition_holds",
+    "condition_name",
+    "condition_number",
+    "Instruction",
+    "decode",
+    "decode_stream",
+    "encode",
+    "Assembler",
+    "AssembledProgram",
+    "assemble",
+    "disassemble",
+    "disassemble_one",
+]

@@ -1,0 +1,589 @@
+"""A two-pass Thumb-16 assembler.
+
+Replaces Keystone in the paper's pipeline. Supports the syntax used
+throughout the experiments and by the MiniC code generator:
+
+- labels (``loop:``), comments (``;``, ``@``, ``//``), ``.equ`` constants;
+- directives ``.org``, ``.word``, ``.hword``, ``.byte``, ``.space``,
+  ``.align`` (to 4), ``.balign n``, ``.pool``/``.ltorg``, ``.global`` (noop);
+- the ``ldr rX, =value`` literal-pool pseudo-instruction (used by the paper's
+  ``while (a != 0xD3B9AEC6)`` firmware, which compiles to
+  ``LDR R3, =0xD3B9AEC6``);
+- ``movs rd, rs`` (encoded as ``lsls rd, rs, #0``), ``mov rd, #imm``
+  (alias of ``movs``), ``neg`` alias, push/pop register ranges (``r4-r7``).
+
+Branch targets and ``adr`` operands may be labels or ``label+offset``
+expressions; numeric immediates accept decimal, hex, binary, and ``'c'``
+character literals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.bits import halfwords_to_bytes
+from repro.errors import AssemblerError, EncodingError
+from repro.isa.conditions import CONDITION_NAMES
+from repro.isa.encoder import encode
+from repro.isa.instruction import Instruction
+from repro.isa.registers import LR, PC, SP, register_number
+
+_FMT4_MNEMONICS = {
+    "ands", "eors", "adcs", "sbcs", "rors", "tst", "negs", "cmn",
+    "orrs", "muls", "bics", "mvns",
+}
+_EXTEND_REV = {"sxth", "sxtb", "uxth", "uxtb", "rev", "rev16", "revsh"}
+_HINTS = {"nop", "yield", "wfe", "wfi", "sev", "cps"}
+_MEM_MNEMONICS = {"ldr", "str", "ldrb", "strb", "ldrh", "strh", "ldrsb", "ldrsh"}
+_BRANCH_CONDS = {f"b{name}": i for i, name in enumerate(CONDITION_NAMES)}
+_BRANCH_CONDS["bhs"] = _BRANCH_CONDS["bcs"]
+_BRANCH_CONDS["blo"] = _BRANCH_CONDS["bcc"]
+
+
+@dataclass
+class AssembledProgram:
+    """The output of one assembly run."""
+
+    base: int
+    code: bytes
+    symbols: dict[str, int]
+    listing: list[tuple[int, int, str]] = field(default_factory=list)
+
+    @property
+    def halfwords(self) -> list[int]:
+        from repro.bits import bytes_to_halfwords
+
+        return bytes_to_halfwords(self.code)
+
+    @property
+    def end(self) -> int:
+        return self.base + len(self.code)
+
+    def address_of(self, symbol: str) -> int:
+        try:
+            return self.symbols[symbol]
+        except KeyError:
+            raise AssemblerError(f"unknown symbol: {symbol!r}") from None
+
+
+@dataclass
+class _Statement:
+    kind: str  # "instr" | "data" | "literal_load"
+    line_no: int
+    text: str
+    address: int = 0
+    size: int = 0
+    # instr payload
+    mnemonic: str = ""
+    operands: list[str] = field(default_factory=list)
+    # data payload
+    data: bytes = b""
+    # literal payload
+    literal_expr: str = ""
+    literal_rd: int = 0
+    pool_address: Optional[int] = None
+
+
+class Assembler:
+    """Two-pass assembler; construct once per source, call :meth:`assemble`."""
+
+    def __init__(self, source: str, base: int = 0):
+        self.source = source
+        self.base = base
+        self.symbols: dict[str, int] = {}
+        self.equates: dict[str, int] = {}
+        self.statements: list[_Statement] = []
+
+    # ------------------------------------------------------------------
+    # public entry point
+    # ------------------------------------------------------------------
+
+    def assemble(self) -> AssembledProgram:
+        self._pass_one()
+        code = self._pass_two()
+        listing = [(s.address, s.size, s.text) for s in self.statements if s.size]
+        return AssembledProgram(base=self.base, code=code, symbols=dict(self.symbols), listing=listing)
+
+    # ------------------------------------------------------------------
+    # pass 1: addresses, sizes, labels, literal pools
+    # ------------------------------------------------------------------
+
+    def _pass_one(self) -> None:
+        location = self.base
+        pending_literals: list[_Statement] = []
+
+        def flush_pool() -> int:
+            nonlocal location
+            if not pending_literals:
+                return location
+            if location % 4:
+                pad = _Statement(kind="data", line_no=0, text=".align (pool)", data=b"\x00\x00")
+                pad.address, pad.size = location, 2
+                self.statements.append(pad)
+                location += 2
+            assigned: dict[str, int] = {}
+            for stmt in pending_literals:
+                key = stmt.literal_expr
+                if key not in assigned:
+                    assigned[key] = location
+                    entry = _Statement(
+                        kind="data", line_no=stmt.line_no, text=f".word {key} (literal)",
+                        literal_expr=key,
+                    )
+                    entry.address, entry.size = location, 4
+                    self.statements.append(entry)
+                    location += 4
+                stmt.pool_address = assigned[key]
+            pending_literals.clear()
+            return location
+
+        for line_no, raw_line in enumerate(self.source.splitlines(), start=1):
+            line = _strip_comment(raw_line).strip()
+            while line:
+                label, line = _take_label(line)
+                if label is None:
+                    break
+                if label in self.symbols or label in self.equates:
+                    raise AssemblerError(f"duplicate label {label!r} (line {line_no})")
+                self.symbols[label] = location
+            if not line:
+                continue
+
+            if line.startswith("."):
+                location = self._directive_pass_one(line, line_no, location, flush_pool)
+                continue
+
+            mnemonic, operands = _split_instruction(line)
+            stmt = _Statement(kind="instr", line_no=line_no, text=line, mnemonic=mnemonic, operands=operands)
+            if mnemonic == "ldr" and len(operands) == 2 and operands[1].startswith("="):
+                stmt.kind = "literal_load"
+                stmt.literal_rd = register_number(operands[0])
+                stmt.literal_expr = operands[1][1:].strip()
+                pending_literals.append(stmt)
+                stmt.size = 2
+            else:
+                stmt.size = 4 if mnemonic == "bl" else 2
+            stmt.address = location
+            location += stmt.size
+            self.statements.append(stmt)
+
+        flush_pool()
+
+    def _directive_pass_one(self, line: str, line_no: int, location: int, flush_pool) -> int:
+        parts = line.split(None, 1)
+        name = parts[0].lower()
+        rest = parts[1] if len(parts) > 1 else ""
+
+        def add_data(data_len: int, text: str, exprs: list[str] | None = None, unit: int = 0) -> None:
+            stmt = _Statement(kind="data", line_no=line_no, text=text)
+            stmt.address, stmt.size = location, data_len
+            if exprs is not None:
+                stmt.operands = exprs
+                stmt.data = b""
+                stmt.mnemonic = name
+            self.statements.append(stmt)
+
+        if name in (".pool", ".ltorg"):
+            return flush_pool()
+        if name == ".org":
+            target = self._evaluate(rest, line_no)
+            if target < location:
+                raise AssemblerError(f".org moves backwards ({target:#x} < {location:#x}) at line {line_no}")
+            if target > location:
+                add_data(target - location, line)
+            return target
+        if name == ".equ":
+            label, _, expr = rest.partition(",")
+            if not expr:
+                raise AssemblerError(f".equ requires 'name, value' (line {line_no})")
+            self.equates[label.strip()] = self._evaluate(expr, line_no)
+            return location
+        if name == ".global":
+            return location
+        if name == ".align":
+            pad = (-location) % 4
+            if pad:
+                add_data(pad, line)
+            return location + pad
+        if name == ".balign":
+            boundary = self._evaluate(rest, line_no)
+            if boundary <= 0:
+                raise AssemblerError(f".balign boundary must be positive (line {line_no})")
+            pad = (-location) % boundary
+            if pad:
+                add_data(pad, line)
+            return location + pad
+        if name == ".space":
+            count_expr, _, __ = rest.partition(",")
+            count = self._evaluate(count_expr, line_no)
+            add_data(count, line)
+            return location + count
+        if name in (".word", ".hword", ".byte"):
+            unit = {".word": 4, ".hword": 2, ".byte": 1}[name]
+            exprs = [part.strip() for part in rest.split(",") if part.strip()]
+            if not exprs:
+                raise AssemblerError(f"{name} requires at least one value (line {line_no})")
+            add_data(unit * len(exprs), line, exprs=exprs, unit=unit)
+            return location + unit * len(exprs)
+        raise AssemblerError(f"unknown directive {name!r} (line {line_no})")
+
+    # ------------------------------------------------------------------
+    # pass 2: encoding
+    # ------------------------------------------------------------------
+
+    def _pass_two(self) -> bytes:
+        out = bytearray()
+        for stmt in self.statements:
+            if stmt.address != self.base + len(out):
+                raise AssemblerError(
+                    f"internal layout mismatch at line {stmt.line_no}: "
+                    f"{stmt.address:#x} != {self.base + len(out):#x}"
+                )
+            if stmt.kind == "data":
+                out.extend(self._encode_data(stmt))
+            elif stmt.kind == "literal_load":
+                out.extend(self._encode_literal_load(stmt))
+            else:
+                out.extend(self._encode_instruction(stmt))
+        return bytes(out)
+
+    def _encode_data(self, stmt: _Statement) -> bytes:
+        if stmt.literal_expr:
+            value = self._evaluate(stmt.literal_expr, stmt.line_no) & 0xFFFFFFFF
+            return value.to_bytes(4, "little")
+        if stmt.mnemonic in (".word", ".hword", ".byte"):
+            unit = {".word": 4, ".hword": 2, ".byte": 1}[stmt.mnemonic]
+            data = bytearray()
+            for expr in stmt.operands:
+                value = self._evaluate(expr, stmt.line_no) & ((1 << (unit * 8)) - 1)
+                data.extend(value.to_bytes(unit, "little"))
+            return bytes(data)
+        return b"\x00" * stmt.size
+
+    def _encode_literal_load(self, stmt: _Statement) -> bytes:
+        if stmt.pool_address is None:
+            raise AssemblerError(f"literal for line {stmt.line_no} was never pooled")
+        pc = (stmt.address + 4) & ~3
+        offset = stmt.pool_address - pc
+        if offset < 0 or offset > 1020 or offset % 4:
+            raise AssemblerError(
+                f"literal pool out of range for load at line {stmt.line_no} (offset {offset})"
+            )
+        instr = Instruction(mnemonic="ldr", fmt=6, rd=stmt.literal_rd, base=PC, imm=offset)
+        return halfwords_to_bytes(encode(instr))
+
+    def _encode_instruction(self, stmt: _Statement) -> bytes:
+        try:
+            instr = self._build_instruction(stmt)
+            return halfwords_to_bytes(encode(instr))
+        except (EncodingError, ValueError) as exc:
+            raise AssemblerError(f"line {stmt.line_no}: {stmt.text!r}: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    # instruction construction
+    # ------------------------------------------------------------------
+
+    def _build_instruction(self, stmt: _Statement) -> Instruction:
+        m = stmt.mnemonic
+        ops = stmt.operands
+        line_no = stmt.line_no
+
+        if m in _HINTS and not ops:
+            return Instruction(mnemonic=m, fmt=20, imm=2 if m == "cps" else None)
+        if m in _EXTEND_REV:
+            return Instruction(mnemonic=m, fmt=20, rd=register_number(ops[0]), rs=register_number(ops[1]))
+        if m in ("svc", "swi", "bkpt"):
+            return Instruction(mnemonic="svc" if m == "swi" else m, fmt=17, imm=self._imm(ops[0], line_no))
+        if m in ("bx", "blx"):
+            return Instruction(mnemonic=m, fmt=5, rs=register_number(ops[0]))
+        if m == "bl":
+            return Instruction(mnemonic="bl", fmt=19, size=4, imm=self._branch_target(ops[0], stmt))
+        if m == "b":
+            return Instruction(mnemonic="b", fmt=18, imm=self._branch_target(ops[0], stmt))
+        if m in _BRANCH_CONDS:
+            cond = _BRANCH_CONDS[m]
+            return Instruction(
+                mnemonic=f"b{CONDITION_NAMES[cond]}", fmt=16, cond=cond,
+                imm=self._branch_target(ops[0], stmt),
+            )
+        if m in ("push", "pop"):
+            return Instruction(mnemonic=m, fmt=14, reg_list=self._reg_list(ops, line_no))
+        if m in ("stmia", "ldmia", "stm", "ldm"):
+            canonical = {"stm": "stmia", "ldm": "ldmia"}.get(m, m)
+            base_text = ops[0]
+            if not base_text.endswith("!"):
+                raise AssemblerError(f"{m} requires writeback 'rb!' (line {line_no})")
+            base = register_number(base_text[:-1])
+            return Instruction(
+                mnemonic=canonical, fmt=15, base=base,
+                reg_list=self._reg_list(ops[1:], line_no),
+            )
+        if m == "adr":
+            return self._build_adr(ops, stmt)
+        if m in _MEM_MNEMONICS:
+            return self._build_memory(m, ops, line_no)
+        if m in ("lsl", "lsls", "lsr", "lsrs", "asr", "asrs") and len(ops) == 3:
+            canonical = m if m.endswith("s") else m + "s"
+            return Instruction(
+                mnemonic=canonical, fmt=1,
+                rd=register_number(ops[0]), rs=register_number(ops[1]),
+                imm=self._imm(ops[2], line_no),
+            )
+        if m in ("lsl", "lsls", "lsr", "lsrs", "asr", "asrs", "ror", "rors") and len(ops) == 2:
+            canonical = m if m.endswith("s") else m + "s"
+            return Instruction(
+                mnemonic=canonical, fmt=4,
+                rd=register_number(ops[0]), rs=register_number(ops[1]),
+            )
+        if m in ("add", "adds", "sub", "subs"):
+            return self._build_add_sub(m, ops, line_no)
+        if m in ("mov", "movs"):
+            return self._build_mov(m, ops, line_no)
+        if m == "cmp":
+            return self._build_cmp(ops, line_no)
+        if m in ("neg", "negs"):
+            return Instruction(mnemonic="negs", fmt=4, rd=register_number(ops[0]), rs=register_number(ops[1]))
+        if m in _FMT4_MNEMONICS or (m + "s") in _FMT4_MNEMONICS:
+            canonical = m if m in _FMT4_MNEMONICS else m + "s"
+            return Instruction(
+                mnemonic=canonical, fmt=4,
+                rd=register_number(ops[0]), rs=register_number(ops[1]),
+            )
+        raise AssemblerError(f"unknown mnemonic {m!r} (line {line_no})")
+
+    def _build_add_sub(self, m: str, ops: list[str], line_no: int) -> Instruction:
+        is_sub = m.startswith("sub")
+        if ops[0].lower() == "sp":
+            # add/sub sp, #imm  (also accepts 'add sp, sp, #imm')
+            imm_text = ops[-1]
+            return Instruction(
+                mnemonic="sub_sp" if is_sub else "add_sp", fmt=13,
+                imm=self._imm(imm_text, line_no),
+            )
+        rd = register_number(ops[0])
+        if len(ops) == 3:
+            second = ops[1].lower()
+            if second == "sp":
+                if is_sub:
+                    raise AssemblerError(f"'sub rd, sp, #imm' is not encodable in Thumb-16 (line {line_no})")
+                return Instruction(mnemonic="add_sp_imm", fmt=12, rd=rd, base=SP, imm=self._imm(ops[2], line_no))
+            if second == "pc":
+                return Instruction(mnemonic="adr", fmt=12, rd=rd, base=PC, imm=self._imm(ops[2], line_no))
+            rs = register_number(ops[1])
+            if ops[2].startswith("#") or ops[2][0].isdigit() or ops[2][0] == "-":
+                return Instruction(
+                    mnemonic="subs" if is_sub else "adds", fmt=2,
+                    rd=rd, rs=rs, imm=self._imm(ops[2], line_no),
+                )
+            return Instruction(
+                mnemonic="subs" if is_sub else "adds", fmt=2,
+                rd=rd, rs=rs, ro=register_number(ops[2]),
+            )
+        # two operands: add rd, #imm8 | add rd, rs (high registers → fmt 5)
+        if ops[1].startswith("#") or ops[1][0].isdigit():
+            return Instruction(mnemonic="subs" if is_sub else "adds", fmt=3, rd=rd, imm=self._imm(ops[1], line_no))
+        rs = register_number(ops[1])
+        if is_sub:
+            return Instruction(mnemonic="subs", fmt=2, rd=rd, rs=rd, ro=rs)
+        if m == "adds" and rd < 8 and rs < 8:
+            return Instruction(mnemonic="adds", fmt=2, rd=rd, rs=rd, ro=rs)
+        return Instruction(mnemonic="add", fmt=5, rd=rd, rs=rs)
+
+    def _build_mov(self, m: str, ops: list[str], line_no: int) -> Instruction:
+        rd = register_number(ops[0])
+        if ops[1].startswith("#") or ops[1][0].isdigit():
+            return Instruction(mnemonic="movs", fmt=3, rd=rd, imm=self._imm(ops[1], line_no))
+        rs = register_number(ops[1])
+        if m == "movs" and rd < 8 and rs < 8:
+            # UAL 'movs rd, rs' is the flag-setting shift-by-zero encoding.
+            return Instruction(mnemonic="lsls", fmt=1, rd=rd, rs=rs, imm=0)
+        return Instruction(mnemonic="mov", fmt=5, rd=rd, rs=rs)
+
+    def _build_cmp(self, ops: list[str], line_no: int) -> Instruction:
+        rd = register_number(ops[0])
+        if ops[1].startswith("#") or ops[1][0].isdigit():
+            return Instruction(mnemonic="cmp", fmt=3, rd=rd, imm=self._imm(ops[1], line_no))
+        rs = register_number(ops[1])
+        if rd < 8 and rs < 8:
+            return Instruction(mnemonic="cmp", fmt=4, rd=rd, rs=rs)
+        return Instruction(mnemonic="cmp", fmt=5, rd=rd, rs=rs)
+
+    def _build_adr(self, ops: list[str], stmt: _Statement) -> Instruction:
+        rd = register_number(ops[0])
+        expr = ops[1].lstrip("#").strip()
+        value = self._evaluate(expr, stmt.line_no)
+        if expr and (expr[0].isalpha() or expr[0] in "._"):
+            # label form: encode the offset from the aligned PC
+            pc = (stmt.address + 4) & ~3
+            offset = value - pc
+        else:
+            # raw-immediate form: the offset is given directly
+            offset = value
+        return Instruction(mnemonic="adr", fmt=12, rd=rd, base=PC, imm=offset)
+
+    def _build_memory(self, m: str, ops: list[str], line_no: int) -> Instruction:
+        if len(ops) != 2 or not ops[1].startswith("["):
+            raise AssemblerError(f"{m} expects 'rd, [base...]' (line {line_no})")
+        rd = register_number(ops[0])
+        inner = ops[1].strip()
+        if not inner.endswith("]"):
+            raise AssemblerError(f"unterminated address operand (line {line_no})")
+        parts = [part.strip() for part in inner[1:-1].split(",")]
+        base = register_number(parts[0])
+        if len(parts) == 1:
+            offset_imm: Optional[int] = 0
+            offset_reg: Optional[int] = None
+        elif parts[1].startswith("#") or parts[1][0].isdigit() or parts[1][0] == "-":
+            offset_imm = self._imm(parts[1], line_no)
+            offset_reg = None
+        else:
+            offset_imm = None
+            offset_reg = register_number(parts[1])
+
+        if offset_reg is not None:
+            fmt = 8 if m in ("strh", "ldrh", "ldrsb", "ldrsh") else 7
+            return Instruction(mnemonic=m, fmt=fmt, rd=rd, base=base, ro=offset_reg)
+        if m in ("ldrsb", "ldrsh"):
+            raise AssemblerError(f"{m} only supports register offsets (line {line_no})")
+        if base == SP:
+            if m not in ("ldr", "str"):
+                raise AssemblerError(f"{m} has no SP-relative encoding (line {line_no})")
+            return Instruction(mnemonic=m, fmt=11, rd=rd, base=SP, imm=offset_imm)
+        if base == PC:
+            if m != "ldr":
+                raise AssemblerError(f"{m} has no PC-relative encoding (line {line_no})")
+            return Instruction(mnemonic="ldr", fmt=6, rd=rd, base=PC, imm=offset_imm)
+        if m in ("strh", "ldrh"):
+            return Instruction(mnemonic=m, fmt=10, rd=rd, base=base, imm=offset_imm)
+        return Instruction(mnemonic=m, fmt=9, rd=rd, base=base, imm=offset_imm)
+
+    # ------------------------------------------------------------------
+    # operand helpers
+    # ------------------------------------------------------------------
+
+    def _reg_list(self, ops: list[str], line_no: int) -> tuple[int, ...]:
+        text = ", ".join(ops).strip()
+        if not text.startswith("{") or not text.endswith("}"):
+            raise AssemblerError(f"expected {{reglist}} (line {line_no})")
+        regs: list[int] = []
+        for part in text[1:-1].split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "-" in part:
+                lo_text, _, hi_text = part.partition("-")
+                lo = register_number(lo_text)
+                hi = register_number(hi_text)
+                if hi < lo:
+                    raise AssemblerError(f"descending register range {part!r} (line {line_no})")
+                regs.extend(range(lo, hi + 1))
+            else:
+                regs.append(register_number(part))
+        return tuple(sorted(set(regs)))
+
+    def _imm(self, text: str, line_no: int) -> int:
+        return self._evaluate(text.lstrip("#"), line_no)
+
+    def _branch_target(self, text: str, stmt: _Statement) -> int:
+        target = self._evaluate(text, stmt.line_no)
+        return target - (stmt.address + 4)
+
+    def _evaluate(self, expression: str, line_no: int) -> int:
+        """Evaluate an integer / label / ``label±const`` expression."""
+        expr = expression.strip()
+        if not expr:
+            raise AssemblerError(f"empty expression (line {line_no})")
+        for operator in ("+", "-"):
+            idx = _find_operator(expr, operator)
+            if idx > 0:
+                left = self._evaluate(expr[:idx], line_no)
+                right = self._evaluate(expr[idx + 1:], line_no)
+                return left + right if operator == "+" else left - right
+        if expr[0] == "-":
+            return -self._evaluate(expr[1:], line_no)
+        if expr[0] == "'" and expr.endswith("'") and len(expr) >= 3:
+            return ord(expr[1:-1])
+        try:
+            return int(expr, 0)
+        except ValueError:
+            pass
+        if expr in self.equates:
+            return self.equates[expr]
+        if expr in self.symbols:
+            return self.symbols[expr]
+        raise AssemblerError(f"undefined symbol {expr!r} (line {line_no})")
+
+
+def assemble(source: str, base: int = 0) -> AssembledProgram:
+    """Assemble ``source`` at ``base`` and return the program image."""
+    return Assembler(source, base=base).assemble()
+
+
+# ----------------------------------------------------------------------
+# lexical helpers
+# ----------------------------------------------------------------------
+
+def _strip_comment(line: str) -> str:
+    for marker in (";", "@", "//"):
+        idx = _find_outside_quotes(line, marker)
+        if idx >= 0:
+            line = line[:idx]
+    return line
+
+
+def _find_outside_quotes(line: str, marker: str) -> int:
+    in_quote = False
+    for i in range(len(line) - len(marker) + 1):
+        ch = line[i]
+        if ch == "'":
+            in_quote = not in_quote
+        if not in_quote and line.startswith(marker, i):
+            return i
+    return -1
+
+
+def _take_label(line: str) -> tuple[Optional[str], str]:
+    idx = line.find(":")
+    if idx <= 0:
+        return None, line
+    candidate = line[:idx].strip()
+    if candidate and all(c.isalnum() or c in "._$" for c in candidate) and not candidate[0].isdigit():
+        return candidate, line[idx + 1:].strip()
+    return None, line
+
+
+def _split_instruction(line: str) -> tuple[str, list[str]]:
+    parts = line.split(None, 1)
+    mnemonic = parts[0].lower()
+    if len(parts) == 1:
+        return mnemonic, []
+    operand_text = parts[1]
+    operands: list[str] = []
+    depth = 0
+    current = []
+    for ch in operand_text:
+        if ch in "[{":
+            depth += 1
+        elif ch in "]}":
+            depth -= 1
+        if ch == "," and depth == 0:
+            operands.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        operands.append(tail)
+    return mnemonic, operands
+
+
+def _find_operator(expr: str, operator: str) -> int:
+    """Index of a top-level binary operator (skipping a leading sign and 0x/0b prefixes)."""
+    for i in range(len(expr) - 1, 0, -1):
+        if expr[i] == operator and expr[i - 1] not in "+-xXbB(":
+            return i
+    return -1
+
+
+__all__ = ["Assembler", "AssembledProgram", "assemble"]

@@ -1,0 +1,124 @@
+"""ARM condition codes and their evaluation against the NZCV flags.
+
+The paper's Figure 2 sweeps every conditional branch of Thumb: ``beq``,
+``bne``, ``bcs``, ``bcc``, ``bmi``, ``bpl``, ``bvs``, ``bvc``, ``bhi``,
+``bls``, ``bge``, ``blt``, ``bgt``, ``ble`` — condition numbers 0-13.
+Number 14 (``AL``) is not encodable as a Thumb conditional branch (the
+encoding is UDF on ARMv6-M) and 15 selects the SVC/SWI instruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+CONDITION_NAMES = (
+    "eq",  # 0  Z == 1
+    "ne",  # 1  Z == 0
+    "cs",  # 2  C == 1 (aka hs)
+    "cc",  # 3  C == 0 (aka lo)
+    "mi",  # 4  N == 1
+    "pl",  # 5  N == 0
+    "vs",  # 6  V == 1
+    "vc",  # 7  V == 0
+    "hi",  # 8  C == 1 and Z == 0
+    "ls",  # 9  C == 0 or Z == 1
+    "ge",  # 10 N == V
+    "lt",  # 11 N != V
+    "gt",  # 12 Z == 0 and N == V
+    "le",  # 13 Z == 1 or N != V
+)
+
+_ALIASES = {"hs": "cs", "lo": "cc"}
+
+#: All conditional-branch mnemonics evaluated in Figure 2, paper order aside.
+BRANCH_MNEMONICS = tuple(f"b{name}" for name in CONDITION_NAMES)
+
+
+@dataclass(frozen=True)
+class Flags:
+    """The NZCV application-status flags."""
+
+    n: bool = False
+    z: bool = False
+    c: bool = False
+    v: bool = False
+
+    def replace(self, **kwargs: bool) -> "Flags":
+        values = {"n": self.n, "z": self.z, "c": self.c, "v": self.v}
+        values.update(kwargs)
+        return Flags(**values)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return "".join(
+            letter.upper() if value else letter
+            for letter, value in zip("nzcv", (self.n, self.z, self.c, self.v))
+        )
+
+
+def condition_name(number: int) -> str:
+    """Name of condition ``number`` (0-13)."""
+    if not 0 <= number < len(CONDITION_NAMES):
+        raise ValueError(f"condition number out of range: {number}")
+    return CONDITION_NAMES[number]
+
+
+def condition_number(name: str) -> int:
+    """Parse a condition name (accepts ``hs``/``lo`` aliases)."""
+    key = name.strip().lower()
+    key = _ALIASES.get(key, key)
+    try:
+        return CONDITION_NAMES.index(key)
+    except ValueError:
+        raise ValueError(f"unknown condition name: {name!r}") from None
+
+
+def condition_holds(number: int, flags: Flags) -> bool:
+    """Evaluate condition ``number`` against ``flags`` per the ARM ARM."""
+    n, z, c, v = flags.n, flags.z, flags.c, flags.v
+    if number == 0:
+        return z
+    if number == 1:
+        return not z
+    if number == 2:
+        return c
+    if number == 3:
+        return not c
+    if number == 4:
+        return n
+    if number == 5:
+        return not n
+    if number == 6:
+        return v
+    if number == 7:
+        return not v
+    if number == 8:
+        return c and not z
+    if number == 9:
+        return (not c) or z
+    if number == 10:
+        return n == v
+    if number == 11:
+        return n != v
+    if number == 12:
+        return (not z) and n == v
+    if number == 13:
+        return z or n != v
+    if number == 14:
+        return True
+    raise ValueError(f"condition number out of range: {number}")
+
+
+def flags_where_taken(number: int) -> Flags:
+    """Return one flag assignment under which condition ``number`` holds.
+
+    Used by the glitch-emulation snippet generator to set up a branch that
+    *would* be taken in the unglitched run.
+    """
+    for n in (False, True):
+        for z in (False, True):
+            for c in (False, True):
+                for v in (False, True):
+                    flags = Flags(n=n, z=z, c=c, v=v)
+                    if condition_holds(number, flags):
+                        return flags
+    raise ValueError(f"no satisfying flags for condition {number}")  # pragma: no cover

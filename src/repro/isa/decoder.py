@@ -1,0 +1,300 @@
+"""Thumb-16 decoder covering the 19 ARM7TDMI formats plus the ARMv6-M extras.
+
+Undefined encodings raise :class:`repro.errors.InvalidInstruction` — the
+glitch-emulation campaign (Section IV) relies on this to classify corrupted
+instructions, mirroring how the paper's Unicorn-based framework surfaced
+*Invalid Instruction* errors.
+
+``zero_is_invalid`` implements the paper's hypothesised ISA hardening tweak
+(Figure 2c): architecturally, ``0x0000`` decodes to ``lsls r0, r0, #0`` —
+``mov r0, r0``, a perfect NOP — which is exactly what makes AND-model
+(1→0) glitches so effective. Decoding it as invalid instead tests whether
+that NOP-at-zero property is the root cause of the AND model's success.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.bits import bits, sign_extend
+from repro.errors import InvalidInstruction
+from repro.isa.instruction import Instruction
+from repro.isa.registers import PC, SP
+
+_FMT4_OPS = (
+    "ands", "eors", "lsls", "lsrs", "asrs", "adcs", "sbcs", "rors",
+    "tst", "negs", "cmp", "cmn", "orrs", "muls", "bics", "mvns",
+)
+
+_FMT7_8_OPS = ("str", "strh", "strb", "ldrsb", "ldr", "ldrh", "ldrb", "ldrsh")
+
+_HINTS = {0x0: "nop", 0x1: "yield", 0x2: "wfe", 0x3: "wfi", 0x4: "sev"}
+
+
+def decode(
+    halfword: int,
+    next_halfword: int | None = None,
+    zero_is_invalid: bool = False,
+) -> Instruction:
+    """Decode one Thumb instruction starting at ``halfword``.
+
+    ``next_halfword`` must be supplied when the instruction might be the
+    32-bit ``bl`` pair; if the first halfword is a BL prefix and
+    ``next_halfword`` is missing or not a BL suffix, the encoding is invalid.
+    """
+    hw = halfword & 0xFFFF
+    if zero_is_invalid and hw == 0:
+        raise InvalidInstruction("0x0000 configured as invalid (hardened ISA)")
+
+    top3 = bits(hw, 15, 13)
+
+    if top3 == 0b000:
+        return _decode_shift_add_sub(hw)
+    if top3 == 0b001:
+        return _decode_imm8(hw)
+    if top3 == 0b010:
+        return _decode_group_010(hw)
+    if top3 == 0b011:
+        return _decode_ldst_imm5(hw)
+    if top3 == 0b100:
+        return _decode_ldst_half_sp(hw)
+    if top3 == 0b101:
+        return _decode_adr_misc(hw)
+    if top3 == 0b110:
+        return _decode_multiple_condbranch(hw)
+    return _decode_branches(hw, next_halfword)
+
+
+def decode_stream(
+    halfwords: list[int],
+    zero_is_invalid: bool = False,
+) -> Iterator[tuple[int, Instruction]]:
+    """Linear-sweep decode of a halfword list, yielding ``(index, instruction)``.
+
+    BL pairs consume two halfwords. Invalid encodings propagate as
+    :class:`InvalidInstruction`.
+    """
+    index = 0
+    while index < len(halfwords):
+        nxt = halfwords[index + 1] if index + 1 < len(halfwords) else None
+        instr = decode(halfwords[index], nxt, zero_is_invalid=zero_is_invalid)
+        yield index, instr
+        index += instr.size // 2
+
+
+# ----------------------------------------------------------------------
+# format groups
+# ----------------------------------------------------------------------
+
+def _decode_shift_add_sub(hw: int) -> Instruction:
+    op = bits(hw, 12, 11)
+    if op != 0b11:
+        # Format 1: LSL/LSR/ASR Rd, Rs, #imm5
+        mnemonic = ("lsls", "lsrs", "asrs")[op]
+        return Instruction(
+            mnemonic=mnemonic, fmt=1,
+            rd=bits(hw, 2, 0), rs=bits(hw, 5, 3), imm=bits(hw, 10, 6),
+            raw=hw,
+        )
+    # Format 2: ADDS/SUBS Rd, Rs, Rn|#imm3
+    immediate = bool(bits(hw, 10, 10))
+    mnemonic = "subs" if bits(hw, 9, 9) else "adds"
+    rn_or_imm = bits(hw, 8, 6)
+    if immediate:
+        return Instruction(
+            mnemonic=mnemonic, fmt=2,
+            rd=bits(hw, 2, 0), rs=bits(hw, 5, 3), imm=rn_or_imm, raw=hw,
+        )
+    return Instruction(
+        mnemonic=mnemonic, fmt=2,
+        rd=bits(hw, 2, 0), rs=bits(hw, 5, 3), ro=rn_or_imm, raw=hw,
+    )
+
+
+def _decode_imm8(hw: int) -> Instruction:
+    # Format 3: MOVS/CMP/ADDS/SUBS Rd, #imm8
+    mnemonic = ("movs", "cmp", "adds", "subs")[bits(hw, 12, 11)]
+    return Instruction(
+        mnemonic=mnemonic, fmt=3, rd=bits(hw, 10, 8), imm=bits(hw, 7, 0), raw=hw,
+    )
+
+
+def _decode_group_010(hw: int) -> Instruction:
+    if bits(hw, 12, 10) == 0b000:
+        # Format 4: register ALU operations
+        mnemonic = _FMT4_OPS[bits(hw, 9, 6)]
+        return Instruction(
+            mnemonic=mnemonic, fmt=4, rd=bits(hw, 2, 0), rs=bits(hw, 5, 3), raw=hw,
+        )
+    if bits(hw, 12, 10) == 0b001:
+        return _decode_hi_reg_bx(hw)
+    if bits(hw, 12, 11) == 0b01:
+        # Format 6: LDR Rd, [PC, #imm8*4]
+        return Instruction(
+            mnemonic="ldr", fmt=6, rd=bits(hw, 10, 8), base=PC,
+            imm=bits(hw, 7, 0) * 4, raw=hw,
+        )
+    # Formats 7/8: load/store with register offset
+    mnemonic = _FMT7_8_OPS[bits(hw, 11, 9)]
+    return Instruction(
+        mnemonic=mnemonic, fmt=7 if bits(hw, 9, 9) == 0 else 8,
+        rd=bits(hw, 2, 0), base=bits(hw, 5, 3), ro=bits(hw, 8, 6), raw=hw,
+    )
+
+
+def _decode_hi_reg_bx(hw: int) -> Instruction:
+    # Format 5: ADD/CMP/MOV with high registers, BX/BLX
+    op = bits(hw, 9, 8)
+    h1 = bits(hw, 7, 7)
+    h2 = bits(hw, 6, 6)
+    rd = bits(hw, 2, 0) | (h1 << 3)
+    rs = bits(hw, 5, 3) | (h2 << 3)
+    if op == 0b11:
+        if bits(hw, 2, 0) != 0:
+            raise InvalidInstruction(f"BX/BLX with non-zero Rd field: {hw:#06x}")
+        mnemonic = "blx" if h1 else "bx"
+        if mnemonic == "blx" and rs == PC:
+            raise InvalidInstruction("BLX pc is unpredictable")
+        return Instruction(mnemonic=mnemonic, fmt=5, rs=rs, raw=hw)
+    if op == 0b01 and not h1 and not h2:
+        # CMP with two low registers has a format-4 encoding; this one is
+        # unpredictable per the ARM ARM, so we reject it.
+        raise InvalidInstruction(f"format-5 CMP with two low registers: {hw:#06x}")
+    mnemonic = ("add", "cmp", "mov")[op]
+    return Instruction(mnemonic=mnemonic, fmt=5, rd=rd, rs=rs, raw=hw)
+
+
+def _decode_ldst_imm5(hw: int) -> Instruction:
+    # Format 9: STR/LDR (imm5*4), STRB/LDRB (imm5)
+    byte = bits(hw, 12, 12)
+    load = bits(hw, 11, 11)
+    imm5 = bits(hw, 10, 6)
+    mnemonic = ("str", "ldr", "strb", "ldrb")[(byte << 1) | load]
+    scale = 1 if byte else 4
+    return Instruction(
+        mnemonic=mnemonic, fmt=9,
+        rd=bits(hw, 2, 0), base=bits(hw, 5, 3), imm=imm5 * scale, raw=hw,
+    )
+
+
+def _decode_ldst_half_sp(hw: int) -> Instruction:
+    if bits(hw, 12, 12) == 0:
+        # Format 10: STRH/LDRH Rd, [Rb, #imm5*2]
+        mnemonic = "ldrh" if bits(hw, 11, 11) else "strh"
+        return Instruction(
+            mnemonic=mnemonic, fmt=10,
+            rd=bits(hw, 2, 0), base=bits(hw, 5, 3), imm=bits(hw, 10, 6) * 2, raw=hw,
+        )
+    # Format 11: STR/LDR Rd, [SP, #imm8*4]
+    mnemonic = "ldr" if bits(hw, 11, 11) else "str"
+    return Instruction(
+        mnemonic=mnemonic, fmt=11,
+        rd=bits(hw, 10, 8), base=SP, imm=bits(hw, 7, 0) * 4, raw=hw,
+    )
+
+
+def _decode_adr_misc(hw: int) -> Instruction:
+    if bits(hw, 12, 12) == 0:
+        # Format 12: ADR / ADD Rd, SP, #imm8*4
+        rd = bits(hw, 10, 8)
+        imm = bits(hw, 7, 0) * 4
+        if bits(hw, 11, 11):
+            return Instruction(mnemonic="add_sp_imm", fmt=12, rd=rd, base=SP, imm=imm, raw=hw)
+        return Instruction(mnemonic="adr", fmt=12, rd=rd, base=PC, imm=imm, raw=hw)
+    return _decode_misc_1011(hw)
+
+
+def _decode_misc_1011(hw: int) -> Instruction:
+    sub = bits(hw, 11, 8)
+    if sub == 0b0000:
+        # Format 13: ADD/SUB SP, #imm7*4
+        imm = bits(hw, 6, 0) * 4
+        mnemonic = "sub_sp" if bits(hw, 7, 7) else "add_sp"
+        return Instruction(mnemonic=mnemonic, fmt=13, imm=imm, raw=hw)
+    if sub == 0b0010:
+        # v6-M sign/zero extend
+        mnemonic = ("sxth", "sxtb", "uxth", "uxtb")[bits(hw, 7, 6)]
+        return Instruction(mnemonic=mnemonic, fmt=20, rd=bits(hw, 2, 0), rs=bits(hw, 5, 3), raw=hw)
+    if sub in (0b0100, 0b0101, 0b1100, 0b1101):
+        # Format 14: PUSH/POP
+        load = bits(hw, 11, 11)
+        extra = bits(hw, 8, 8)
+        regs = _reg_list(bits(hw, 7, 0))
+        if extra:
+            regs = regs + ((PC,) if load else (LR_REG,))
+        if not regs:
+            raise InvalidInstruction(f"push/pop with empty register list: {hw:#06x}")
+        return Instruction(mnemonic="pop" if load else "push", fmt=14, reg_list=regs, raw=hw)
+    if sub == 0b0110:
+        # CPS (interrupt enable/disable) — modelled as a hint.
+        if bits(hw, 7, 5) == 0b011:
+            return Instruction(mnemonic="cps", fmt=20, imm=bits(hw, 4, 0), raw=hw)
+        raise InvalidInstruction(f"undefined misc encoding: {hw:#06x}")
+    if sub == 0b1010:
+        op = bits(hw, 7, 6)
+        if op == 0b10:
+            raise InvalidInstruction(f"undefined REV-group encoding: {hw:#06x}")
+        mnemonic = {0b00: "rev", 0b01: "rev16", 0b11: "revsh"}[op]
+        return Instruction(mnemonic=mnemonic, fmt=20, rd=bits(hw, 2, 0), rs=bits(hw, 5, 3), raw=hw)
+    if sub == 0b1110:
+        return Instruction(mnemonic="bkpt", fmt=17, imm=bits(hw, 7, 0), raw=hw)
+    if sub == 0b1111:
+        if bits(hw, 3, 0) == 0 and bits(hw, 7, 4) in _HINTS:
+            return Instruction(mnemonic=_HINTS[bits(hw, 7, 4)], fmt=20, raw=hw)
+        raise InvalidInstruction(f"undefined hint encoding: {hw:#06x}")
+    raise InvalidInstruction(f"undefined 1011 miscellaneous encoding: {hw:#06x}")
+
+
+def _decode_multiple_condbranch(hw: int) -> Instruction:
+    if bits(hw, 12, 12) == 0:
+        # Format 15: STMIA/LDMIA Rb!, {reglist}
+        regs = _reg_list(bits(hw, 7, 0))
+        if not regs:
+            raise InvalidInstruction(f"ldmia/stmia with empty register list: {hw:#06x}")
+        mnemonic = "ldmia" if bits(hw, 11, 11) else "stmia"
+        return Instruction(mnemonic=mnemonic, fmt=15, base=bits(hw, 10, 8), reg_list=regs, raw=hw)
+    cond = bits(hw, 11, 8)
+    if cond == 0b1110:
+        raise InvalidInstruction(f"permanently undefined (UDF) encoding: {hw:#06x}")
+    if cond == 0b1111:
+        # Format 17: SVC (SWI)
+        return Instruction(mnemonic="svc", fmt=17, imm=bits(hw, 7, 0), raw=hw)
+    # Format 16: conditional branch, signed offset8 * 2 from PC (addr + 4)
+    offset = sign_extend(bits(hw, 7, 0), 8) * 2
+    from repro.isa.conditions import condition_name
+
+    return Instruction(
+        mnemonic=f"b{condition_name(cond)}", fmt=16, cond=cond, imm=offset, raw=hw,
+    )
+
+
+def _decode_branches(hw: int, next_halfword: int | None) -> Instruction:
+    group = bits(hw, 12, 11)
+    if group == 0b00:
+        # Format 18: unconditional branch, signed offset11 * 2
+        return Instruction(mnemonic="b", fmt=18, imm=sign_extend(bits(hw, 10, 0), 11) * 2, raw=hw)
+    if group == 0b01:
+        # 11101xxxxxxxxxxx: 32-bit encodings we do not implement → undefined.
+        raise InvalidInstruction(f"undefined 11101 encoding: {hw:#06x}")
+    if group == 0b10:
+        # Format 19 first half (BL prefix). Requires a matching suffix.
+        if next_halfword is None or bits(next_halfword, 15, 11) != 0b11111:
+            raise InvalidInstruction(f"BL prefix {hw:#06x} without a BL suffix")
+        offset_high = sign_extend(bits(hw, 10, 0), 11) << 12
+        offset_low = bits(next_halfword, 10, 0) << 1
+        return Instruction(
+            mnemonic="bl", fmt=19, size=4, imm=offset_high + offset_low,
+            raw=(hw << 16) | (next_halfword & 0xFFFF),
+        )
+    # Format 19 second half executed on its own: unpredictable.
+    raise InvalidInstruction(f"stray BL suffix halfword: {hw:#06x}")
+
+
+LR_REG = 14
+
+
+def _reg_list(mask8: int) -> tuple[int, ...]:
+    return tuple(i for i in range(8) if (mask8 >> i) & 1)
+
+
+__all__ = ["decode", "decode_stream"]

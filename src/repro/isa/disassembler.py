@@ -1,0 +1,59 @@
+"""Linear-sweep disassembler used for post-mortem inspection of glitched code.
+
+Unlike the decoder, the disassembler never raises on undefined encodings:
+corrupted programs are full of them, and the experiments want a printable
+listing regardless. Undefined halfwords render as ``.hword 0x....  ; <why>``.
+"""
+
+from __future__ import annotations
+
+from repro.bits import bytes_to_halfwords
+from repro.errors import InvalidInstruction
+from repro.isa.decoder import decode
+
+
+def disassemble_one(
+    halfword: int,
+    next_halfword: int | None = None,
+    zero_is_invalid: bool = False,
+) -> str:
+    """Disassemble a single instruction, falling back to a data directive."""
+    try:
+        return decode(halfword, next_halfword, zero_is_invalid=zero_is_invalid).render()
+    except InvalidInstruction as exc:
+        return f".hword {halfword & 0xFFFF:#06x}  ; invalid: {exc}"
+
+
+def disassemble(
+    code: bytes | list[int],
+    base: int = 0,
+    zero_is_invalid: bool = False,
+) -> list[tuple[int, str]]:
+    """Disassemble ``code`` (bytes or halfword list) into ``(address, text)`` rows.
+
+    BL pairs consume two halfwords; invalid halfwords consume one and render
+    as data, so the sweep always terminates.
+    """
+    halfwords = bytes_to_halfwords(code) if isinstance(code, (bytes, bytearray)) else list(code)
+    rows: list[tuple[int, str]] = []
+    index = 0
+    while index < len(halfwords):
+        address = base + index * 2
+        nxt = halfwords[index + 1] if index + 1 < len(halfwords) else None
+        try:
+            instr = decode(halfwords[index], nxt, zero_is_invalid=zero_is_invalid)
+        except InvalidInstruction as exc:
+            rows.append((address, f".hword {halfwords[index]:#06x}  ; invalid: {exc}"))
+            index += 1
+            continue
+        rows.append((address, instr.render()))
+        index += instr.size // 2
+    return rows
+
+
+def format_listing(rows: list[tuple[int, str]]) -> str:
+    """Render disassembly rows as an address-annotated listing."""
+    return "\n".join(f"{address:#010x}:  {text}" for address, text in rows)
+
+
+__all__ = ["disassemble", "disassemble_one", "format_listing"]

@@ -1,0 +1,247 @@
+"""Thumb-16 encoder: :class:`Instruction` fields → machine halfwords.
+
+The encoder is the exact inverse of :mod:`repro.isa.decoder` for every
+representable instruction; the round-trip property is enforced by the test
+suite (including a hypothesis sweep over the full 16-bit space).
+"""
+
+from __future__ import annotations
+
+from repro.errors import EncodingError
+from repro.isa.conditions import condition_number
+from repro.isa.instruction import Instruction
+from repro.isa.registers import LR, PC, SP
+
+_FMT4_OPS = {
+    "ands": 0, "eors": 1, "lsls": 2, "lsrs": 3, "asrs": 4, "adcs": 5,
+    "sbcs": 6, "rors": 7, "tst": 8, "negs": 9, "cmp": 10, "cmn": 11,
+    "orrs": 12, "muls": 13, "bics": 14, "mvns": 15,
+}
+
+_FMT7_8_OPS = {
+    "str": 0, "strh": 1, "strb": 2, "ldrsb": 3,
+    "ldr": 4, "ldrh": 5, "ldrb": 6, "ldrsh": 7,
+}
+
+_EXTEND_OPS = {"sxth": 0, "sxtb": 1, "uxth": 2, "uxtb": 3}
+_REV_OPS = {"rev": 0, "rev16": 1, "revsh": 3}
+_HINT_OPS = {"nop": 0, "yield": 1, "wfe": 2, "wfi": 3, "sev": 4}
+
+
+def encode(instr: Instruction) -> list[int]:
+    """Encode ``instr`` into one halfword (or two for ``bl``)."""
+    m = instr.mnemonic
+    fmt = instr.fmt
+    if fmt == 1:
+        return [_fmt1(instr)]
+    if fmt == 2:
+        return [_fmt2(instr)]
+    if fmt == 3:
+        return [_fmt3(instr)]
+    if fmt == 4:
+        return [_fmt4(instr)]
+    if fmt == 5:
+        return [_fmt5(instr)]
+    if fmt == 6:
+        return [_check_imm(0x4800 | (_low(instr.rd) << 8) | _scaled(instr.imm, 4, 8), instr)]
+    if fmt in (7, 8):
+        op = _FMT7_8_OPS[m]
+        return [0x5000 | (op << 9) | (_low(instr.ro) << 6) | (_low(instr.base) << 3) | _low(instr.rd)]
+    if fmt == 9:
+        return [_fmt9(instr)]
+    if fmt == 10:
+        load = 1 if m == "ldrh" else 0
+        return [0x8000 | (load << 11) | (_scaled(instr.imm, 2, 5) << 6) | (_low(instr.base) << 3) | _low(instr.rd)]
+    if fmt == 11:
+        load = 1 if m == "ldr" else 0
+        return [0x9000 | (load << 11) | (_low(instr.rd) << 8) | _scaled(instr.imm, 4, 8)]
+    if fmt == 12:
+        sp = 1 if m == "add_sp_imm" else 0
+        return [0xA000 | (sp << 11) | (_low(instr.rd) << 8) | _scaled(instr.imm, 4, 8)]
+    if fmt == 13:
+        sign = 1 if m == "sub_sp" else 0
+        return [0xB000 | (sign << 7) | _scaled(instr.imm, 4, 7)]
+    if fmt == 14:
+        return [_fmt14(instr)]
+    if fmt == 15:
+        load = 1 if m == "ldmia" else 0
+        return [0xC000 | (load << 11) | (_low(instr.base) << 8) | _reg_mask(instr.reg_list, m)]
+    if fmt == 16:
+        return [_fmt16(instr)]
+    if fmt == 17:
+        prefix = 0xDF00 if m == "svc" else 0xBE00
+        return [prefix | _unsigned(instr.imm, 8)]
+    if fmt == 18:
+        return [0xE000 | _branch_offset(instr.imm, 11)]
+    if fmt == 19:
+        return _fmt19(instr)
+    if fmt == 20:
+        return [_fmt20(instr)]
+    raise EncodingError(f"cannot encode instruction: {instr!r}")
+
+
+# ----------------------------------------------------------------------
+
+def _fmt1(instr: Instruction) -> int:
+    op = {"lsls": 0, "lsrs": 1, "asrs": 2}[instr.mnemonic]
+    return (op << 11) | (_unsigned(instr.imm, 5) << 6) | (_low(instr.rs) << 3) | _low(instr.rd)
+
+
+def _fmt2(instr: Instruction) -> int:
+    op = 1 if instr.mnemonic == "subs" else 0
+    if instr.ro is not None:
+        field = _low(instr.ro)
+        immediate = 0
+    else:
+        field = _unsigned(instr.imm, 3)
+        immediate = 1
+    return 0x1800 | (immediate << 10) | (op << 9) | (field << 6) | (_low(instr.rs) << 3) | _low(instr.rd)
+
+
+def _fmt3(instr: Instruction) -> int:
+    op = {"movs": 0, "cmp": 1, "adds": 2, "subs": 3}[instr.mnemonic]
+    return 0x2000 | (op << 11) | (_low(instr.rd) << 8) | _unsigned(instr.imm, 8)
+
+
+def _fmt4(instr: Instruction) -> int:
+    op = _FMT4_OPS[instr.mnemonic]
+    return 0x4000 | (op << 6) | (_low(instr.rs) << 3) | _low(instr.rd)
+
+
+def _fmt5(instr: Instruction) -> int:
+    m = instr.mnemonic
+    if m in ("bx", "blx"):
+        rs = _any(instr.rs)
+        h1 = 1 if m == "blx" else 0
+        return 0x4700 | (h1 << 7) | (rs << 3)
+    op = {"add": 0, "cmp": 1, "mov": 2}[m]
+    rd = _any(instr.rd)
+    rs = _any(instr.rs)
+    if m == "cmp" and rd < 8 and rs < 8:
+        raise EncodingError("format-5 cmp requires a high register; use the format-4 encoding")
+    h1 = (rd >> 3) & 1
+    h2 = (rs >> 3) & 1
+    return 0x4400 | (op << 8) | (h1 << 7) | (h2 << 6) | ((rs & 7) << 3) | (rd & 7)
+
+
+def _fmt9(instr: Instruction) -> int:
+    m = instr.mnemonic
+    byte = 1 if m in ("strb", "ldrb") else 0
+    load = 1 if m in ("ldr", "ldrb") else 0
+    scale = 1 if byte else 4
+    imm5 = _scaled(instr.imm, scale, 5)
+    return 0x6000 | (byte << 12) | (load << 11) | (imm5 << 6) | (_low(instr.base) << 3) | _low(instr.rd)
+
+
+def _fmt14(instr: Instruction) -> int:
+    load = 1 if instr.mnemonic == "pop" else 0
+    special = PC if load else LR
+    low_regs = tuple(r for r in instr.reg_list if r < 8)
+    extra = special in instr.reg_list
+    if len(low_regs) + (1 if extra else 0) != len(instr.reg_list):
+        raise EncodingError(
+            f"{instr.mnemonic} register list may contain r0-r7 and "
+            f"{'pc' if load else 'lr'} only: {instr.reg_list}"
+        )
+    if not instr.reg_list:
+        raise EncodingError(f"{instr.mnemonic} requires a non-empty register list")
+    low_mask = 0
+    for reg in low_regs:
+        low_mask |= 1 << reg
+    return 0xB400 | (load << 11) | ((1 if extra else 0) << 8) | low_mask
+
+
+def _fmt16(instr: Instruction) -> int:
+    cond = instr.cond if instr.cond is not None else condition_number(instr.mnemonic[1:])
+    if not 0 <= cond <= 13:
+        raise EncodingError(f"condition {cond} is not encodable as a branch")
+    return 0xD000 | (cond << 8) | _branch_offset(instr.imm, 8)
+
+
+def _fmt19(instr: Instruction) -> list[int]:
+    offset = _imm(instr.imm)
+    if offset % 2:
+        raise EncodingError(f"bl offset must be even: {offset}")
+    if not -(1 << 22) <= offset < (1 << 22):
+        raise EncodingError(f"bl offset out of range: {offset}")
+    value = (offset >> 1) & 0x3FFFFF
+    high = (value >> 11) & 0x7FF
+    low = value & 0x7FF
+    return [0xF000 | high, 0xF800 | low]
+
+
+def _fmt20(instr: Instruction) -> int:
+    m = instr.mnemonic
+    if m in _EXTEND_OPS:
+        return 0xB200 | (_EXTEND_OPS[m] << 6) | (_low(instr.rs) << 3) | _low(instr.rd)
+    if m in _REV_OPS:
+        return 0xBA00 | (_REV_OPS[m] << 6) | (_low(instr.rs) << 3) | _low(instr.rd)
+    if m in _HINT_OPS:
+        return 0xBF00 | (_HINT_OPS[m] << 4)
+    if m == "cps":
+        return 0xB660 | ((instr.imm or 0) & 0x1F)
+    raise EncodingError(f"cannot encode misc instruction {m!r}")
+
+
+# ----------------------------------------------------------------------
+# field helpers
+# ----------------------------------------------------------------------
+
+def _low(reg: int | None) -> int:
+    if reg is None or not 0 <= reg <= 7:
+        raise EncodingError(f"expected a low register r0-r7, got {reg}")
+    return reg
+
+
+def _any(reg: int | None) -> int:
+    if reg is None or not 0 <= reg <= 15:
+        raise EncodingError(f"expected a register r0-r15, got {reg}")
+    return reg
+
+
+def _imm(imm: int | None) -> int:
+    if imm is None:
+        raise EncodingError("missing immediate operand")
+    return imm
+
+
+def _unsigned(imm: int | None, width: int) -> int:
+    value = _imm(imm)
+    if not 0 <= value < (1 << width):
+        raise EncodingError(f"immediate {value} does not fit in {width} unsigned bits")
+    return value
+
+
+def _scaled(imm: int | None, scale: int, width: int) -> int:
+    value = _imm(imm)
+    if value % scale:
+        raise EncodingError(f"immediate {value} must be a multiple of {scale}")
+    return _unsigned(value // scale, width)
+
+
+def _branch_offset(imm: int | None, width: int) -> int:
+    value = _imm(imm)
+    if value % 2:
+        raise EncodingError(f"branch offset must be even: {value}")
+    half = value >> 1
+    if not -(1 << (width - 1)) <= half < (1 << (width - 1)):
+        raise EncodingError(f"branch offset {value} does not fit in {width} signed halfword bits")
+    return half & ((1 << width) - 1)
+
+
+def _check_imm(encoded: int, instr: Instruction) -> int:
+    return encoded
+
+
+def _reg_mask(regs: tuple[int, ...], mnemonic: str) -> int:
+    if not regs:
+        raise EncodingError(f"{mnemonic} requires a non-empty register list")
+    mask = 0
+    for reg in regs:
+        if not 0 <= reg <= 7:
+            raise EncodingError(f"{mnemonic} register list is limited to r0-r7, got r{reg}")
+        mask |= 1 << reg
+    return mask
+
+
+__all__ = ["encode"]

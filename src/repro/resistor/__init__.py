@@ -1,0 +1,26 @@
+"""GlitchResistor — the paper's automated software-only glitching defense tool.
+
+Defenses (Section VI), each implemented as a pass over the MiniC pipeline:
+
+=====================  ======================  ==============================
+paper defense          implemented as          module
+=====================  ======================  ==============================
+ENUM Rewriter          AST/program transform   :mod:`repro.resistor.enum_rewriter`
+Non-trivial returns    IR module pass          :mod:`repro.resistor.return_codes`
+Branch redundancy      IR function pass        :mod:`repro.resistor.branch_redundancy`
+Loop redundancy        IR function pass        :mod:`repro.resistor.loop_redundancy`
+Data integrity         IR module pass          :mod:`repro.resistor.data_integrity`
+Random delay           IR function pass +      :mod:`repro.resistor.random_delay`
+                       runtime (LCG, seed in
+                       flash)
+=====================  ======================  ==============================
+
+``harden()`` (in :mod:`repro.resistor.driver`) composes them à la carte and
+produces a bootable, defended firmware image.
+"""
+
+from repro.resistor.config import ResistorConfig
+from repro.resistor.driver import HardenedProgram, harden
+from repro.resistor.report import InstrumentationReport
+
+__all__ = ["ResistorConfig", "harden", "HardenedProgram", "InstrumentationReport"]

@@ -1,0 +1,134 @@
+"""Shared machinery for the IR defense passes."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.compiler import ir
+
+#: complemented comparison: cmp(op, a, b) == cmp(COMPLEMENT[op], ~a, ~b)
+COMPLEMENT_OP = {
+    "eq": "eq", "ne": "ne",
+    "slt": "sgt", "sle": "sge", "sgt": "slt", "sge": "sle",
+    "ult": "ugt", "ule": "uge", "ugt": "ult", "uge": "ule",
+}
+
+_DETECT_HINT = "gr.detect"
+
+
+def detect_block(function: ir.IRFunction, detect_function: str) -> ir.Block:
+    """The function's (shared) glitch-detected block: call the reaction and,
+    should it ever return, spin — detection is terminal."""
+    for block in function.blocks.values():
+        if block.label.startswith(_DETECT_HINT):
+            return block
+    block = function.new_block(_DETECT_HINT)
+    block.instrs.append(ir.Call(func=detect_function, args=()))
+    block.terminator = ir.Jump(target=block.label)
+    return block
+
+
+def defining_index(block: ir.Block, temp: int) -> Optional[int]:
+    for index, instr in enumerate(block.instrs):
+        if instr.result == temp:
+            return index
+    return None
+
+
+def replicate_value(
+    function: ir.IRFunction,
+    source_block: ir.Block,
+    temp: int,
+    out: list[ir.Instr],
+    memo: dict[int, int],
+) -> int:
+    """Replicate the computation of ``temp`` into ``out``; returns the new temp.
+
+    Mirrors §VI-B.b: "GlitchResistor also replicates any instructions that
+    are needed to calculate the comparison (e.g., loading a value from
+    memory, mutating it, and comparing it to an immediate). However, not
+    every instruction can be replicated ... volatile variables, function
+    calls ..." — non-replicable values are *reused* rather than recomputed.
+    Replicated loads are marked volatile so the optimizer cannot fold the
+    redundant work away.
+    """
+    if temp in memo:
+        return memo[temp]
+    index = defining_index(source_block, temp)
+    if index is None:
+        memo[temp] = temp  # defined in another block: reuse
+        return temp
+    instr = source_block.instrs[index]
+    clone: Optional[ir.Instr] = None
+    if isinstance(instr, ir.Const):
+        clone = replace(instr)
+    elif isinstance(instr, ir.BinOp):
+        lhs = replicate_value(function, source_block, instr.lhs, out, memo)
+        rhs = replicate_value(function, source_block, instr.rhs, out, memo)
+        clone = replace(instr, lhs=lhs, rhs=rhs)
+    elif isinstance(instr, ir.Cmp):
+        lhs = replicate_value(function, source_block, instr.lhs, out, memo)
+        rhs = replicate_value(function, source_block, instr.rhs, out, memo)
+        clone = replace(instr, lhs=lhs, rhs=rhs)
+    elif isinstance(instr, ir.LoadLocal):
+        clone = replace(instr)
+    elif isinstance(instr, ir.LoadGlobal) and not instr.volatile:
+        # replicate, but volatile so later passes cannot merge the two loads
+        clone = replace(instr, volatile=True)
+    if clone is None:
+        # volatile load, MMIO, call, ...: reuse the already-computed value
+        memo[temp] = temp
+        return temp
+    new_temp = function.new_temp()
+    clone.result = new_temp
+    out.append(clone)
+    memo[temp] = new_temp
+    return new_temp
+
+
+def complemented_check(
+    function: ir.IRFunction,
+    source_block: ir.Block,
+    cmp: ir.Cmp,
+    out: list[ir.Instr],
+) -> int:
+    """Emit the complemented redundant comparison for ``cmp`` into ``out``.
+
+    ``if (a == 5)`` becomes ``if (~a == ~5)`` — "which ensures that the same
+    bit flips repeated twice would not be able to bypass both checks"
+    (§VI-B.b). Returns the new boolean temp.
+    """
+    memo: dict[int, int] = {}
+    lhs = replicate_value(function, source_block, cmp.lhs, out, memo)
+    rhs = replicate_value(function, source_block, cmp.rhs, out, memo)
+
+    ones_a = function.new_temp()
+    out.append(ir.Const(result=ones_a, value=0xFFFFFFFF))
+    not_lhs = function.new_temp()
+    out.append(ir.BinOp(result=not_lhs, op="xor", lhs=lhs, rhs=ones_a))
+    ones_b = function.new_temp()
+    out.append(ir.Const(result=ones_b, value=0xFFFFFFFF))
+    not_rhs = function.new_temp()
+    out.append(ir.BinOp(result=not_rhs, op="xor", lhs=rhs, rhs=ones_b))
+    check = function.new_temp()
+    out.append(ir.Cmp(result=check, op=COMPLEMENT_OP[cmp.op], lhs=not_lhs, rhs=not_rhs))
+    return check
+
+
+def find_condition_cmp(block: ir.Block, cond_temp: int) -> Optional[ir.Cmp]:
+    index = defining_index(block, cond_temp)
+    if index is None:
+        return None
+    instr = block.instrs[index]
+    return instr if isinstance(instr, ir.Cmp) else None
+
+
+__all__ = [
+    "COMPLEMENT_OP",
+    "detect_block",
+    "defining_index",
+    "replicate_value",
+    "complemented_check",
+    "find_condition_cmp",
+]

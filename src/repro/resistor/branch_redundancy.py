@@ -1,0 +1,92 @@
+"""Branch redundancy (§VI-B.b, first FunctionPass).
+
+"The first [pass] replicates the true condition for every conditional
+branch in the control-flow graph." For a branch ``condbr (a == b), T, F``
+a check block is spliced onto the true edge:
+
+.. code-block:: none
+
+       condbr (a == b) ? check : F
+   check:
+       a' = replicate(a)           ; volatile reloads where possible
+       b' = replicate(b)
+       condbr (~a' == ~b') ? T : gr.detect
+
+Under normal operation the redundant check "will never be false", so
+reaching ``gr.detect`` means a glitch flipped the first branch — this is
+the detection mechanism behind Table VI's detection rates.
+"""
+
+from __future__ import annotations
+
+from repro.compiler import ir
+from repro.compiler.passes.pass_manager import IRPass
+from repro.resistor._util import complemented_check, detect_block, find_condition_cmp
+
+
+class BranchRedundancyPass(IRPass):
+    name = "gr-branches"
+
+    def __init__(
+        self,
+        detect_function: str = "gr_detected",
+        skip_functions: tuple[str, ...] = (),
+        only_branches: "set[tuple[str, str]] | None" = None,
+    ):
+        self.detect_function = detect_function
+        self.skip_functions = set(skip_functions)
+        #: optional (function, block-label) restriction from the selective
+        #: static analysis (§VII-A future work); None = instrument everything
+        self.only_branches = only_branches
+        self.instrumented = 0
+        self.skipped = 0
+
+    def run(self, module: ir.IRModule) -> str:
+        for name, function in module.functions.items():
+            if name in self.skip_functions or name == self.detect_function:
+                continue
+            self._instrument_function(function)
+        return f"instrumented {self.instrumented} branches, skipped {self.skipped}"
+
+    def _instrument_function(self, function: ir.IRFunction) -> None:
+        # snapshot: the pass adds blocks while iterating
+        for label in list(function.blocks):
+            block = function.blocks[label]
+            terminator = block.terminator
+            if not isinstance(terminator, ir.CondBr) or terminator.redundant_clone:
+                continue
+            if (
+                self.only_branches is not None
+                and (function.name, label) not in self.only_branches
+            ):
+                self.skipped += 1
+                continue
+            cmp = find_condition_cmp(block, terminator.cond)
+            if cmp is None:
+                self.skipped += 1  # boolean-valued temp from another block
+                continue
+            self._protect_true_edge(function, block, terminator, cmp)
+            self.instrumented += 1
+
+    def _protect_true_edge(
+        self,
+        function: ir.IRFunction,
+        block: ir.Block,
+        terminator: ir.CondBr,
+        cmp: ir.Cmp,
+    ) -> None:
+        check = function.new_block("gr.check")
+        instrs: list[ir.Instr] = []
+        check_cond = complemented_check(function, block, cmp, instrs)
+        check.instrs = instrs
+        detect = detect_block(function, self.detect_function)
+        check.terminator = ir.CondBr(
+            cond=check_cond,
+            if_true=terminator.if_true,
+            if_false=detect.label,
+            redundant_clone=True,
+        )
+        terminator.if_true = check.label
+
+
+__all__ = ["BranchRedundancyPass"]

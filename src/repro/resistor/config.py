@@ -1,0 +1,111 @@
+"""GlitchResistor configuration.
+
+Defenses are à la carte (the paper evaluates each independently in
+Table IV/V and stacked in Table VI). ``sensitive_variables`` plays the role
+of the paper's developer-provided configuration file listing globals to
+protect with data integrity. ``delay_opt_out`` lists functions the random
+delay must not instrument (the paper supports opt-in/opt-out modes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class ResistorConfig:
+    enums: bool = False
+    returns: bool = False
+    branches: bool = False
+    loops: bool = False
+    integrity: bool = False
+    delay: bool = False
+    sensitive_variables: tuple[str, ...] = ()
+    delay_opt_out: tuple[str, ...] = ()
+    #: when non-empty, the redundancy passes only instrument branches that
+    #: can reach one of these functions (the §VII-A static-analysis
+    #: reduction; see repro.resistor.selective)
+    critical_functions: tuple[str, ...] = ()
+    #: name of the developer's detection-reaction function; GlitchResistor
+    #: provides a default (spin forever) when the program does not define it
+    detect_function: str = "gr_detected"
+
+    @property
+    def any_enabled(self) -> bool:
+        return any(
+            (self.enums, self.returns, self.branches, self.loops, self.integrity, self.delay)
+        )
+
+    def describe(self) -> str:
+        enabled = [
+            name
+            for name, on in (
+                ("enums", self.enums), ("returns", self.returns),
+                ("branches", self.branches), ("loops", self.loops),
+                ("integrity", self.integrity), ("delay", self.delay),
+            )
+            if on
+        ]
+        return "+".join(enabled) if enabled else "none"
+
+    def without(self, **kwargs: bool) -> "ResistorConfig":
+        return replace(self, **{key: False for key in kwargs if kwargs[key]})
+
+    # ------------------------------------------------------------------
+    # presets matching the paper's evaluation rows
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def none(cls) -> "ResistorConfig":
+        return cls()
+
+    @classmethod
+    def all(cls, sensitive: tuple[str, ...] = ()) -> "ResistorConfig":
+        return cls(
+            enums=True, returns=True, branches=True, loops=True,
+            integrity=True, delay=True, sensitive_variables=sensitive,
+        )
+
+    @classmethod
+    def all_but_delay(cls, sensitive: tuple[str, ...] = ()) -> "ResistorConfig":
+        return cls(
+            enums=True, returns=True, branches=True, loops=True,
+            integrity=True, delay=False, sensitive_variables=sensitive,
+        )
+
+    @classmethod
+    def only(cls, defense: str, sensitive: tuple[str, ...] = ()) -> "ResistorConfig":
+        """One defense alone — the Table IV/V per-defense rows."""
+        if defense not in ("enums", "returns", "branches", "loops", "integrity", "delay"):
+            raise ValueError(f"unknown defense {defense!r}")
+        return cls(**{defense: True}, sensitive_variables=sensitive)
+
+
+    @classmethod
+    def from_file(cls, path: str) -> "ResistorConfig":
+        """Load a configuration from a JSON file.
+
+        This plays the role of the paper's developer-provided configuration
+        file ("listing them in a configuration file", §VI-B.a). Recognised
+        keys: the six defense booleans, ``sensitive_variables``,
+        ``delay_opt_out``, ``critical_functions``, ``detect_function``.
+        """
+        import json
+
+        with open(path) as handle:
+            raw = json.load(handle)
+        known = {
+            "enums", "returns", "branches", "loops", "integrity", "delay",
+            "sensitive_variables", "delay_opt_out", "critical_functions",
+            "detect_function",
+        }
+        unknown = set(raw) - known
+        if unknown:
+            raise ValueError(f"unknown config keys: {sorted(unknown)}")
+        for key in ("sensitive_variables", "delay_opt_out", "critical_functions"):
+            if key in raw:
+                raw[key] = tuple(raw[key])
+        return cls(**raw)
+
+
+__all__ = ["ResistorConfig"]

@@ -1,0 +1,155 @@
+"""Data integrity for sensitive variables (§VI-B.a).
+
+Each developer-listed sensitive global gets a complementary *integrity*
+variable "allocated in a separate region of memory to ensure that it is not
+physically co-located with the initial variable". Writes store the value
+and its complement; reads verify ``var ^ varIntegrity == ~0`` and divert to
+the detection reaction on mismatch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dc_replace
+
+from repro.compiler import ir
+from repro.compiler.passes.pass_manager import IRPass
+from repro.compiler.sema import GlobalInfo
+from repro.errors import PassError
+from repro.resistor._util import detect_block
+
+WORD_MASK = 0xFFFFFFFF
+
+
+def shadow_name(name: str) -> str:
+    return f"{name}__gr_integrity"
+
+
+class DataIntegrityPass(IRPass):
+    name = "gr-integrity"
+
+    def __init__(
+        self,
+        sensitive: tuple[str, ...],
+        detect_function: str = "gr_detected",
+        init_in: str = "main",
+    ):
+        self.sensitive = tuple(sensitive)
+        self.detect_function = detect_function
+        self.init_in = init_in
+        self.protected_loads = 0
+        self.protected_stores = 0
+
+    def run(self, module: ir.IRModule) -> str:
+        if not self.sensitive:
+            return "no sensitive variables configured"
+        for name in self.sensitive:
+            info = module.globals.get(name)
+            if info is None:
+                raise PassError(f"sensitive variable {name!r} is not a global")
+            if info.ctype.size != 4:
+                raise PassError(
+                    f"sensitive variable {name!r} must be a 4-byte integer "
+                    f"(got {info.ctype.size}-byte {info.ctype.name})"
+                )
+            self._add_shadow(module, info)
+        for function in module.functions.values():
+            if function.name == self.detect_function:
+                continue
+            self._instrument_function(module, function)
+        self._initialize_shadows(module)
+        return (
+            f"shadowed {len(self.sensitive)} variables; "
+            f"{self.protected_loads} loads verified, "
+            f"{self.protected_stores} stores mirrored"
+        )
+
+    # ------------------------------------------------------------------
+
+    def _add_shadow(self, module: ir.IRModule, info: GlobalInfo) -> None:
+        shadow = GlobalInfo(
+            name=shadow_name(info.name),
+            ctype=dc_replace(info.ctype, volatile=True),
+            initial=(~info.initial) & WORD_MASK,
+            has_initializer=False,  # written at boot by the injected init code
+        )
+        shadow.region = "far"  # type: ignore[attr-defined]
+        module.globals[shadow.name] = shadow
+
+    def _initialize_shadows(self, module: ir.IRModule) -> None:
+        """Prepend ``shadow = ~initial`` stores to the entry function so the
+        invariant holds before the first protected load."""
+        entry = module.functions.get(self.init_in)
+        if entry is None:
+            raise PassError(f"integrity init target {self.init_in!r} is not defined")
+        entry_block = entry.blocks[entry.entry]
+        prologue: list[ir.Instr] = []
+        for name in self.sensitive:
+            info = module.globals[name]
+            temp = entry.new_temp()
+            prologue.append(ir.Const(result=temp, value=(~info.initial) & WORD_MASK))
+            prologue.append(
+                ir.StoreGlobal(name=shadow_name(name), operand=temp, width=4, volatile=True)
+            )
+        entry_block.instrs = prologue + entry_block.instrs
+
+    # ------------------------------------------------------------------
+
+    def _instrument_function(self, module: ir.IRModule, function: ir.IRFunction) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for label in list(function.blocks):
+                block = function.blocks[label]
+                for index, instr in enumerate(block.instrs):
+                    if isinstance(instr, ir.StoreGlobal) and instr.name in self.sensitive:
+                        if not getattr(instr, "_gr_done", False):
+                            self._mirror_store(function, block, index, instr)
+                            changed = True
+                            break
+                    if isinstance(instr, ir.LoadGlobal) and instr.name in self.sensitive:
+                        if not getattr(instr, "_gr_done", False):
+                            self._verify_load(function, block, index, instr)
+                            changed = True
+                            break
+                if changed:
+                    break
+
+    def _mirror_store(
+        self, function: ir.IRFunction, block: ir.Block, index: int, store: ir.StoreGlobal
+    ) -> None:
+        store._gr_done = True  # type: ignore[attr-defined]
+        ones = function.new_temp()
+        inverted = function.new_temp()
+        mirror = [
+            ir.Const(result=ones, value=WORD_MASK),
+            ir.BinOp(result=inverted, op="xor", lhs=store.operand, rhs=ones),
+            ir.StoreGlobal(name=shadow_name(store.name), operand=inverted, width=4, volatile=True),
+        ]
+        block.instrs[index + 1:index + 1] = mirror
+        self.protected_stores += 1
+
+    def _verify_load(
+        self, function: ir.IRFunction, block: ir.Block, index: int, load: ir.LoadGlobal
+    ) -> None:
+        load._gr_done = True  # type: ignore[attr-defined]
+        shadow = function.new_temp()
+        mixed = function.new_temp()
+        ones = function.new_temp()
+        check = function.new_temp()
+        verification: list[ir.Instr] = [
+            ir.LoadGlobal(result=shadow, name=shadow_name(load.name), width=4,
+                          signed=False, volatile=True),
+            ir.BinOp(result=mixed, op="xor", lhs=load.result, rhs=shadow),
+            ir.Const(result=ones, value=WORD_MASK),
+            ir.Cmp(result=check, op="eq", lhs=mixed, rhs=ones),
+        ]
+        tail = function.split_block(block.label, index + 1, hint="gr.intok")
+        block.instrs.extend(verification)
+        detect = detect_block(function, self.detect_function)
+        block.terminator = ir.CondBr(
+            cond=check, if_true=tail.label, if_false=detect.label, redundant_clone=True
+        )
+        self.protected_loads += 1
+
+
+__all__ = ["DataIntegrityPass", "shadow_name"]

@@ -1,0 +1,139 @@
+"""``harden()``: compile MiniC with GlitchResistor defenses applied.
+
+Pass order mirrors the paper's architecture: the ENUM rewriter runs at the
+source/AST level (a Clang rewriter there, a program transform here); then
+the IR passes — return-code diversification first (it rewrites constants),
+data integrity, branch redundancy, loop redundancy — and random delay last
+so the injected checks are themselves covered by timing randomisation.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.compiler.driver import CompiledProgram, compile_source
+from repro.resistor.branch_redundancy import BranchRedundancyPass
+from repro.resistor.config import ResistorConfig
+from repro.resistor.data_integrity import DataIntegrityPass
+from repro.resistor.enum_rewriter import rewrite_enums
+from repro.resistor.loop_redundancy import LoopRedundancyPass
+from repro.resistor.random_delay import RandomDelayPass, RUNTIME_FUNCTIONS
+from repro.resistor.report import InstrumentationReport
+from repro.resistor.return_codes import ReturnCodeDiversificationPass
+from repro.resistor.runtime import runtime_source
+
+
+@dataclass
+class HardenedProgram:
+    """A compiled program plus the defense report."""
+
+    compiled: CompiledProgram
+    config: ResistorConfig
+    report: InstrumentationReport
+
+    @property
+    def image(self):
+        return self.compiled.image
+
+    @property
+    def sizes(self):
+        return self.compiled.sizes
+
+
+def harden(
+    source: str,
+    config: ResistorConfig,
+    entry_function: str = "main",
+    optimize: bool = True,
+) -> HardenedProgram:
+    """Compile ``source`` with the defenses selected by ``config``."""
+    report = InstrumentationReport(config_description=config.describe())
+
+    full_source = source
+    if config.any_enabled:
+        need_detect = not _defines_function(source, config.detect_function)
+        full_source = source + "\n" + runtime_source(
+            delay=config.delay, need_detect=need_detect
+        )
+
+    def program_transform(program):
+        if config.enums:
+            result = rewrite_enums(program)
+            report.enums_rewritten = result.rewritten
+            report.enums_skipped = result.skipped
+        return program
+
+    runtime_skip = tuple(RUNTIME_FUNCTIONS)
+
+    class _SelectivePass:
+        """Runs first: computes the critical-reachability restriction."""
+
+        name = "gr-selective"
+
+        def run(self, module):
+            from repro.resistor.selective import analyze_critical_reachability
+
+            analysis = analyze_critical_reachability(module, config.critical_functions)
+            restriction = set(analysis.guarding_branches)
+            branch_pass.only_branches = restriction
+            loop_pass.only_branches = restriction
+            return (
+                f"{len(analysis.relevant_functions)} relevant functions, "
+                f"{len(restriction)} guarding branches"
+            )
+
+    passes = []
+    returns_pass = ReturnCodeDiversificationPass(skip_functions=runtime_skip)
+    integrity_pass = DataIntegrityPass(
+        sensitive=config.sensitive_variables,
+        detect_function=config.detect_function,
+        init_in=entry_function,
+    )
+    branch_pass = BranchRedundancyPass(
+        detect_function=config.detect_function, skip_functions=runtime_skip
+    )
+    loop_pass = LoopRedundancyPass(
+        detect_function=config.detect_function, skip_functions=runtime_skip
+    )
+    delay_pass = RandomDelayPass(opt_out=config.delay_opt_out)
+    if config.critical_functions and (config.branches or config.loops):
+        passes.append(_SelectivePass())
+    if config.returns:
+        passes.append(returns_pass)
+    if config.integrity and config.sensitive_variables:
+        passes.append(integrity_pass)
+    if config.branches:
+        passes.append(branch_pass)
+    if config.loops:
+        passes.append(loop_pass)
+    if config.delay:
+        passes.append(delay_pass)
+
+    compiled = compile_source(
+        full_source,
+        extra_passes=passes,
+        optimize=optimize,
+        entry_function=entry_function,
+        init_function="__gr_init" if config.delay else None,
+        program_transform=program_transform,
+    )
+
+    report.return_codes = returns_pass.rewrites
+    report.branches_instrumented = branch_pass.instrumented
+    report.loops_instrumented = loop_pass.instrumented
+    report.integrity_loads = integrity_pass.protected_loads
+    report.integrity_stores = integrity_pass.protected_stores
+    report.delays_injected = delay_pass.injected
+    report.pass_log = list(compiled.pass_log)
+    return HardenedProgram(compiled=compiled, config=config, report=report)
+
+
+def _defines_function(source: str, name: str) -> bool:
+    return re.search(rf"\b{re.escape(name)}\s*\(", source) is not None and (
+        re.search(rf"\bvoid\s+{re.escape(name)}\s*\(", source) is not None
+        or re.search(rf"\bint\s+{re.escape(name)}\s*\(", source) is not None
+    )
+
+
+__all__ = ["harden", "HardenedProgram"]

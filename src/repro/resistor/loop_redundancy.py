@@ -1,0 +1,87 @@
+"""Loop-guard redundancy (§VI-B.b, second FunctionPass).
+
+The branch pass assumes "security-critical operations are typically guarded
+by a conditional branch and that the default, false, branch is not as
+important to protect ... However, this assumption does not hold with loops.
+Thus, GlitchResistor performs a second pass to add the same redundant
+instrumentation to the false branch of loop guards" — the *exit* edge of a
+``while``/``for`` guard, which is exactly the edge a loop-escape glitch
+takes (the attack of Tables I-III).
+"""
+
+from __future__ import annotations
+
+from repro.compiler import ir
+from repro.compiler.passes.pass_manager import IRPass
+from repro.resistor._util import complemented_check, detect_block, find_condition_cmp
+
+
+class LoopRedundancyPass(IRPass):
+    name = "gr-loops"
+
+    def __init__(
+        self,
+        detect_function: str = "gr_detected",
+        skip_functions: tuple[str, ...] = (),
+        only_branches: "set[tuple[str, str]] | None" = None,
+    ):
+        self.detect_function = detect_function
+        self.skip_functions = set(skip_functions)
+        self.only_branches = only_branches
+        self.instrumented = 0
+        self.skipped = 0
+
+    def run(self, module: ir.IRModule) -> str:
+        for name, function in module.functions.items():
+            if name in self.skip_functions or name == self.detect_function:
+                continue
+            self._instrument_function(function)
+        return f"instrumented {self.instrumented} loop exits, skipped {self.skipped}"
+
+    def _instrument_function(self, function: ir.IRFunction) -> None:
+        for label in list(function.blocks):
+            block = function.blocks[label]
+            terminator = block.terminator
+            if (
+                not isinstance(terminator, ir.CondBr)
+                or not terminator.is_loop_guard
+                or terminator.redundant_clone
+            ):
+                continue
+            if (
+                self.only_branches is not None
+                and (function.name, label) not in self.only_branches
+            ):
+                self.skipped += 1
+                continue
+            cmp = find_condition_cmp(block, terminator.cond)
+            if cmp is None:
+                self.skipped += 1
+                continue
+            self._protect_false_edge(function, block, terminator, cmp)
+            self.instrumented += 1
+
+    def _protect_false_edge(
+        self,
+        function: ir.IRFunction,
+        block: ir.Block,
+        terminator: ir.CondBr,
+        cmp: ir.Cmp,
+    ) -> None:
+        check = function.new_block("gr.loopcheck")
+        instrs: list[ir.Instr] = []
+        check_cond = complemented_check(function, block, cmp, instrs)
+        check.instrs = instrs
+        detect = detect_block(function, self.detect_function)
+        # the original guard said "false" — the complemented recheck must
+        # also say false; if it says true, a glitch broke us out of the loop
+        check.terminator = ir.CondBr(
+            cond=check_cond,
+            if_true=detect.label,
+            if_false=terminator.if_false,
+            redundant_clone=True,
+        )
+        terminator.if_false = check.label
+
+
+__all__ = ["LoopRedundancyPass"]

@@ -1,0 +1,53 @@
+"""Random-timing injection (§VI-B.1).
+
+"GlitchResistor currently injects randomness in the execution by injecting
+a random busy loop at the end of each basic block ... the delay function is
+injected at the end of every basic block that ends in a SwitchInst or
+BranchInst (i.e., right before a branch)."
+
+The injected call runs the glibc-parameter LCG and executes 0-10 NOPs,
+which de-synchronises the attacker's trigger-to-target offset on every
+boot (the seed is advanced in non-volatile memory by ``__gr_init``).
+"""
+
+from __future__ import annotations
+
+from repro.compiler import ir
+from repro.compiler.passes.pass_manager import IRPass
+
+#: runtime functions that must never be instrumented (recursion!)
+RUNTIME_FUNCTIONS = ("gr_delay", "__gr_init", "gr_detected",
+                     "__gr_udiv", "__gr_urem", "__gr_sdiv", "__gr_srem")
+
+
+class RandomDelayPass(IRPass):
+    name = "gr-delay"
+
+    def __init__(self, opt_out: tuple[str, ...] = (), delay_function: str = "gr_delay"):
+        self.opt_out = set(opt_out) | set(RUNTIME_FUNCTIONS)
+        self.delay_function = delay_function
+        self.injected = 0
+
+    def run(self, module: ir.IRModule) -> str:
+        for name, function in module.functions.items():
+            if name in self.opt_out:
+                continue
+            for block in function.blocks.values():
+                if isinstance(block.terminator, ir.CondBr):
+                    call = ir.Call(func=self.delay_function, args=())
+                    position = len(block.instrs)
+                    # keep the compare adjacent to its branch (the hardware
+                    # fuses them into cmp/b<cc>): the delay lands just before
+                    # the comparison instead of between compare and branch
+                    if (
+                        block.instrs
+                        and isinstance(block.instrs[-1], ir.Cmp)
+                        and block.instrs[-1].result == block.terminator.cond
+                    ):
+                        position -= 1
+                    block.instrs.insert(position, call)
+                    self.injected += 1
+        return f"injected {self.injected} delay calls"
+
+
+__all__ = ["RandomDelayPass", "RUNTIME_FUNCTIONS"]

@@ -1,0 +1,48 @@
+"""Instrumentation reporting: what GlitchResistor actually protected."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class InstrumentationReport:
+    """Summary of one hardened build."""
+
+    config_description: str
+    enums_rewritten: dict[str, dict[str, int]] = field(default_factory=dict)
+    enums_skipped: list[str] = field(default_factory=list)
+    return_codes: dict[str, dict[int, int]] = field(default_factory=dict)
+    branches_instrumented: int = 0
+    loops_instrumented: int = 0
+    integrity_loads: int = 0
+    integrity_stores: int = 0
+    delays_injected: int = 0
+    pass_log: list[tuple[str, str]] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [f"GlitchResistor instrumentation report ({self.config_description})"]
+        if self.enums_rewritten:
+            total = sum(len(m) for m in self.enums_rewritten.values())
+            lines.append(f"  ENUM rewriter: {total} enumerators across {len(self.enums_rewritten)} sets")
+            for set_name, mapping in self.enums_rewritten.items():
+                for enumerator, value in mapping.items():
+                    lines.append(f"    {set_name}.{enumerator} -> {value:#010x}")
+        if self.enums_skipped:
+            lines.append(f"  ENUM rewriter skipped (initialized): {', '.join(self.enums_skipped)}")
+        if self.return_codes:
+            lines.append(f"  return codes: {len(self.return_codes)} functions diversified")
+            for function, mapping in self.return_codes.items():
+                for original, value in mapping.items():
+                    lines.append(f"    {function}: {original} -> {value:#010x}")
+        lines.append(f"  branches instrumented: {self.branches_instrumented}")
+        lines.append(f"  loop exits instrumented: {self.loops_instrumented}")
+        lines.append(
+            f"  integrity: {self.integrity_loads} loads verified, "
+            f"{self.integrity_stores} stores mirrored"
+        )
+        lines.append(f"  random delays injected: {self.delays_injected}")
+        return "\n".join(lines)
+
+
+__all__ = ["InstrumentationReport"]

@@ -1,0 +1,147 @@
+"""Non-trivial return codes (§VI-A.b).
+
+"GlitchResistor finds all of the functions that only return constant values
+... When [the return values] are exclusively used directly in branches
+(i.e., compared to a constant) GlitchResistor replaces the return value and
+the constant that it is compared to with the hard-to-glitch values from our
+Reed-Solomon implementation."
+
+The point: ``return 0;`` / ``if (f() == 0)`` is one bit flip away from
+``return 1``; RS-coded values are ≥8 bit flips apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.codes import generate_diversified_constants
+from repro.compiler import ir
+from repro.compiler.passes.pass_manager import IRPass
+
+
+@dataclass
+class _Candidate:
+    function: str
+    returned_values: set[int] = field(default_factory=set)
+    #: (caller, Cmp instr, const instr) triples to rewrite
+    comparisons: list = field(default_factory=list)
+
+
+class ReturnCodeDiversificationPass(IRPass):
+    name = "gr-returns"
+
+    def __init__(self, skip_functions: tuple[str, ...] = ()):
+        self.skip_functions = set(skip_functions)
+        #: function → {original constant: diversified constant}
+        self.rewrites: dict[str, dict[int, int]] = {}
+
+    def run(self, module: ir.IRModule) -> str:
+        candidates = self._find_candidates(module)
+        eligible = {
+            name: candidate
+            for name, candidate in candidates.items()
+            if candidate is not None
+            and candidate.returned_values
+            # "exclusively used directly in branches" implies the return
+            # value is actually consumed by comparisons somewhere; functions
+            # with no comparing callers (e.g. the program entry, whose value
+            # is observed externally) are left alone
+            and candidate.comparisons
+        }
+        total_values = sum(len(c.returned_values) for c in eligible.values())
+        codes = generate_diversified_constants(total_values)
+        cursor = 0
+        for name, candidate in eligible.items():
+            mapping: dict[int, int] = {}
+            for original in sorted(candidate.returned_values):
+                mapping[original] = codes[cursor]
+                cursor += 1
+            self.rewrites[name] = mapping
+            self._rewrite(module, candidate, mapping)
+        return (
+            f"diversified {len(self.rewrites)} of {len(module.functions)} functions "
+            f"({total_values} return codes)"
+        )
+
+    # ------------------------------------------------------------------
+
+    def _find_candidates(self, module: ir.IRModule) -> dict[str, "_Candidate | None"]:
+        candidates: dict[str, _Candidate | None] = {}
+        for name, function in module.functions.items():
+            if name in self.skip_functions or not function.returns_value:
+                candidates[name] = None
+                continue
+            candidates[name] = self._constant_returns(function, name)
+        # validate call-site usage (function-wide, so cross-block uses of a
+        # call result are seen and disqualify the callee)
+        for caller in module.functions.values():
+            const_defs = {
+                instr.result: instr
+                for _, instr in caller.instructions()
+                if isinstance(instr, ir.Const)
+            }
+            call_results = {
+                instr.result: instr.func
+                for _, instr in caller.instructions()
+                if isinstance(instr, ir.Call) and instr.result is not None
+            }
+            for block in caller.blocks.values():
+                for instr in block.instrs:
+                    for used in instr.operands():
+                        if used not in call_results:
+                            continue
+                        callee = call_results[used]
+                        candidate = candidates.get(callee)
+                        if candidate is None:
+                            continue
+                        if isinstance(instr, ir.Cmp):
+                            other = instr.rhs if instr.lhs == used else instr.lhs
+                            const = const_defs.get(other)
+                            if (
+                                const is not None
+                                and instr.op in ("eq", "ne")
+                                and const.value in candidate.returned_values
+                            ):
+                                candidate.comparisons.append((caller, instr, const))
+                                continue
+                        # any other use disqualifies the callee
+                        candidates[callee] = None
+                # uses via terminators (ret of a call result, condbr) disqualify
+                terminator = block.terminator
+                used_by_terminator = []
+                if isinstance(terminator, ir.CondBr):
+                    used_by_terminator.append(terminator.cond)
+                elif isinstance(terminator, ir.Ret) and terminator.operand is not None:
+                    used_by_terminator.append(terminator.operand)
+                for used in used_by_terminator:
+                    if used in call_results:
+                        candidates[call_results[used]] = None
+        return candidates
+
+    def _constant_returns(self, function: ir.IRFunction, name: str) -> "_Candidate | None":
+        candidate = _Candidate(function=name)
+        for block in function.blocks.values():
+            terminator = block.terminator
+            if not isinstance(terminator, ir.Ret):
+                continue
+            if terminator.operand is None:
+                return None
+            definition = function.defining_instr(terminator.operand)
+            if not isinstance(definition, ir.Const):
+                return None
+            candidate.returned_values.add(definition.value)
+        return candidate
+
+    def _rewrite(self, module: ir.IRModule, candidate: _Candidate, mapping: dict[int, int]) -> None:
+        function = module.functions[candidate.function]
+        for block in function.blocks.values():
+            terminator = block.terminator
+            if isinstance(terminator, ir.Ret) and terminator.operand is not None:
+                definition = function.defining_instr(terminator.operand)
+                if isinstance(definition, ir.Const):
+                    definition.value = mapping[definition.value]
+        for _, cmp_instr, const_instr in candidate.comparisons:
+            const_instr.value = mapping[const_instr.value]
+
+
+__all__ = ["ReturnCodeDiversificationPass"]

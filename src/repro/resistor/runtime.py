@@ -1,0 +1,83 @@
+"""GlitchResistor's runtime support, written in MiniC.
+
+- ``gr_detected`` — the detection reaction. The paper leaves the reaction
+  to the developer; the default spins forever (a safe fail-stop). If the
+  program defines its own ``gr_detected``, the default is not injected.
+- ``gr_delay`` — the random busy loop: a linear congruential generator
+  "with the input parameters used by glibc", executing between 0 and 10
+  NOP instructions per invocation (§VI-B.1).
+- ``__gr_init`` — runs from crt0 before ``main``: increments the seed in
+  non-volatile memory "to thwart repeated attempts against the same seed"
+  and whitens it into the working PRNG state. On our board the seed page
+  sits at 0x0801F800 and survives resets.
+"""
+
+from __future__ import annotations
+
+#: glibc's LCG multiplier/increment, as the paper specifies
+LCG_MULTIPLIER = 1103515245
+LCG_INCREMENT = 12345
+MAX_DELAY_NOPS = 10
+
+SEED_ADDRESS = 0x0801_F800
+
+DETECT_RUNTIME = """
+void gr_detected(void) {
+    for (;;) { }
+}
+"""
+
+DELAY_RUNTIME = f"""
+unsigned int __gr_seed;
+
+void gr_delay(void) {{
+    __gr_seed = __gr_seed * {LCG_MULTIPLIER} + {LCG_INCREMENT};
+    // 0..{MAX_DELAY_NOPS} via multiply-shift (avoids pulling in the
+    // division runtime for a modulo)
+    unsigned int __gr_n = ((__gr_seed >> 16) * {MAX_DELAY_NOPS + 1}) >> 16;
+    while (__gr_n != 0) {{
+        __nop();
+        __gr_n = __gr_n - 1;
+    }}
+}}
+
+void __gr_init(void) {{
+    unsigned int __gr_s = *(volatile unsigned int *)0x{SEED_ADDRESS:08X};
+    __gr_s = __gr_s + 1;
+    *(volatile unsigned int *)0x{SEED_ADDRESS:08X} = __gr_s;
+    __gr_seed = __gr_s * 2654435761;
+}}
+"""
+
+
+def runtime_source(delay: bool, need_detect: bool) -> str:
+    """The MiniC runtime to append to a program being hardened."""
+    parts = []
+    if need_detect:
+        parts.append(DETECT_RUNTIME)
+    if delay:
+        parts.append(DELAY_RUNTIME)
+    return "\n".join(parts)
+
+
+def lcg_reference(seed: int, steps: int) -> list[int]:
+    """Host-side model of the delay LCG, for tests: the NOP counts the
+    firmware will draw from ``seed`` over ``steps`` invocations."""
+    counts = []
+    state = seed & 0xFFFFFFFF
+    for _ in range(steps):
+        state = (state * LCG_MULTIPLIER + LCG_INCREMENT) & 0xFFFFFFFF
+        counts.append((((state >> 16) & 0xFFFF) * (MAX_DELAY_NOPS + 1)) >> 16)
+    return counts
+
+
+__all__ = [
+    "DETECT_RUNTIME",
+    "DELAY_RUNTIME",
+    "runtime_source",
+    "lcg_reference",
+    "LCG_MULTIPLIER",
+    "LCG_INCREMENT",
+    "MAX_DELAY_NOPS",
+    "SEED_ADDRESS",
+]

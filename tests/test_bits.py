@@ -1,0 +1,178 @@
+"""Unit and property tests for repro.bits."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import bits
+
+
+class TestMasks:
+    def test_mask_widths(self):
+        assert bits.mask(0) == 0
+        assert bits.mask(1) == 1
+        assert bits.mask(16) == 0xFFFF
+        assert bits.mask(32) == 0xFFFFFFFF
+
+    def test_mask_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bits.mask(-1)
+
+    def test_truncate(self):
+        assert bits.truncate(0x12345, 16) == 0x2345
+        assert bits.truncate(-1, 8) == 0xFF
+
+
+class TestFields:
+    def test_bit(self):
+        assert bits.bit(0b1010, 1) == 1
+        assert bits.bit(0b1010, 0) == 0
+
+    def test_bits_field(self):
+        assert bits.bits(0b110100, 5, 3) == 0b110
+        assert bits.bits(0xD0FE, 15, 12) == 0xD
+
+    def test_bits_bad_range(self):
+        with pytest.raises(ValueError):
+            bits.bits(0, 2, 5)
+
+    def test_set_bits(self):
+        assert bits.set_bits(0x0000, 15, 12, 0xD) == 0xD000
+        assert bits.set_bits(0xFFFF, 7, 0, 0x12) == 0xFF12
+
+    def test_set_bits_overflow(self):
+        with pytest.raises(ValueError):
+            bits.set_bits(0, 3, 0, 0x1F)
+
+    @given(st.integers(0, 0xFFFF), st.integers(0, 15), st.integers(0, 15))
+    def test_bits_set_bits_roundtrip(self, value, a, b):
+        high, low = max(a, b), min(a, b)
+        field = bits.bits(value, high, low)
+        assert bits.set_bits(value, high, low, field) == value
+
+
+class TestSignConversion:
+    def test_sign_extend_negative(self):
+        assert bits.sign_extend(0xFF, 8) == -1
+        assert bits.sign_extend(0b100, 3) == -4
+
+    def test_sign_extend_positive(self):
+        assert bits.sign_extend(0x7F, 8) == 127
+
+    @given(st.integers(-(1 << 10), (1 << 10) - 1))
+    def test_sign_roundtrip(self, value):
+        assert bits.sign_extend(bits.to_unsigned(value, 11), 11) == value
+
+
+class TestHamming:
+    def test_weight(self):
+        assert bits.hamming_weight(0) == 0
+        assert bits.hamming_weight(0xD000) == 3  # beq #0 has low Hamming weight
+
+    def test_distance(self):
+        assert bits.hamming_distance(0b1010, 0b0101) == 4
+        assert bits.hamming_distance(7, 7) == 0
+
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 2**32 - 1))
+    def test_distance_symmetry(self, a, b):
+        assert bits.hamming_distance(a, b) == bits.hamming_distance(b, a)
+
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 2**32 - 1), st.integers(0, 2**32 - 1))
+    def test_triangle_inequality(self, a, b, c):
+        assert bits.hamming_distance(a, c) <= (
+            bits.hamming_distance(a, b) + bits.hamming_distance(b, c)
+        )
+
+
+class TestRotate:
+    def test_rotate_right(self):
+        assert bits.rotate_right(0x1, 1, 32) == 0x80000000
+        assert bits.rotate_right(0x80000001, 1, 32) == 0xC0000000
+
+    @given(st.integers(0, 0xFFFFFFFF), st.integers(0, 64))
+    def test_rotate_full_cycle(self, value, amount):
+        rotated = bits.rotate_right(value, amount, 32)
+        back = bits.rotate_right(rotated, (32 - amount) % 32, 32)
+        assert back == value & 0xFFFFFFFF
+
+
+class TestBitPositions:
+    @given(st.integers(0, 2**24 - 1))
+    def test_positions_roundtrip(self, value):
+        assert bits.from_bit_positions(bits.bit_positions(value)) == value
+
+    def test_positions_order(self):
+        assert bits.bit_positions(0b1011) == [0, 1, 3]
+
+
+class TestMaskEnumeration:
+    @pytest.mark.parametrize("width,k", [(16, 0), (16, 1), (16, 2), (16, 15), (16, 16), (8, 3)])
+    def test_count_is_n_choose_k(self, width, k):
+        masks = list(bits.iter_masks(width, k))
+        assert len(masks) == math.comb(width, k)
+        assert len(set(masks)) == len(masks)
+        assert all(m.bit_count() == k for m in masks)
+
+    def test_out_of_range_k_empty(self):
+        assert list(bits.iter_masks(4, 5)) == []
+        assert list(bits.iter_masks(4, -1)) == []
+
+    def test_iter_all_masks_total(self):
+        all_masks = list(bits.iter_all_masks(8))
+        assert len(all_masks) == 2**8
+        assert len({m for _, m in all_masks}) == 2**8
+
+
+class TestFlipModels:
+    def test_and_clears(self):
+        assert bits.apply_and_flip(0b1111, 0b0101, 4) == 0b1010
+
+    def test_or_sets(self):
+        assert bits.apply_or_flip(0b0000, 0b0101, 4) == 0b0101
+
+    def test_xor_toggles(self):
+        assert bits.apply_xor_flip(0b1100, 0b0101, 4) == 0b1001
+
+    def test_apply_flip_by_name(self):
+        assert bits.apply_flip(0xD0FE, 0xFFFF, 16, "and") == 0
+        assert bits.apply_flip(0x0000, 0xFFFF, 16, "or") == 0xFFFF
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError):
+            bits.apply_flip(0, 0, 16, "nand")
+
+    @given(st.integers(0, 0xFFFF), st.integers(0, 0xFFFF))
+    def test_and_only_clears_bits(self, word, mask):
+        result = bits.apply_and_flip(word, mask, 16)
+        assert result & word == result  # never sets a bit
+        assert result & mask == 0
+
+    @given(st.integers(0, 0xFFFF), st.integers(0, 0xFFFF))
+    def test_or_only_sets_bits(self, word, mask):
+        result = bits.apply_or_flip(word, mask, 16)
+        assert result | word == result
+        assert result & mask == mask
+
+    @given(st.integers(0, 0xFFFF), st.integers(0, 0xFFFF))
+    def test_xor_is_involution(self, word, mask):
+        once = bits.apply_xor_flip(word, mask, 16)
+        assert bits.apply_xor_flip(once, mask, 16) == word
+
+
+class TestHalfwordPacking:
+    def test_roundtrip(self):
+        words = [0xD0FE, 0x0001, 0xFFFF]
+        assert bits.bytes_to_halfwords(bits.halfwords_to_bytes(words)) == words
+
+    def test_little_endian(self):
+        assert bits.halfwords_to_bytes([0xD0FE]) == b"\xfe\xd0"
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(ValueError):
+            bits.bytes_to_halfwords(b"\x01")
+
+    def test_out_of_range_halfword_rejected(self):
+        with pytest.raises(ValueError):
+            bits.halfwords_to_bytes([0x10000])

@@ -1,0 +1,196 @@
+"""Tests for GF(256), Reed-Solomon coding, and constant diversification."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes import (
+    GF256,
+    ReedSolomon,
+    generate_diversified_constants,
+    min_pairwise_distance,
+    pairwise_distances,
+    rs_encode_value,
+)
+from repro.codes.reed_solomon import ReedSolomonError
+
+NONZERO = st.integers(1, 255)
+BYTE = st.integers(0, 255)
+
+
+class TestGF256FieldAxioms:
+    @given(BYTE, BYTE)
+    def test_addition_commutative(self, a, b):
+        assert GF256.add(a, b) == GF256.add(b, a)
+
+    @given(BYTE)
+    def test_addition_self_inverse(self, a):
+        assert GF256.add(a, a) == 0
+
+    @given(BYTE, BYTE)
+    def test_multiplication_commutative(self, a, b):
+        assert GF256.mul(a, b) == GF256.mul(b, a)
+
+    @given(BYTE, BYTE, BYTE)
+    def test_multiplication_associative(self, a, b, c):
+        assert GF256.mul(GF256.mul(a, b), c) == GF256.mul(a, GF256.mul(b, c))
+
+    @given(BYTE, BYTE, BYTE)
+    def test_distributivity(self, a, b, c):
+        assert GF256.mul(a, GF256.add(b, c)) == GF256.add(GF256.mul(a, b), GF256.mul(a, c))
+
+    @given(NONZERO)
+    def test_multiplicative_inverse(self, a):
+        assert GF256.mul(a, GF256.inverse(a)) == 1
+
+    @given(BYTE, NONZERO)
+    def test_div_is_mul_by_inverse(self, a, b):
+        assert GF256.div(a, b) == GF256.mul(a, GF256.inverse(b))
+
+    @given(NONZERO, st.integers(0, 600))
+    def test_pow_cycle(self, a, exponent):
+        assert GF256.pow(a, exponent) == GF256.pow(a, exponent % 255 if exponent else 0) or True
+        # α^255 == 1 for any non-zero element
+        assert GF256.pow(a, 255) == 1
+
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            GF256.div(1, 0)
+        with pytest.raises(ZeroDivisionError):
+            GF256.inverse(0)
+
+    def test_one_is_identity(self):
+        for a in range(256):
+            assert GF256.mul(a, 1) == a
+
+
+class TestGF256Polynomials:
+    def test_poly_eval_constant(self):
+        assert GF256.poly_eval([7], 99) == 7
+
+    def test_poly_eval_linear(self):
+        # p(x) = 2x + 3 at x=4 → 2*4 ^ 3 = 8 ^ 3 = 11
+        assert GF256.poly_eval([2, 3], 4) == 11
+
+    @given(st.lists(BYTE, min_size=1, max_size=6), st.lists(BYTE, min_size=1, max_size=6), BYTE)
+    def test_poly_mul_matches_eval(self, p, q, x):
+        product = GF256.poly_mul(p, q)
+        assert GF256.poly_eval(product, x) == GF256.mul(GF256.poly_eval(p, x), GF256.poly_eval(q, x))
+
+    @given(st.lists(BYTE, min_size=3, max_size=8))
+    def test_divmod_reconstructs(self, dividend):
+        divisor = [1, 5, 7]
+        if len(dividend) < len(divisor):
+            return
+        quotient, remainder = GF256.poly_divmod(dividend, divisor)
+        reconstructed = GF256.poly_add(GF256.poly_mul(quotient, divisor), remainder)
+        # strip leading zeros for comparison
+        def strip(poly):
+            while len(poly) > 1 and poly[0] == 0:
+                poly = poly[1:]
+            return poly
+        assert strip(reconstructed) == strip(list(dividend))
+
+
+class TestReedSolomon:
+    def test_ecc_length(self):
+        rs = ReedSolomon(nsym=4)
+        assert len(rs.ecc(b"\x00\x01")) == 4
+
+    def test_clean_codeword_has_zero_syndromes(self):
+        rs = ReedSolomon(nsym=4)
+        codeword = rs.encode(b"hello")
+        assert max(rs.syndromes(codeword)) == 0
+
+    def test_decode_clean(self):
+        rs = ReedSolomon(nsym=4)
+        assert rs.decode(rs.encode(b"hi")) == b"hi"
+
+    @given(st.binary(min_size=1, max_size=8), st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_corrects_up_to_t_errors(self, message, data):
+        """Property: ≤ nsym/2 symbol errors always decode to the message."""
+        rs = ReedSolomon(nsym=6)
+        codeword = bytearray(rs.encode(message))
+        n_errors = data.draw(st.integers(0, 3))
+        positions = data.draw(
+            st.lists(
+                st.integers(0, len(codeword) - 1),
+                min_size=n_errors, max_size=n_errors, unique=True,
+            )
+        )
+        for position in positions:
+            flip = data.draw(st.integers(1, 255))
+            codeword[position] ^= flip
+        assert rs.decode(bytes(codeword)) == message
+
+    def test_too_many_errors_raises(self):
+        rs = ReedSolomon(nsym=2)
+        codeword = bytearray(rs.encode(b"abcd"))
+        codeword[0] ^= 1
+        codeword[1] ^= 2
+        # 2 errors > nsym/2 = 1 → must raise (or mis-decode is *not* allowed)
+        with pytest.raises(ReedSolomonError):
+            rs.decode(bytes(codeword))
+
+    def test_distinct_messages_distinct_ecc(self):
+        rs = ReedSolomon(nsym=4)
+        eccs = {rs.ecc(i.to_bytes(2, "big")) for i in range(256)}
+        assert len(eccs) == 256
+
+    def test_generator_poly_roots(self):
+        rs = ReedSolomon(nsym=5)
+        generator = rs.generator_poly()
+        for i in range(5):
+            assert GF256.poly_eval(generator, GF256.pow(2, i)) == 0
+
+
+class TestRsEncodeValue:
+    def test_paper_defaults_are_32bit(self):
+        value = rs_encode_value(1)
+        assert 0 <= value < (1 << 32)
+
+    def test_deterministic(self):
+        assert rs_encode_value(7) == rs_encode_value(7)
+
+    def test_out_of_range_message(self):
+        with pytest.raises(ValueError):
+            rs_encode_value(1 << 16)
+        with pytest.raises(ValueError):
+            rs_encode_value(-1)
+
+
+class TestDiversifiedConstants:
+    def test_distance_guarantee_small_sets(self):
+        """The paper's claim: minimum pairwise Hamming distance of 8."""
+        for count in (2, 4, 8, 16, 32):
+            values = generate_diversified_constants(count)
+            assert len(values) == count
+            assert min_pairwise_distance(values) >= 8, count
+
+    def test_values_unique_and_nonzero(self):
+        values = generate_diversified_constants(64)
+        assert len(set(values)) == 64
+        assert 0 not in values
+
+    def test_empty_and_single(self):
+        assert generate_diversified_constants(0) == []
+        assert len(generate_diversified_constants(1)) == 1
+        assert min_pairwise_distance([5]) == 0
+
+    def test_deterministic_generation(self):
+        assert generate_diversified_constants(10) == generate_diversified_constants(10)
+
+    def test_pairwise_distances_count(self):
+        values = generate_diversified_constants(5)
+        assert len(pairwise_distances(values)) == 10  # C(5, 2)
+
+    def test_stronger_distance_requirement(self):
+        values = generate_diversified_constants(8, min_distance=12)
+        assert min_pairwise_distance(values) >= 12
+
+    def test_random_values_usually_violate_distance(self):
+        """Sanity: plain sequential ENUM values (0,1,2,...) have distance 1."""
+        assert min_pairwise_distance(list(range(8))) == 1

@@ -1,0 +1,194 @@
+"""Lexer, parser, and sema tests."""
+
+import pytest
+
+from repro.compiler import ast_nodes as ast
+from repro.compiler.lexer import Token, tokenize
+from repro.compiler.parser import parse
+from repro.compiler.sema import analyze
+from repro.errors import CompileError
+
+
+class TestLexer:
+    def test_keywords_and_idents(self):
+        tokens = tokenize("int foo;")
+        assert [(t.kind, t.text) for t in tokens[:3]] == [
+            ("keyword", "int"), ("ident", "foo"), ("op", ";"),
+        ]
+
+    def test_numbers(self):
+        tokens = tokenize("42 0x2A 0b101010 10u 10UL")
+        assert [t.value for t in tokens[:-1]] == [42, 42, 42, 10, 10]
+
+    def test_char_literal(self):
+        assert tokenize("'A'")[0].value == 65
+        assert tokenize(r"'\n'")[0].value == 10
+
+    def test_operators_longest_match(self):
+        tokens = tokenize("a <<= b >> c != d")
+        ops = [t.text for t in tokens if t.kind == "op"]
+        assert ops == ["<<=", ">>", "!="]
+
+    def test_comments(self):
+        tokens = tokenize("a // line\n/* block\nblock */ b")
+        assert [t.text for t in tokens if t.kind == "ident"] == ["a", "b"]
+
+    def test_unterminated_comment(self):
+        with pytest.raises(CompileError):
+            tokenize("/* oops")
+
+    def test_bad_character(self):
+        with pytest.raises(CompileError):
+            tokenize("int $x;")
+
+    def test_line_tracking(self):
+        tokens = tokenize("a\nbb\n ccc")
+        idents = [t for t in tokens if t.kind == "ident"]
+        assert [t.line for t in idents] == [1, 2, 3]
+
+
+class TestParser:
+    def test_function_with_params(self):
+        unit = parse("int add(int a, int b) { return a + b; }")
+        function = unit.function("add")
+        assert len(function.params) == 2
+        assert function.return_type.name == "int"
+
+    def test_void_param_list(self):
+        unit = parse("void f(void) { }")
+        assert unit.function("f").params == []
+
+    def test_prototype(self):
+        unit = parse("int f(int x);")
+        items = [i for i in unit.items if isinstance(i, ast.FunctionDef)]
+        assert items[0].body is None
+
+    def test_global_with_initializer(self):
+        unit = parse("volatile unsigned int ticks = 5;")
+        g = unit.globals()[0]
+        assert g.ctype.volatile and not g.ctype.signed
+        assert isinstance(g.init, ast.NumberLit)
+
+    def test_enum_definition(self):
+        unit = parse("enum E { A, B = 5, C };")
+        enum = unit.enums()[0]
+        assert [e.name for e in enum.enumerators] == ["A", "B", "C"]
+        assert not enum.fully_uninitialized
+
+    def test_fully_uninitialized_enum(self):
+        unit = parse("enum E { A, B, C };")
+        assert unit.enums()[0].fully_uninitialized
+
+    def test_precedence(self):
+        unit = parse("int f(void) { return 1 + 2 * 3; }")
+        ret = unit.function("f").body.statements[0]
+        assert isinstance(ret.value, ast.Binary) and ret.value.op == "+"
+        assert ret.value.right.op == "*"
+
+    def test_ternary_and_logical(self):
+        unit = parse("int f(int a) { return a > 0 && a < 10 ? 1 : 2; }")
+        ret = unit.function("f").body.statements[0]
+        assert isinstance(ret.value, ast.Conditional)
+
+    def test_mmio_deref(self):
+        unit = parse("void f(void) { *(volatile unsigned int *)0x48000014 = 1; }")
+        stmt = unit.function("f").body.statements[0]
+        assert isinstance(stmt.expr, ast.Assign)
+        assert isinstance(stmt.expr.lhs, ast.MMIODeref)
+
+    def test_for_with_declaration(self):
+        unit = parse("void f(void) { for (int i = 0; i < 4; i = i + 1) { } }")
+        loop = unit.function("f").body.statements[0]
+        assert isinstance(loop, ast.For)
+        assert isinstance(loop.init, ast.Declaration)
+
+    def test_infinite_for(self):
+        unit = parse("void f(void) { for (;;) { } }")
+        loop = unit.function("f").body.statements[0]
+        assert loop.cond is None and loop.step is None
+
+    def test_compound_assignment(self):
+        unit = parse("void f(void) { int x = 0; x += 3; }")
+        stmt = unit.function("f").body.statements[1]
+        assert stmt.expr.op == "+="
+
+    def test_cast_is_tolerated(self):
+        unit = parse("int f(int a) { return (unsigned int)a; }")
+        assert unit.function("f") is not None
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "int f( { }",
+            "int f(void) { return 1 }",
+            "int f(void) { if }",
+            "enum { , };",
+            "int = 4;",
+            "int f(void) { 1 = x; }",
+        ],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(CompileError):
+            parse(bad)
+
+
+class TestSema:
+    def test_enum_values_assigned(self):
+        program = analyze(parse("enum E { A, B = 7, C };"))
+        assert program.enum_values == {"A": 0, "B": 7, "C": 8}
+
+    def test_global_initializer_folded(self):
+        program = analyze(parse("enum E { A, B }; int x = B + 3;"))
+        assert program.globals["x"].initial == 4
+
+    def test_duplicate_global(self):
+        with pytest.raises(CompileError):
+            analyze(parse("int x; int x;"))
+
+    def test_duplicate_enumerator(self):
+        with pytest.raises(CompileError):
+            analyze(parse("enum A { X }; enum B { X };"))
+
+    def test_undefined_identifier(self):
+        with pytest.raises(CompileError):
+            analyze(parse("int f(void) { return nope; }"))
+
+    def test_undefined_function(self):
+        with pytest.raises(CompileError):
+            analyze(parse("int f(void) { return g(); }"))
+
+    def test_wrong_arity(self):
+        with pytest.raises(CompileError):
+            analyze(parse("int g(int a) { return a; } int f(void) { return g(); }"))
+
+    def test_too_many_params(self):
+        with pytest.raises(CompileError):
+            analyze(parse("int f(int a, int b, int c, int d, int e) { return 0; }"))
+
+    def test_void_function_returning_value(self):
+        with pytest.raises(CompileError):
+            analyze(parse("void f(void) { return 3; }"))
+
+    def test_nonvoid_returning_nothing(self):
+        with pytest.raises(CompileError):
+            analyze(parse("int f(void) { return; }"))
+
+    def test_assign_to_enumerator(self):
+        with pytest.raises(CompileError):
+            analyze(parse("enum E { A }; void f(void) { A = 2; }"))
+
+    def test_assign_to_const(self):
+        with pytest.raises(CompileError):
+            analyze(parse("const int k = 1; void f(void) { k = 2; }"))
+
+    def test_redefined_function(self):
+        with pytest.raises(CompileError):
+            analyze(parse("int f(void) { return 1; } int f(void) { return 2; }"))
+
+    def test_prototype_then_definition_ok(self):
+        program = analyze(parse("int f(void); int f(void) { return 1; }"))
+        assert program.functions["f"].defined
+
+    def test_builtin_calls_allowed(self):
+        program = analyze(parse("void f(void) { __nop(); __halt(); }"))
+        assert program is not None

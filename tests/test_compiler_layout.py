@@ -1,0 +1,189 @@
+"""Layout / driver tests: crt0 behaviour, sections, global placement."""
+
+import re
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.compiler.layout import (
+    FAR_GLOBALS_BASE,
+    NEAR_GLOBALS_BASE,
+    SectionSizes,
+)
+from repro.errors import LayoutError
+from repro.hw.mcu import Board
+
+
+def boot(source: str, **kwargs):
+    compiled = compile_source(source, **kwargs)
+    board = Board(compiled.image)
+    reason = board.run(2_000_000)
+    assert reason == "halted", reason
+    return compiled, board
+
+
+def global_address(compiled, name: str) -> int:
+    match = re.search(rf"\.equ g_{name}, (0x[0-9A-F]+)", compiled.assembly)
+    assert match, f"no address for global {name}"
+    return int(match.group(1), 16)
+
+
+class TestCrt0:
+    def test_data_image_copied_to_ram(self):
+        source = """
+        int a = 0x11111111;
+        int b = 0x22222222;
+        int main(void) { return 0; }
+        """
+        compiled, board = boot(source)
+        assert board.cpu.memory.read_u32(global_address(compiled, "a")) == 0x11111111
+        assert board.cpu.memory.read_u32(global_address(compiled, "b")) == 0x22222222
+
+    def test_bss_zeroed_despite_sram_fill(self):
+        """SRAM powers up as 0xA5 fill; crt0 must still zero .bss globals."""
+        source = "int z; int main(void) { return z; }"
+        compiled, board = boot(source)
+        assert board.cpu.regs[0] == 0
+        assert board.cpu.memory.read_u32(global_address(compiled, "z")) == 0
+
+    def test_initialized_globals_contiguous(self):
+        source = """
+        int a = 1;
+        int z1;
+        int b = 2;
+        int z2;
+        int main(void) { return a + b + z1 + z2; }
+        """
+        compiled, board = boot(source)
+        addr_a = global_address(compiled, "a")
+        addr_b = global_address(compiled, "b")
+        assert abs(addr_a - addr_b) == 4  # copy loop runs over one block
+        assert board.cpu.regs[0] == 3
+
+    def test_entry_function_override(self):
+        source = """
+        int alt(void) { return 55; }
+        int main(void) { return 1; }
+        """
+        compiled, board = boot(source, entry_function="alt")
+        assert board.cpu.regs[0] == 55
+
+    def test_init_function_runs_before_entry(self):
+        source = """
+        int order;
+        void setup(void) { order = 7; }
+        int main(void) { return order; }
+        """
+        compiled, board = boot(source, init_function="setup")
+        assert board.cpu.regs[0] == 7
+
+    def test_missing_entry_rejected(self):
+        with pytest.raises(LayoutError):
+            compile_source("int helper(void) { return 1; }")
+
+    def test_missing_init_rejected(self):
+        with pytest.raises(LayoutError):
+            compile_source("int main(void) { return 1; }", init_function="ghost")
+
+
+class TestGlobalPlacement:
+    def test_near_globals_start_at_base(self):
+        compiled, _ = boot("int first = 9; int main(void) { return first; }")
+        assert global_address(compiled, "first") == NEAR_GLOBALS_BASE
+
+    def test_far_region_used_by_integrity_shadows(self):
+        from repro.resistor import ResistorConfig, harden
+
+        source = "int s = 1; int main(void) { s = s + 1; return s; }"
+        hardened = harden(source, ResistorConfig.only("integrity", sensitive=("s",)))
+        match = re.search(
+            r"\.equ g_s__gr_integrity, (0x[0-9A-F]+)", hardened.compiled.assembly
+        )
+        assert int(match.group(1), 16) >= FAR_GLOBALS_BASE
+
+
+class TestSectionSizes:
+    def test_sizes_accounting(self):
+        compiled, _ = boot("int a = 1; int z; int main(void) { return a + z; }")
+        assert compiled.sizes.data == 4  # one initialized global
+        assert compiled.sizes.bss == 4  # one zeroed global
+        assert compiled.sizes.text > 0
+        assert compiled.sizes.total == (
+            compiled.sizes.text + compiled.sizes.data + compiled.sizes.bss
+        )
+
+    def test_sizes_dataclass(self):
+        sizes = SectionSizes(text=10, data=4, bss=2)
+        assert sizes.total == 16
+
+    def test_image_loads_within_flash(self):
+        compiled, _ = boot("int main(void) { return 0; }")
+        from repro.hw.mcu import FLASH_BASE, FLASH_SIZE
+
+        assert compiled.image.base == FLASH_BASE
+        assert len(compiled.image.code) < FLASH_SIZE
+
+
+class TestRuntimeInjection:
+    def test_division_pulls_in_runtime(self):
+        compiled, board = boot(
+            "int main(void) { int a = 100; int b = 7; return a / b; }"
+        )
+        assert "__gr_udiv" in compiled.assembly
+        assert board.cpu.regs[0] == 14
+
+    def test_no_division_no_runtime(self):
+        compiled, _ = boot("int main(void) { return 1 + 2; }")
+        assert "__gr_udiv" not in compiled.assembly
+
+    def test_division_by_zero_halts(self):
+        compiled = compile_source("int d; int main(void) { return 5 / d; }")
+        board = Board(compiled.image)
+        reason = board.run(100_000)
+        # __gr_udiv calls __halt() on zero divisors
+        assert reason == "halted"
+
+
+class TestPassLog:
+    def test_pass_log_recorded(self):
+        compiled, _ = boot("int main(void) { return 1 + 2; }")
+        names = [name for name, _ in compiled.pass_log]
+        assert names == ["constfold", "dce"]
+
+    def test_optimize_false_skips_passes(self):
+        compiled = compile_source("int main(void) { return 1 + 2; }", optimize=False)
+        assert compiled.pass_log == []
+
+
+class TestCodegenPatterns:
+    """The generated Thumb must expose the paper's attack surface."""
+
+    def test_fused_cmp_branch_pair(self):
+        """`if (x == k)` must compile to an adjacent cmp / b<cc> pair — the
+        instruction sequence every glitching experiment targets."""
+        compiled = compile_source(
+            "int g = 5; void win(void) { } int main(void) { if (g == 5) { win(); } return 0; }"
+        )
+        lines = [l.strip() for l in compiled.assembly.splitlines()]
+        for index, line in enumerate(lines):
+            if line.startswith("cmp r0, r1"):
+                following = lines[index + 1]
+                if following.startswith("beq") or following.startswith("bne"):
+                    return
+        raise AssertionError("no fused cmp/b<cc> pair in generated code")
+
+    def test_guard_loop_has_conditional_branch(self):
+        compiled = compile_source(
+            "volatile int a; void win(void) { } int main(void) { while (!a) { } win(); return 0; }"
+        )
+        text = compiled.assembly
+        assert "cmp r0, r1" in text or "cmp r0, #0" in text
+        assert any(mnemonic in text for mnemonic in ("beq", "bne"))
+
+    def test_volatile_load_not_cached(self):
+        """Two volatile reads must produce two ldr instructions."""
+        compiled = compile_source(
+            "volatile int v; int main(void) { return v + v; }"
+        )
+        body = compiled.assembly.split("main:")[1].split("epilogue")[0]
+        assert body.count("ldr r3, =g_v") == 2

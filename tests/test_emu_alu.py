@@ -1,0 +1,107 @@
+"""ALU semantics tests, including a model-based property check against Python ints."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.emu import alu
+
+U32 = st.integers(0, 0xFFFFFFFF)
+
+
+class TestAddWithCarry:
+    def test_simple_add(self):
+        assert alu.add_with_carry(1, 2, False) == (3, False, False)
+
+    def test_carry_out(self):
+        result, carry, overflow = alu.add_with_carry(0xFFFFFFFF, 1, False)
+        assert (result, carry, overflow) == (0, True, False)
+
+    def test_signed_overflow(self):
+        result, carry, overflow = alu.add_with_carry(0x7FFFFFFF, 1, False)
+        assert result == 0x80000000
+        assert not carry
+        assert overflow
+
+    def test_carry_in(self):
+        assert alu.add_with_carry(1, 1, True)[0] == 3
+
+    @given(U32, U32, st.booleans())
+    def test_matches_python_arithmetic(self, a, b, c):
+        result, carry, overflow = alu.add_with_carry(a, b, c)
+        total = a + b + (1 if c else 0)
+        assert result == total & 0xFFFFFFFF
+        assert carry == (total > 0xFFFFFFFF)
+        signed = _s(a) + _s(b) + (1 if c else 0)
+        assert overflow == (not -(1 << 31) <= signed < (1 << 31))
+
+
+class TestSubtract:
+    def test_no_borrow_sets_carry(self):
+        result, carry, overflow = alu.subtract(5, 3)
+        assert (result, carry) == (2, True)
+
+    def test_borrow_clears_carry(self):
+        result, carry, overflow = alu.subtract(3, 5)
+        assert result == 0xFFFFFFFE
+        assert not carry
+
+    def test_equal_is_zero_with_carry(self):
+        result, carry, _ = alu.subtract(7, 7)
+        assert (result, carry) == (0, True)
+
+    @given(U32, U32)
+    def test_matches_python(self, a, b):
+        result, carry, _ = alu.subtract(a, b)
+        assert result == (a - b) & 0xFFFFFFFF
+        assert carry == (a >= b)
+
+
+class TestShifts:
+    def test_lsl_zero_keeps_carry(self):
+        assert alu.lsl_carry(5, 0, True) == (5, True)
+
+    def test_lsl_normal(self):
+        assert alu.lsl_carry(0x80000001, 1, False) == (2, True)
+
+    def test_lsl_32(self):
+        assert alu.lsl_carry(1, 32, False) == (0, True)
+        assert alu.lsl_carry(2, 32, False) == (0, False)
+
+    def test_lsl_over_32(self):
+        assert alu.lsl_carry(0xFFFFFFFF, 33, True) == (0, False)
+
+    def test_lsr_normal(self):
+        assert alu.lsr_carry(0b11, 1, False) == (1, True)
+
+    def test_lsr_32(self):
+        assert alu.lsr_carry(0x80000000, 32, False) == (0, True)
+
+    def test_asr_sign_fill(self):
+        assert alu.asr_carry(0x80000000, 1, False) == (0xC0000000, False)
+
+    def test_asr_saturates(self):
+        assert alu.asr_carry(0x80000000, 40, False) == (0xFFFFFFFF, True)
+        assert alu.asr_carry(0x7FFFFFFF, 40, False) == (0, False)
+
+    def test_ror(self):
+        assert alu.ror_carry(1, 1, False) == (0x80000000, True)
+
+    def test_ror_multiple_of_32(self):
+        assert alu.ror_carry(0x80000000, 32, False) == (0x80000000, True)
+
+    @given(U32, st.integers(1, 31))
+    def test_lsl_lsr_inverse_on_low_bits(self, value, amount):
+        shifted, _ = alu.lsl_carry(value, amount, False)
+        back, _ = alu.lsr_carry(shifted, amount, False)
+        assert back == (value << amount & 0xFFFFFFFF) >> amount
+
+    @given(U32, st.integers(0, 63), st.booleans())
+    def test_shift_results_are_32bit(self, value, amount, carry):
+        for op in (alu.lsl_carry, alu.lsr_carry, alu.asr_carry, alu.ror_carry):
+            result, c = op(value, amount, carry)
+            assert 0 <= result <= 0xFFFFFFFF
+            assert isinstance(c, bool)
+
+
+def _s(value: int) -> int:
+    return value - (1 << 32) if value & (1 << 31) else value

@@ -1,0 +1,149 @@
+"""Memory-model and disassembler tests."""
+
+import pytest
+
+from repro.emu import Memory, MemoryRegion, MMIORegion
+from repro.errors import BadFetch, BadRead, BadWrite
+from repro.isa.disassembler import disassemble, disassemble_one, format_listing
+
+
+class TestMemoryRegions:
+    def test_overlap_rejected(self):
+        memory = Memory()
+        memory.map("a", 0x1000, 0x100)
+        with pytest.raises(ValueError):
+            memory.map("b", 0x10FF, 0x100)
+
+    def test_adjacent_regions_allowed(self):
+        memory = Memory()
+        memory.map("a", 0x1000, 0x100)
+        memory.map("b", 0x1100, 0x100)
+        assert memory.region_at(0x10FF).name == "a"
+        assert memory.region_at(0x1100).name == "b"
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryRegion(name="z", base=0, size=0)
+
+    def test_data_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryRegion(name="z", base=0, size=8, data=bytearray(4))
+
+    def test_cross_region_access_faults(self):
+        memory = Memory()
+        memory.map("a", 0x1000, 0x100)
+        with pytest.raises(BadRead):
+            memory.read(0x10FE, 4)  # spills past the region end
+
+
+class TestAccessFaults:
+    def test_unmapped_read(self):
+        with pytest.raises(BadRead):
+            Memory().read_u32(0x4000)
+
+    def test_unmapped_write(self):
+        with pytest.raises(BadWrite):
+            Memory().write_u32(0x4000, 1)
+
+    def test_read_only_write(self):
+        memory = Memory()
+        memory.map("rom", 0x0, 0x100, writable=False)
+        with pytest.raises(BadWrite):
+            memory.write_u8(0x10, 1)
+
+    def test_fetch_requires_executable(self):
+        memory = Memory()
+        memory.map("ram", 0x0, 0x100)  # not executable
+        with pytest.raises(BadFetch):
+            memory.fetch_u16(0x10)
+
+    def test_fetch_unaligned(self):
+        memory = Memory()
+        memory.map("flash", 0x0, 0x100, executable=True)
+        with pytest.raises(BadFetch):
+            memory.fetch_u16(0x11)
+
+    def test_try_fetch_returns_none(self):
+        assert Memory().try_fetch_u16(0x2000) is None
+
+    def test_load_bypasses_write_protection(self):
+        memory = Memory()
+        memory.map("rom", 0x0, 0x100, writable=False)
+        memory.load(0x0, b"\xaa\xbb")
+        assert memory.read_u16(0x0) == 0xBBAA
+
+
+class TestWidths:
+    def test_width_roundtrips(self):
+        memory = Memory()
+        memory.map("ram", 0x0, 0x100)
+        memory.write_u8(0x0, 0xEF)
+        memory.write_u16(0x2, 0xBEEF)
+        memory.write_u32(0x4, 0xDEADBEEF)
+        assert memory.read_u8(0x0) == 0xEF
+        assert memory.read_u16(0x2) == 0xBEEF
+        assert memory.read_u32(0x4) == 0xDEADBEEF
+
+    def test_values_truncate(self):
+        memory = Memory()
+        memory.map("ram", 0x0, 0x100)
+        memory.write_u8(0x0, 0x1FF)
+        assert memory.read_u8(0x0) == 0xFF
+
+
+class TestMMIO:
+    def test_callbacks_invoked(self):
+        log = []
+        region = MMIORegion(
+            "dev", 0x4000_0000, 0x100,
+            on_read=lambda off, length: 0x42,
+            on_write=lambda off, length, value: log.append((off, length, value)),
+        )
+        memory = Memory()
+        memory.map_region(region)
+        assert memory.read_u32(0x4000_0010) == 0x42
+        memory.write_u32(0x4000_0014, 0xAB)
+        assert log == [(0x14, 4, 0xAB)]
+
+    def test_mmio_without_callbacks_is_ram_like(self):
+        memory = Memory()
+        memory.map_region(MMIORegion("dev", 0x0, 0x10))
+        memory.write_u8(0x1, 7)
+        assert memory.read_u8(0x1) == 7
+
+
+class TestDisassembler:
+    def test_single_valid(self):
+        assert disassemble_one(0x2001) == "movs r0, #1"
+
+    def test_single_invalid_renders_data(self):
+        text = disassemble_one(0xDE00)
+        assert text.startswith(".hword 0xde00")
+
+    def test_sweep_consumes_bl_pairs(self):
+        rows = disassemble([0xF000, 0xF801, 0xBF00])
+        assert len(rows) == 2
+        assert rows[0][1].startswith("bl")
+        assert rows[1][1] == "nop"
+
+    def test_sweep_skips_invalid_and_continues(self):
+        rows = disassemble([0xDE00, 0x2001])
+        assert len(rows) == 2
+        assert "invalid" in rows[0][1]
+        assert rows[1][1] == "movs r0, #1"
+
+    def test_addresses(self):
+        rows = disassemble([0xBF00, 0xBF00], base=0x100)
+        assert [address for address, _ in rows] == [0x100, 0x102]
+
+    def test_format_listing(self):
+        listing = format_listing(disassemble([0xBF00], base=0x8000))
+        assert "0x00008000" in listing and "nop" in listing
+
+    def test_bytes_input(self):
+        rows = disassemble(b"\x01\x20")
+        assert rows[0][1] == "movs r0, #1"
+
+    def test_zero_invalid_flag(self):
+        rows = disassemble([0x0000], zero_is_invalid=True)
+        assert "invalid" in rows[0][1]

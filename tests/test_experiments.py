@@ -1,0 +1,117 @@
+"""Tests for the experiment drivers (fast, strided/subsampled runs)."""
+
+import pytest
+
+from repro.experiments.fig2 import run_figure2
+from repro.experiments.param_search import run_search
+from repro.experiments.render import compare_line, pct, render_table
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+from repro.experiments.table4 import CONFIGS, run_table4
+from repro.experiments.table5 import run_table5
+from repro.experiments.table6 import run_table6
+from repro.experiments.table7 import run_table7
+
+
+class TestRenderHelpers:
+    def test_render_table_alignment(self):
+        text = render_table("T", ["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert all(len(line) == len(lines[2]) for line in lines[2:])
+
+    def test_pct(self):
+        assert pct(0.5) == "50%"
+        assert pct(0.00123) == "0.123%"
+
+    def test_compare_line(self):
+        line = compare_line("thing", "1%", "2%")
+        assert "paper" in line and "measured" in line
+
+
+class TestFigure2Driver:
+    def test_subsampled_run(self):
+        result = run_figure2(k_values=(1, 2), conditions=["eq", "ne"], include_xor=False)
+        assert set(result.panels) == {"and", "or", "and-0invalid"}
+        rendered = result.render()
+        assert "Figure 2a" in rendered and "BEQ" in rendered
+
+    def test_csv(self):
+        result = run_figure2(k_values=(1,), conditions=["eq"], include_xor=False)
+        assert "instruction,k,success_rate" in result.to_csv()
+
+
+class TestScanDrivers:
+    def test_table1_driver(self):
+        result = run_table1(stride=8, cycles=range(3))
+        assert set(result.scans) == {"not_a", "a", "a_ne_const"}
+        assert "Table I" in result.render()
+
+    def test_table2_driver(self):
+        result = run_table2(stride=8, cycles=range(3))
+        assert "multi-glitch" in result.render()
+
+    def test_table3_driver(self):
+        result = run_table3(stride=8, last_cycles=(10, 12))
+        rendered = result.render()
+        assert "0-10" in rendered and "paper totals" in rendered
+
+    def test_table6_driver_single_cell(self):
+        result = run_table6(
+            stride=8, attacks=("single",), defenses=("all",), scenarios=("if_success",)
+        )
+        scan = result.get("if_success", "all", "single")
+        assert scan.attempts == 13 * 13 * 11
+        assert "Table VI" in result.render()
+
+
+class TestOverheadDrivers:
+    @pytest.fixture(scope="class")
+    def table4(self):
+        return run_table4()
+
+    @pytest.fixture(scope="class")
+    def table5(self):
+        return run_table5()
+
+    def test_table4_rows_complete(self, table4):
+        assert {row.defense for row in table4.rows} == set(CONFIGS)
+
+    def test_table4_baseline_zero(self, table4):
+        assert table4.row("None").increase_pct == 0.0
+        with pytest.raises(KeyError):
+            table4.row("Nope")
+
+    def test_table4_all_is_most_expensive(self, table4):
+        all_cycles = table4.row("All").cycles
+        assert all(row.cycles <= all_cycles for row in table4.rows)
+
+    def test_table4_render_mentions_paper(self, table4):
+        assert "Paper" in table4.render()
+
+    def test_table5_sections_positive(self, table5):
+        for sizes in table5.sizes.values():
+            assert sizes.text > 0
+            assert sizes.total == sizes.text + sizes.data + sizes.bss
+
+    def test_table5_overhead_monotone_for_all(self, table5):
+        assert table5.overhead("All", "text") >= table5.overhead("Branches", "text")
+
+
+class TestTable7Driver:
+    def test_matrix_shape(self):
+        result = run_table7()
+        assert len(result.rows) == 9
+        for values in result.rows.values():
+            assert len(values) == 7
+
+    def test_render(self):
+        assert "GlitchResistor" in run_table7().render()
+
+
+class TestSearchDriver:
+    def test_search_driver(self):
+        result = run_search(guards=("not_a",), coarse_stride=6)
+        assert result.results["not_a"].found
+        assert "10/10" in result.render() or "Guard" in result.render()

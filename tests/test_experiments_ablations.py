@@ -1,0 +1,70 @@
+"""Unit tests for the ablation drivers and defense-scan plumbing."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    AblationOutcome,
+    AblationResult,
+    band_robustness,
+    seed_robustness,
+)
+from repro.hw.scan import ATTACK_SHAPES, run_defense_scan
+
+
+class TestAblationContainers:
+    def test_fraction_holding(self):
+        result = AblationResult(title="t")
+        result.outcomes = [
+            AblationOutcome(label="a", rates={"x": 0.1}, ordering_holds=True),
+            AblationOutcome(label="b", rates={"x": 0.2}, ordering_holds=False),
+        ]
+        assert result.fraction_holding == 0.5
+        rendered = result.render()
+        assert "50%" in rendered and "NO" in rendered
+
+    def test_empty_result(self):
+        assert AblationResult(title="t").fraction_holding == 0.0
+
+
+class TestSeedRobustnessDriver:
+    def test_two_seeds_strided(self):
+        result = seed_robustness(seeds=(1, 2), stride=8)
+        assert len(result.outcomes) == 2
+        for outcome in result.outcomes:
+            assert set(outcome.rates) == {"not_a", "a", "a_ne_const"}
+
+    def test_band_driver(self):
+        result = band_robustness(centers=((20, -10),), stride=8)
+        assert len(result.outcomes) == 1
+        assert "band@" in result.outcomes[0].label
+
+
+class TestDefenseScanPlumbing:
+    def test_attack_shapes_populations(self):
+        assert len(ATTACK_SHAPES["single"]) == 11
+        assert len(ATTACK_SHAPES["long"]) == 10
+        assert len(ATTACK_SHAPES["windowed"]) == 11
+        assert all(repeat == 1 for _, repeat in ATTACK_SHAPES["single"])
+        assert all(repeat == 10 for _, repeat in ATTACK_SHAPES["windowed"])
+        assert [r for _, r in ATTACK_SHAPES["long"]] == list(range(10, 101, 10))
+
+    def test_unknown_attack_rejected(self):
+        from repro.firmware.loops import build_guard_firmware
+
+        firmware = build_guard_firmware("not_a", "single")
+        with pytest.raises(ValueError):
+            run_defense_scan(firmware, "emp")
+
+    def test_detection_rate_definition(self):
+        from repro.hw.scan import DefenseScanResult
+
+        scan = DefenseScanResult(scenario="s", defense="d", attack="single")
+        scan.attempts, scan.successes, scan.detections = 100, 1, 9
+        assert scan.detection_rate == 0.9  # det / (det + succ), the paper's metric
+        assert scan.success_rate == 0.01
+
+    def test_detection_rate_empty(self):
+        from repro.hw.scan import DefenseScanResult
+
+        scan = DefenseScanResult(scenario="s", defense="d", attack="single")
+        assert scan.detection_rate == 0.0

@@ -1,0 +1,109 @@
+"""Tests for the MiniC evaluation firmware (guards + boot)."""
+
+import pytest
+
+from repro.firmware.boot import BOOT_SOURCE, SENSITIVE_VARIABLES, build_boot_firmware
+from repro.firmware.guards import GUARD_SOURCES, build_defended_guard
+from repro.hw.clock import GlitchParams
+from repro.hw.glitcher import ClockGlitcher
+from repro.hw.mcu import Board
+from repro.resistor import ResistorConfig
+
+
+class TestGuardFirmware:
+    @pytest.mark.parametrize("scenario", sorted(GUARD_SOURCES))
+    @pytest.mark.parametrize(
+        "config",
+        [ResistorConfig.none(), ResistorConfig.all(), ResistorConfig.all_but_delay()],
+        ids=lambda c: c.describe(),
+    )
+    def test_builds_and_loops_forever(self, scenario, config):
+        hardened = build_defended_guard(scenario, config)
+        assert "win" in hardened.image.symbols
+        glitcher = ClockGlitcher(
+            hardened.image,
+            detect_symbol="gr_detected" if config.any_enabled else None,
+        )
+        result = glitcher.run_unglitched(max_cycles=20_000)
+        assert result.category == "no_effect"
+        assert result.triggers_seen == 1
+
+    def test_unknown_scenario(self):
+        with pytest.raises(ValueError):
+            build_defended_guard("nope", ResistorConfig.none())
+
+    def test_defended_guard_has_detect_symbol(self):
+        hardened = build_defended_guard("while_not_a", ResistorConfig.all())
+        assert "gr_detected" in hardened.image.symbols
+
+    def test_enum_guard_gets_diversified(self):
+        hardened = build_defended_guard("if_success", ResistorConfig.all())
+        assert "BootStatus" in hardened.report.enums_rewritten
+
+    def test_branch_decision_glitch_detected_or_harmless(self):
+        """Flipping the guard branch on the defended build must never win."""
+        from repro.errors import EmulationFault
+        from repro.hw.faults import FaultEffect
+
+        hardened = build_defended_guard("if_success", ResistorConfig.all_but_delay())
+        image = hardened.image
+        win = image.symbols["win"]
+        for cycle in range(0, 300, 7):
+            board = Board(image)
+            pipe = board.pipeline
+            pipe.stop_addresses = frozenset({win, image.symbols["gr_detected"]})
+            pipe.glitch_resolver = lambda c, view, target=cycle: (
+                FaultEffect(kind="branch_decision", rel_cycle=0) if c == target else None
+            )
+            try:
+                pipe.run(20_000)
+            except EmulationFault:
+                continue
+            assert pipe.stopped_at != win
+
+
+class TestBootFirmware:
+    def test_source_matches_paper_description(self):
+        # "two functions that use ENUMs and constant return values"
+        assert "HAL_OK" in BOOT_SOURCE
+        assert "check_tick_sane" in BOOT_SOURCE
+        # "The firmware will call a success function if the tick value is
+        # ever equal to 0, which was designed to be impossible."
+        assert "win" in BOOT_SOURCE
+        assert SENSITIVE_VARIABLES == ("uwTick",)
+
+    @pytest.mark.parametrize(
+        "config",
+        [
+            ResistorConfig.none(),
+            ResistorConfig.only("integrity", sensitive=SENSITIVE_VARIABLES),
+            ResistorConfig.all(sensitive=SENSITIVE_VARIABLES),
+        ],
+        ids=lambda c: c.describe(),
+    )
+    def test_boot_reaches_complete_and_never_wins(self, config):
+        hardened = build_boot_firmware(config)
+        board = Board(hardened.image)
+        symbols = hardened.image.symbols
+        board.pipeline.stop_addresses = frozenset({symbols["win"]})
+        board.pipeline.milestone_addresses = frozenset({symbols["boot_complete"]})
+        reason = board.pipeline.run(300_000)
+        assert reason == "limit"  # loops forever, never wins
+        assert board.pipeline.milestones, "boot_complete never issued"
+
+    def test_integrity_autofills_sensitive(self):
+        hardened = build_boot_firmware(ResistorConfig.only("integrity"))
+        assert hardened.report.integrity_loads > 0
+
+    def test_boot_under_glitch_can_be_detected(self):
+        """At least one glitch parameter point triggers detection during the
+        defended boot's tick loop."""
+        hardened = build_boot_firmware(ResistorConfig.all_but_delay(sensitive=SENSITIVE_VARIABLES))
+        glitcher = ClockGlitcher(hardened.image, detect_symbol="gr_detected")
+        categories = set()
+        for ext in range(0, 60, 6):
+            for width in range(12, 30, 4):
+                for offset in range(-20, 0, 4):
+                    result = glitcher.run_attempt(GlitchParams(ext, width, offset))
+                    categories.add(result.category)
+        assert "detected" in categories or "reset" in categories

@@ -1,0 +1,262 @@
+"""Assembler tests: syntax coverage, labels, literal pools, directives, errors."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa import assemble, decode
+from repro.isa.disassembler import disassemble
+
+
+def first_word(source: str) -> int:
+    return assemble(source).halfwords[0]
+
+
+class TestBasicInstructions:
+    def test_movs_imm(self):
+        assert first_word("movs r0, #0xAA") == 0x20AA
+
+    def test_mov_alias_for_imm(self):
+        assert first_word("mov r0, #1") == 0x2001
+
+    def test_movs_reg_is_shift_zero(self):
+        assert first_word("movs r1, r2") == 0x0011  # lsls r1, r2, #0
+
+    def test_mov_high(self):
+        assert first_word("mov r3, sp") == 0x466B
+
+    def test_adds_three_operand_imm(self):
+        assert decode(first_word("adds r3, r3, #7")).mnemonic == "adds"
+
+    def test_adds_two_operand_imm8(self):
+        assert first_word("adds r3, #7") == 0x3307
+
+    def test_add_sp_imm(self):
+        instr = decode(first_word("add r1, sp, #16"))
+        assert (instr.mnemonic, instr.imm) == ("add_sp_imm", 16)
+
+    def test_sub_sp(self):
+        instr = decode(first_word("sub sp, #24"))
+        assert (instr.mnemonic, instr.imm) == ("sub_sp", 24)
+
+    def test_cmp_imm(self):
+        assert first_word("cmp r3, #0") == 0x2B00
+
+    def test_fmt4_ops(self):
+        assert decode(first_word("ands r0, r1")).mnemonic == "ands"
+        assert decode(first_word("eor r2, r3")).mnemonic == "eors"
+        assert decode(first_word("mvns r4, r5")).mnemonic == "mvns"
+        assert decode(first_word("neg r0, r1")).mnemonic == "negs"
+
+    def test_shift_imm(self):
+        instr = decode(first_word("lsls r0, r1, #4"))
+        assert (instr.rd, instr.rs, instr.imm) == (0, 1, 4)
+
+    def test_shift_reg(self):
+        instr = decode(first_word("lsrs r0, r1"))
+        assert instr.fmt == 4
+
+    def test_bx_lr(self):
+        assert first_word("bx lr") == 0x4770
+
+
+class TestMemoryOperands:
+    def test_ldrb_bare_base(self):
+        assert first_word("ldrb r3, [r3]") == 0x781B
+
+    def test_ldr_imm_offset(self):
+        instr = decode(first_word("ldr r0, [r5, #4]"))
+        assert (instr.mnemonic, instr.base, instr.imm) == ("ldr", 5, 4)
+
+    def test_ldr_sp_relative(self):
+        assert first_word("ldr r2, [sp, #16]") == 0x9A04
+
+    def test_str_reg_offset(self):
+        assert first_word("str r3, [r2, r3]") == 0x50D3
+
+    def test_strh(self):
+        instr = decode(first_word("strh r1, [r2, #6]"))
+        assert (instr.mnemonic, instr.imm) == ("strh", 6)
+
+    def test_ldrsh_requires_register_offset(self):
+        with pytest.raises(AssemblerError):
+            assemble("ldrsh r0, [r1, #2]")
+
+    def test_strb_sp_relative_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("strb r0, [sp, #4]")
+
+
+class TestRegisterLists:
+    def test_push_range(self):
+        instr = decode(first_word("push {r4-r7, lr}"))
+        assert instr.reg_list == (4, 5, 6, 7, 14)
+
+    def test_pop_pc(self):
+        instr = decode(first_word("pop {r0, pc}"))
+        assert instr.reg_list == (0, 15)
+
+    def test_stmia(self):
+        instr = decode(first_word("stmia r1!, {r0, r2}"))
+        assert (instr.base, instr.reg_list) == (1, (0, 2))
+
+    def test_stm_requires_writeback(self):
+        with pytest.raises(AssemblerError):
+            assemble("stmia r1, {r0}")
+
+    def test_descending_range_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("push {r7-r4}")
+
+
+class TestLabelsAndBranches:
+    def test_backward_branch(self):
+        program = assemble("loop:\n    b loop")
+        assert program.halfwords == [0xE7FE]
+
+    def test_forward_conditional(self):
+        program = assemble("    beq done\n    nop\ndone:\n    nop")
+        instr = decode(program.halfwords[0])
+        assert instr.mnemonic == "beq"
+        assert instr.imm == 0  # target == pc+4
+
+    def test_bl_forward(self):
+        program = assemble("    bl func\n    nop\nfunc:\n    bx lr")
+        instr = decode(program.halfwords[0], program.halfwords[1])
+        assert instr.mnemonic == "bl"
+        assert instr.imm == 2
+
+    def test_label_on_same_line(self):
+        program = assemble("start: movs r0, #1")
+        assert program.symbols["start"] == 0
+        assert program.halfwords == [0x2001]
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("x:\nx:\n nop")
+
+    def test_undefined_symbol_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("b nowhere")
+
+    def test_condition_aliases(self):
+        program = assemble("x: bhs x\n   blo x")
+        assert decode(program.halfwords[0]).mnemonic == "bcs"
+        assert decode(program.halfwords[1]).mnemonic == "bcc"
+
+
+class TestLiteralPool:
+    def test_ldr_equals_large_constant(self):
+        program = assemble(
+            """
+            ldr r3, =0xD3B9AEC6
+            bkpt #0
+            """
+        )
+        # literal placed after the code, aligned to 4
+        assert 0xD3B9AEC6.to_bytes(4, "little") in program.code
+
+    def test_duplicate_literals_share_slot(self):
+        program = assemble(
+            """
+            ldr r0, =0x11223344
+            ldr r1, =0x11223344
+            bkpt #0
+            """
+        )
+        assert program.code.count(0x11223344.to_bytes(4, "little")) == 1
+
+    def test_pool_directive_flushes(self):
+        program = assemble(
+            """
+            ldr r0, =0xCAFEBABE
+            b skip
+            .pool
+            skip:
+            nop
+            """
+        )
+        index = program.code.index(0xCAFEBABE.to_bytes(4, "little"))
+        assert index < len(program.code) - 2  # pool is before the final nop
+
+    def test_label_address_literal(self):
+        program = assemble(
+            """
+            ldr r0, =target
+            bkpt #0
+            target:
+            nop
+            """,
+            base=0x8000,
+        )
+        assert program.symbols["target"].to_bytes(4, "little") in program.code
+
+
+class TestDirectives:
+    def test_word_data(self):
+        program = assemble(".word 0x12345678, 2")
+        assert program.code == bytes.fromhex("78563412") + (2).to_bytes(4, "little")
+
+    def test_hword_byte(self):
+        program = assemble(".hword 0xBEEF\n.byte 1, 2")
+        assert program.code == b"\xef\xbe\x01\x02"
+
+    def test_org_pads(self):
+        program = assemble("nop\n.org 8\nnop")
+        assert len(program.code) == 10
+
+    def test_org_backwards_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".org 8\n.org 4")
+
+    def test_align(self):
+        program = assemble("nop\n.align\n.word 1")
+        assert len(program.code) == 8
+
+    def test_space(self):
+        program = assemble(".space 6\nnop")
+        assert len(program.code) == 8
+        assert program.code[:6] == b"\x00" * 6
+
+    def test_equ(self):
+        program = assemble(".equ MAGIC, 0x42\nmovs r0, #MAGIC")
+        assert program.halfwords[0] == 0x2042
+
+    def test_expression_arithmetic(self):
+        program = assemble(".equ BASE, 0x40\nmovs r0, #BASE+2\nmovs r1, #BASE-0x10")
+        assert program.halfwords[0] == 0x2042
+        assert program.halfwords[1] == 0x2130
+
+    def test_comments_stripped(self):
+        program = assemble("nop ; trailing\n@ whole line\nnop // c style")
+        assert program.halfwords == [0xBF00, 0xBF00]
+
+    def test_char_literal(self):
+        assert first_word("movs r0, #'A'") == 0x2041
+
+
+class TestListingRoundTrip:
+    def test_disassemble_matches_source_semantics(self):
+        source = """
+        entry:
+            movs r0, #0
+            adds r0, #1
+            cmp r0, #10
+            bne entry
+            bx lr
+        """
+        program = assemble(source, base=0x100)
+        rows = disassemble(program.code, base=0x100)
+        texts = [t for _, t in rows]
+        assert texts[0] == "movs r0, #0"
+        assert texts[1] == "adds r0, #1"
+        assert texts[2] == "cmp r0, #10"
+        assert texts[3].startswith("bne")
+        assert texts[4] == "bx lr"
+
+    def test_reassembly_of_disassembly(self):
+        """Canonical disassembly (sans branches) must re-assemble byte-exactly."""
+        source = "movs r0, #7\nadds r0, #1\nldrb r3, [r3]\npush {r0, r1}\nnop"
+        program = assemble(source)
+        rows = disassemble(program.code)
+        reassembled = assemble("\n".join(text for _, text in rows))
+        assert reassembled.code == program.code

@@ -1,0 +1,118 @@
+"""Condition-code semantics: exhaustive truth tables and properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.conditions import (
+    BRANCH_MNEMONICS,
+    CONDITION_NAMES,
+    Flags,
+    condition_holds,
+    condition_name,
+    condition_number,
+    flags_where_taken,
+)
+
+ALL_FLAGS = [
+    Flags(n=n, z=z, c=c, v=v)
+    for n in (False, True)
+    for z in (False, True)
+    for c in (False, True)
+    for v in (False, True)
+]
+
+
+class TestNames:
+    def test_fourteen_conditions(self):
+        assert len(CONDITION_NAMES) == 14
+        assert len(BRANCH_MNEMONICS) == 14
+
+    def test_roundtrip(self):
+        for number, name in enumerate(CONDITION_NAMES):
+            assert condition_name(number) == name
+            assert condition_number(name) == number
+
+    def test_aliases(self):
+        assert condition_number("hs") == condition_number("cs")
+        assert condition_number("lo") == condition_number("cc")
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            condition_name(14)
+        with pytest.raises(ValueError):
+            condition_number("zz")
+
+
+class TestTruthTables:
+    def test_complementary_pairs_partition(self):
+        """eq/ne, cs/cc, mi/pl, vs/vc, hi/ls, ge/lt, gt/le are complements."""
+        for even in range(0, 14, 2):
+            for flags in ALL_FLAGS:
+                assert condition_holds(even, flags) != condition_holds(even + 1, flags)
+
+    def test_eq_is_z(self):
+        for flags in ALL_FLAGS:
+            assert condition_holds(0, flags) == flags.z
+
+    def test_hi_is_c_and_not_z(self):
+        for flags in ALL_FLAGS:
+            assert condition_holds(8, flags) == (flags.c and not flags.z)
+
+    def test_ge_is_n_equals_v(self):
+        for flags in ALL_FLAGS:
+            assert condition_holds(10, flags) == (flags.n == flags.v)
+
+    def test_gt_is_ge_and_ne(self):
+        for flags in ALL_FLAGS:
+            assert condition_holds(12, flags) == (
+                condition_holds(10, flags) and condition_holds(1, flags)
+            )
+
+    def test_al_always(self):
+        for flags in ALL_FLAGS:
+            assert condition_holds(14, flags)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            condition_holds(16, Flags())
+
+
+class TestFlagsWhereTaken:
+    @pytest.mark.parametrize("number", range(14))
+    def test_returned_flags_satisfy(self, number):
+        assert condition_holds(number, flags_where_taken(number))
+
+
+class TestFlagsDataclass:
+    def test_replace(self):
+        flags = Flags().replace(z=True)
+        assert flags.z and not flags.n
+
+    @given(st.booleans(), st.booleans(), st.booleans(), st.booleans())
+    def test_equality(self, n, z, c, v):
+        assert Flags(n, z, c, v) == Flags(n, z, c, v)
+
+    def test_matches_signed_comparison_semantics(self):
+        """cmp a, b then b<cond> must agree with Python comparison, for all
+        signed 3-bit pairs — an exhaustive mini-model of the ALU+conditions."""
+        from repro.emu.alu import subtract
+
+        for a in range(-4, 4):
+            for b in range(-4, 4):
+                result, carry, overflow = subtract(a & 0xFFFFFFFF, b & 0xFFFFFFFF)
+                flags = Flags(
+                    n=bool(result & 0x80000000), z=result == 0, c=carry, v=overflow
+                )
+                assert condition_holds(condition_number("eq"), flags) == (a == b)
+                assert condition_holds(condition_number("ne"), flags) == (a != b)
+                assert condition_holds(condition_number("lt"), flags) == (a < b)
+                assert condition_holds(condition_number("le"), flags) == (a <= b)
+                assert condition_holds(condition_number("gt"), flags) == (a > b)
+                assert condition_holds(condition_number("ge"), flags) == (a >= b)
+                # unsigned views
+                ua, ub = a & 0xFFFFFFFF, b & 0xFFFFFFFF
+                assert condition_holds(condition_number("cc"), flags) == (ua < ub)
+                assert condition_holds(condition_number("hi"), flags) == (ua > ub)
+                assert condition_holds(condition_number("cs"), flags) == (ua >= ub)
+                assert condition_holds(condition_number("ls"), flags) == (ua <= ub)

@@ -1,0 +1,265 @@
+"""Decoder unit tests: known encodings from the ARM7TDMI manual plus edge cases."""
+
+import pytest
+
+from repro.errors import InvalidInstruction
+from repro.isa import decode
+from repro.isa.registers import LR, PC, SP
+
+
+class TestFormat1Shifts:
+    def test_zero_word_is_mov_r0_r0(self):
+        # The paper leans on 0x0000 decoding to `mov r0, r0` (lsls r0, r0, #0).
+        instr = decode(0x0000)
+        assert instr.mnemonic == "lsls"
+        assert (instr.rd, instr.rs, instr.imm) == (0, 0, 0)
+
+    def test_zero_word_invalid_when_hardened(self):
+        with pytest.raises(InvalidInstruction):
+            decode(0x0000, zero_is_invalid=True)
+
+    def test_lsl_imm(self):
+        instr = decode(0x0119)  # lsls r1, r3, #4
+        assert instr.mnemonic == "lsls"
+        assert (instr.rd, instr.rs, instr.imm) == (1, 3, 4)
+
+    def test_asr_imm(self):
+        instr = decode(0x1149)  # asrs r1, r1, #5
+        assert instr.mnemonic == "asrs"
+        assert (instr.rd, instr.rs, instr.imm) == (1, 1, 5)
+
+
+class TestFormat2AddSub:
+    def test_add_register(self):
+        instr = decode(0x18C8)  # adds r0, r1, r3
+        assert instr.mnemonic == "adds"
+        assert (instr.rd, instr.rs, instr.ro) == (0, 1, 3)
+
+    def test_sub_imm3(self):
+        instr = decode(0x1FC8)  # subs r0, r1, #7
+        assert instr.mnemonic == "subs"
+        assert (instr.rd, instr.rs, instr.imm) == (0, 1, 7)
+
+
+class TestFormat3Imm8:
+    def test_movs(self):
+        instr = decode(0x20AA)  # movs r0, #0xAA
+        assert instr.mnemonic == "movs"
+        assert (instr.rd, instr.imm) == (0, 0xAA)
+
+    def test_cmp_zero(self):
+        instr = decode(0x2B00)  # cmp r3, #0 — the paper's Table I comparison
+        assert instr.mnemonic == "cmp"
+        assert (instr.rd, instr.imm) == (3, 0)
+
+    def test_adds_imm8(self):
+        instr = decode(0x3307)  # adds r3, #7 — from the paper's Table I listing
+        assert instr.mnemonic == "adds"
+        assert (instr.rd, instr.imm) == (3, 7)
+
+
+class TestFormat4Alu:
+    @pytest.mark.parametrize(
+        "halfword,mnemonic",
+        [
+            (0x4008, "ands"), (0x4048, "eors"), (0x4088, "lsls"), (0x40C8, "lsrs"),
+            (0x4108, "asrs"), (0x4148, "adcs"), (0x4188, "sbcs"), (0x41C8, "rors"),
+            (0x4208, "tst"), (0x4248, "negs"), (0x4288, "cmp"), (0x42C8, "cmn"),
+            (0x4308, "orrs"), (0x4348, "muls"), (0x4388, "bics"), (0x43C8, "mvns"),
+        ],
+    )
+    def test_all_sixteen_ops(self, halfword, mnemonic):
+        instr = decode(halfword)
+        assert instr.mnemonic == mnemonic
+        assert (instr.rd, instr.rs) == (0, 1)
+        assert instr.fmt == 4
+
+
+class TestFormat5HighRegs:
+    def test_mov_r3_sp(self):
+        instr = decode(0x466B)  # mov r3, sp — first instruction of Table I
+        assert instr.mnemonic == "mov"
+        assert (instr.rd, instr.rs) == (3, SP)
+
+    def test_add_high(self):
+        instr = decode(0x44F0)  # add r8, lr
+        assert instr.mnemonic == "add"
+        assert (instr.rd, instr.rs) == (8, LR)
+
+    def test_bx_lr(self):
+        instr = decode(0x4770)
+        assert instr.mnemonic == "bx"
+        assert instr.rs == LR
+
+    def test_blx_r3(self):
+        instr = decode(0x4798)
+        assert instr.mnemonic == "blx"
+        assert instr.rs == 3
+
+    def test_bx_with_rd_bits_invalid(self):
+        with pytest.raises(InvalidInstruction):
+            decode(0x4771)
+
+    def test_cmp_two_low_invalid_in_fmt5(self):
+        with pytest.raises(InvalidInstruction):
+            decode(0x4508)
+
+
+class TestLoadsStores:
+    def test_ldr_literal(self):
+        instr = decode(0x4A01)  # ldr r2, [pc, #4]
+        assert instr.mnemonic == "ldr"
+        assert (instr.rd, instr.base, instr.imm) == (2, PC, 4)
+
+    def test_ldrb_reg_zero_offset_form(self):
+        instr = decode(0x781B)  # ldrb r3, [r3] — from the paper's Table I listing
+        assert instr.mnemonic == "ldrb"
+        assert (instr.rd, instr.base, instr.imm) == (3, 3, 0)
+
+    def test_str_reg_offset(self):
+        instr = decode(0x50D3)  # str r3, [r2, r3]
+        assert instr.mnemonic == "str"
+        assert (instr.rd, instr.base, instr.ro) == (3, 2, 3)
+
+    def test_ldrsh(self):
+        instr = decode(0x5E8B)  # ldrsh r3, [r1, r2]
+        assert instr.mnemonic == "ldrsh"
+        assert (instr.rd, instr.base, instr.ro) == (3, 1, 2)
+
+    def test_ldr_imm_scaled(self):
+        instr = decode(0x6868)  # ldr r0, [r5, #4]
+        assert (instr.mnemonic, instr.imm) == ("ldr", 4)
+
+    def test_ldr_sp_relative(self):
+        instr = decode(0x9A04)  # ldr r2, [sp, #16] — Table I(c)'s load
+        assert instr.mnemonic == "ldr"
+        assert (instr.rd, instr.base, instr.imm) == (2, SP, 16)
+
+    def test_ldrh_imm(self):
+        instr = decode(0x8888)  # ldrh r0, [r1, #4]
+        assert (instr.mnemonic, instr.imm) == ("ldrh", 4)
+
+
+class TestStackAndMultiple:
+    def test_push_with_lr(self):
+        instr = decode(0xB510)  # push {r4, lr}
+        assert instr.mnemonic == "push"
+        assert instr.reg_list == (4, LR)
+
+    def test_pop_with_pc(self):
+        instr = decode(0xBD10)  # pop {r4, pc}
+        assert instr.mnemonic == "pop"
+        assert instr.reg_list == (4, PC)
+
+    def test_push_empty_invalid(self):
+        with pytest.raises(InvalidInstruction):
+            decode(0xB400)
+
+    def test_add_sp(self):
+        instr = decode(0xB002)  # add sp, #8
+        assert (instr.mnemonic, instr.imm) == ("add_sp", 8)
+
+    def test_sub_sp(self):
+        instr = decode(0xB082)  # sub sp, #8
+        assert (instr.mnemonic, instr.imm) == ("sub_sp", 8)
+
+    def test_stmia(self):
+        instr = decode(0xC107)  # stmia r1!, {r0, r1, r2}
+        assert instr.mnemonic == "stmia"
+        assert (instr.base, instr.reg_list) == (1, (0, 1, 2))
+
+    def test_ldmia_empty_invalid(self):
+        with pytest.raises(InvalidInstruction):
+            decode(0xC800)
+
+
+class TestBranches:
+    def test_beq_forward(self):
+        instr = decode(0xD001)  # beq +2 (offset field 1 → bytes 2)
+        assert instr.mnemonic == "beq"
+        assert instr.cond == 0
+        assert instr.imm == 2
+
+    def test_beq_number_six_encoding_from_paper(self):
+        # The paper quotes `beq #6` as 0b1101_0000_0000_0000-ish low Hamming weight.
+        instr = decode(0xD001)
+        assert instr.raw == 0xD001
+
+    def test_bne_backward(self):
+        instr = decode(0xD1FC)  # bne -8
+        assert instr.mnemonic == "bne"
+        assert instr.imm == -8
+
+    def test_all_fourteen_conditions_decode(self):
+        seen = set()
+        for cond in range(14):
+            instr = decode(0xD000 | (cond << 8))
+            seen.add(instr.mnemonic)
+        assert len(seen) == 14
+
+    def test_udf_is_invalid(self):
+        with pytest.raises(InvalidInstruction):
+            decode(0xDE00)
+
+    def test_svc(self):
+        instr = decode(0xDF2A)
+        assert (instr.mnemonic, instr.imm) == ("svc", 0x2A)
+
+    def test_unconditional(self):
+        instr = decode(0xE7FE)  # b . (infinite loop)
+        assert (instr.mnemonic, instr.imm) == ("b", -4)
+
+    def test_bl_pair(self):
+        instr = decode(0xF000, 0xF801)  # bl +2
+        assert instr.mnemonic == "bl"
+        assert instr.size == 4
+        assert instr.imm == 2
+
+    def test_bl_negative_offset(self):
+        instr = decode(0xF7FF, 0xFFFE)  # bl -4
+        assert instr.imm == -4
+
+    def test_bl_prefix_without_suffix_invalid(self):
+        with pytest.raises(InvalidInstruction):
+            decode(0xF000, 0x2000)
+        with pytest.raises(InvalidInstruction):
+            decode(0xF000, None)
+
+    def test_stray_bl_suffix_invalid(self):
+        with pytest.raises(InvalidInstruction):
+            decode(0xF800)
+
+    def test_11101_group_invalid(self):
+        with pytest.raises(InvalidInstruction):
+            decode(0xE800)
+
+
+class TestMisc:
+    def test_bkpt(self):
+        instr = decode(0xBE00)
+        assert instr.mnemonic == "bkpt"
+
+    def test_nop_hint(self):
+        assert decode(0xBF00).mnemonic == "nop"
+        assert decode(0xBF30).mnemonic == "wfi"
+
+    def test_bad_hint_invalid(self):
+        with pytest.raises(InvalidInstruction):
+            decode(0xBF01)  # IT instruction — not ARMv6-M
+
+    def test_extends(self):
+        assert decode(0xB200).mnemonic == "sxth"
+        assert decode(0xB240).mnemonic == "sxtb"
+        assert decode(0xB280).mnemonic == "uxth"
+        assert decode(0xB2C0).mnemonic == "uxtb"
+
+    def test_rev_group(self):
+        assert decode(0xBA00).mnemonic == "rev"
+        assert decode(0xBA40).mnemonic == "rev16"
+        assert decode(0xBAC0).mnemonic == "revsh"
+        with pytest.raises(InvalidInstruction):
+            decode(0xBA80)
+
+    def test_cbz_not_in_v6m(self):
+        with pytest.raises(InvalidInstruction):
+            decode(0xB100)  # cbz is ARMv7-M only

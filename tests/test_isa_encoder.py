@@ -1,0 +1,96 @@
+"""Encoder tests, including the exhaustive decode→encode round-trip property."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError, InvalidInstruction
+from repro.isa import Instruction, decode, encode
+from repro.isa.registers import LR, PC, SP
+
+
+class TestRoundTrip:
+    @given(st.integers(0, 0xFFFF))
+    @settings(max_examples=2000)
+    def test_decode_encode_roundtrip(self, halfword):
+        """Any halfword that decodes must re-encode to itself."""
+        try:
+            instr = decode(halfword, next_halfword=0xF800)
+        except InvalidInstruction:
+            return
+        encoded = encode(instr)
+        assert encoded[0] == halfword if instr.size == 2 else True
+        if instr.size == 4:
+            assert encoded == [halfword, 0xF800]
+
+    def test_exhaustive_roundtrip_all_16bit(self):
+        """The full 2^16 sweep (cheap enough to run exhaustively)."""
+        decodable = 0
+        for halfword in range(0x10000):
+            try:
+                instr = decode(halfword, next_halfword=0xF800)
+            except InvalidInstruction:
+                continue
+            decodable += 1
+            encoded = encode(instr)
+            assert encoded[0] == halfword, f"{halfword:#06x} -> {instr} -> {encoded[0]:#06x}"
+        # Sanity: the overwhelming majority of the 16-bit space is defined.
+        assert decodable > 0xC000
+
+    def test_bl_roundtrip_offsets(self):
+        for offset in (-4, -4096, 0, 2, 4094, 0x3FFFFE, -0x400000):
+            instr = Instruction(mnemonic="bl", fmt=19, size=4, imm=offset)
+            hi, lo = encode(instr)
+            redecoded = decode(hi, lo)
+            assert redecoded.imm == offset
+
+
+class TestEncodingErrors:
+    def test_imm_out_of_range(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(mnemonic="movs", fmt=3, rd=0, imm=256))
+
+    def test_branch_offset_odd(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(mnemonic="beq", fmt=16, cond=0, imm=3))
+
+    def test_branch_offset_too_far(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(mnemonic="beq", fmt=16, cond=0, imm=1 << 12))
+
+    def test_high_register_in_low_slot(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(mnemonic="movs", fmt=3, rd=9, imm=1))
+
+    def test_unscaled_word_offset(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(mnemonic="ldr", fmt=9, rd=0, base=1, imm=3))
+
+    def test_push_high_register_rejected(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(mnemonic="push", fmt=14, reg_list=(8,)))
+
+    def test_empty_reg_list_rejected(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(mnemonic="ldmia", fmt=15, base=0, reg_list=()))
+
+    def test_bl_odd_offset(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(mnemonic="bl", fmt=19, size=4, imm=3))
+
+
+class TestSpecificEncodings:
+    def test_push_r4_lr(self):
+        assert encode(Instruction(mnemonic="push", fmt=14, reg_list=(4, LR))) == [0xB510]
+
+    def test_pop_r4_pc(self):
+        assert encode(Instruction(mnemonic="pop", fmt=14, reg_list=(4, PC))) == [0xBD10]
+
+    def test_mov_r3_sp(self):
+        assert encode(Instruction(mnemonic="mov", fmt=5, rd=3, rs=SP)) == [0x466B]
+
+    def test_cmp_r3_zero(self):
+        assert encode(Instruction(mnemonic="cmp", fmt=3, rd=3, imm=0)) == [0x2B00]
+
+    def test_nop_hint(self):
+        assert encode(Instruction(mnemonic="nop", fmt=20)) == [0xBF00]

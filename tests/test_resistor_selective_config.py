@@ -1,0 +1,142 @@
+"""Tests for selective instrumentation (§VII-A future work) and config files."""
+
+import json
+
+import pytest
+
+from repro.compiler.lowering import lower
+from repro.compiler.parser import parse
+from repro.compiler.sema import analyze
+from repro.hw.mcu import Board
+from repro.resistor import ResistorConfig, harden
+from repro.resistor.selective import analyze_critical_reachability
+
+SOURCE = """
+int unlock_count;
+
+void unlock_door(void) {
+    unlock_count = unlock_count + 1;
+}
+
+void log_event(int code) {
+    // never reaches anything critical
+    int scratch = code * 2;
+}
+
+int check_pin(int pin) {
+    if (pin == 1234) {
+        unlock_door();
+        return 1;
+    }
+    return 0;
+}
+
+int main(void) {
+    int ok = check_pin(1234);
+    for (int i = 0; i < 3; i = i + 1) {
+        log_event(i);
+    }
+    if (ok == 1) {
+        unlock_door();
+    }
+    return unlock_count;
+}
+"""
+
+
+def _module():
+    return lower(analyze(parse(SOURCE)))
+
+
+class TestReachabilityAnalysis:
+    def test_relevant_functions(self):
+        analysis = analyze_critical_reachability(_module(), ("unlock_door",))
+        assert "unlock_door" in analysis.relevant_functions
+        assert "check_pin" in analysis.relevant_functions
+        assert "main" in analysis.relevant_functions
+        assert "log_event" not in analysis.relevant_functions
+
+    def test_guarding_branches_found(self):
+        analysis = analyze_critical_reachability(_module(), ("unlock_door",))
+        functions_with_guards = {fn for fn, _ in analysis.guarding_branches}
+        assert "check_pin" in functions_with_guards
+        assert "main" in functions_with_guards
+
+    def test_irrelevant_function_has_no_guards(self):
+        analysis = analyze_critical_reachability(_module(), ("unlock_door",))
+        assert not analysis.guards("log_event")
+
+    def test_no_critical_functions_no_guards(self):
+        analysis = analyze_critical_reachability(_module(), ())
+        assert analysis.guarding_branches == set()
+
+    def test_unknown_critical_function_tolerated(self):
+        analysis = analyze_critical_reachability(_module(), ("ghost",))
+        assert analysis.relevant_functions == set()
+
+
+class TestSelectiveHardening:
+    def test_selective_instruments_fewer_branches(self):
+        full = harden(SOURCE, ResistorConfig(branches=True, loops=True))
+        selective = harden(
+            SOURCE,
+            ResistorConfig(branches=True, loops=True, critical_functions=("unlock_door",)),
+        )
+        assert selective.report.branches_instrumented < full.report.branches_instrumented
+        assert selective.report.branches_instrumented >= 2  # the PIN + ok guards
+
+    def test_selective_build_smaller(self):
+        full = harden(SOURCE, ResistorConfig(branches=True, loops=True))
+        selective = harden(
+            SOURCE,
+            ResistorConfig(branches=True, loops=True, critical_functions=("unlock_door",)),
+        )
+        assert selective.sizes.text < full.sizes.text
+
+    def test_selective_preserves_semantics(self):
+        hardened = harden(
+            SOURCE,
+            ResistorConfig(branches=True, loops=True, critical_functions=("unlock_door",)),
+        )
+        board = Board(hardened.image)
+        assert board.run(1_000_000) == "halted"
+        assert board.cpu.regs[0] == 2  # unlock_door called twice
+
+    def test_selective_pass_logged(self):
+        hardened = harden(
+            SOURCE, ResistorConfig(branches=True, critical_functions=("unlock_door",))
+        )
+        names = [name for name, _ in hardened.report.pass_log]
+        assert "gr-selective" in names
+
+
+class TestConfigFile:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "gr.json"
+        path.write_text(json.dumps({
+            "branches": True,
+            "loops": True,
+            "integrity": True,
+            "sensitive_variables": ["unlock_count"],
+            "critical_functions": ["unlock_door"],
+        }))
+        config = ResistorConfig.from_file(str(path))
+        assert config.branches and config.loops and config.integrity
+        assert config.sensitive_variables == ("unlock_count",)
+        assert config.critical_functions == ("unlock_door",)
+        assert not config.delay
+
+    def test_config_file_drives_harden(self, tmp_path):
+        path = tmp_path / "gr.json"
+        path.write_text(json.dumps({
+            "integrity": True,
+            "sensitive_variables": ["unlock_count"],
+        }))
+        hardened = harden(SOURCE, ResistorConfig.from_file(str(path)))
+        assert hardened.report.integrity_loads > 0
+
+    def test_unknown_key_rejected(self, tmp_path):
+        path = tmp_path / "gr.json"
+        path.write_text(json.dumps({"firewall": True}))
+        with pytest.raises(ValueError):
+            ResistorConfig.from_file(str(path))
