@@ -70,6 +70,14 @@ def cmd_harden(args) -> int:
     return 0
 
 
+def _progress_reporter(args):
+    if getattr(args, "progress", False):
+        from repro.exec import console_progress
+
+        return console_progress()
+    return None
+
+
 def cmd_attack(args) -> int:
     from repro.hw.scan import run_defense_scan
     from repro.resistor import harden
@@ -85,6 +93,7 @@ def cmd_attack(args) -> int:
     result = run_defense_scan(
         hardened.image, args.attack,
         scenario=args.source, defense=config.describe(), stride=args.stride,
+        workers=args.workers, progress=_progress_reporter(args),
     )
     print(f"attack={args.attack} defense={config.describe()} stride={args.stride}")
     print(f"  attempts:   {result.attempts}")
@@ -99,20 +108,28 @@ def cmd_experiment(args) -> int:
     import repro.experiments as experiments
 
     name = args.name
+    progress = _progress_reporter(args)
+    workers = args.workers
     if name == "fig2":
-        result = experiments.run_figure2()
+        result = experiments.run_figure2(
+            workers=workers, cache=args.cache_dir, progress=progress
+        )
     elif name == "table1":
-        result = experiments.run_table1(stride=args.stride)
+        result = experiments.run_table1(stride=args.stride, workers=workers,
+                                        progress=progress)
     elif name == "table2":
-        result = experiments.run_table2(stride=args.stride)
+        result = experiments.run_table2(stride=args.stride, workers=workers,
+                                        progress=progress)
     elif name == "table3":
-        result = experiments.run_table3(stride=args.stride)
+        result = experiments.run_table3(stride=args.stride, workers=workers,
+                                        progress=progress)
     elif name == "table4":
         result = experiments.run_table4()
     elif name == "table5":
         result = experiments.run_table5()
     elif name == "table6":
-        result = experiments.run_table6(stride=args.stride)
+        result = experiments.run_table6(stride=args.stride, workers=workers,
+                                        progress=progress)
     elif name == "table7":
         result = experiments.run_table7()
     elif name == "search":
@@ -159,6 +176,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_attack.add_argument("--attack", choices=["single", "long", "windowed"],
                           default="single")
     p_attack.add_argument("--stride", type=int, default=4)
+    p_attack.add_argument("--workers", type=int, default=1,
+                          help="worker processes for the scan (0 = all cores)")
+    p_attack.add_argument("--progress", action="store_true",
+                          help="show attempts/sec, tallies, and ETA on stderr")
     p_attack.set_defaults(func=cmd_attack)
 
     p_exp = sub.add_parser("experiment", help="run one paper artifact")
@@ -167,6 +188,14 @@ def build_parser() -> argparse.ArgumentParser:
         "table6", "table7", "search",
     ])
     p_exp.add_argument("--stride", type=int, default=4)
+    p_exp.add_argument("--workers", type=int, default=1,
+                       help="worker processes for campaign/scan experiments "
+                            "(0 = all cores; table4/5/7 and search are serial)")
+    p_exp.add_argument("--progress", action="store_true",
+                       help="show attempts/sec, tallies, and ETA on stderr")
+    p_exp.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="persistent outcome-cache directory for fig2 "
+                            "(default: no disk cache)")
     p_exp.set_defaults(func=cmd_experiment)
 
     return parser

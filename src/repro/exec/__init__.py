@@ -1,0 +1,32 @@
+"""Campaign execution: parallel fan-out, persistent outcome caching, progress.
+
+The Figure 2 emulation campaign executes 4 × 2^16 snippets and each
+Table VI defense scan fires ~100k ``run_attempt`` calls; this package keeps
+those loops out of single-core Python:
+
+- :class:`ParallelExecutor` fans picklable work specs out over
+  ``multiprocessing`` and merges results deterministically (``workers=1``
+  is a pure in-process path, so serial and parallel runs stay
+  bit-identical);
+- :class:`OutcomeCache` persists snippet-harness outcomes on disk keyed by
+  ``(mnemonic, zero_is_invalid, corrupted_word)`` so panels that share
+  corrupted words — and re-runs — skip emulation entirely;
+- :class:`ProgressReporter` tracks attempts/sec, per-category tallies,
+  elapsed time, and ETA, surfaced through a callback (the CLI's
+  ``--progress`` flag).
+"""
+
+from repro.exec.cache import OutcomeCache, coerce_cache, default_cache_root
+from repro.exec.executor import ParallelExecutor, resolve_workers
+from repro.exec.progress import ProgressReporter, ProgressSnapshot, console_progress
+
+__all__ = [
+    "ParallelExecutor",
+    "resolve_workers",
+    "OutcomeCache",
+    "coerce_cache",
+    "default_cache_root",
+    "ProgressReporter",
+    "ProgressSnapshot",
+    "console_progress",
+]

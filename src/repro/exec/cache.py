@@ -1,0 +1,127 @@
+"""Persistent on-disk outcome cache for the Section IV snippet harness.
+
+The outcome of executing a corrupted snippet is a pure function of
+``(mnemonic, zero_is_invalid, corrupted_word)``, so it can be memoised
+across processes and across runs. The Figure 2 panels share corrupted
+words heavily — AND and XOR produce overlapping word populations, and the
+0x0000-invalid panel re-executes the same words under a different decode
+mode — so a warm cache turns a repeat panel into pure dictionary lookups.
+
+Layout: one JSON shard per ``(mnemonic, zero_is_invalid)`` pair under the
+cache root, mapping the 16-bit corrupted word to its outcome category.
+Only categories are persisted (campaign tallies never consume the
+free-text outcome detail). Shards are written atomically (temp file +
+rename), and each campaign work unit owns exactly one shard, so parallel
+workers never contend on a file.
+
+The root defaults to ``$REPRO_CACHE_DIR``, else
+``$XDG_CACHE_HOME/repro-glitching``, else ``~/.cache/repro-glitching``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+
+def default_cache_root() -> Path:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-glitching"
+
+
+class OutcomeCache:
+    """Disk-backed ``(mnemonic, zero_is_invalid, word) -> category`` store."""
+
+    def __init__(self, root: Union[str, os.PathLike, None] = None):
+        self.root = Path(root) if root is not None else default_cache_root()
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._shards: dict[tuple[str, bool], dict[int, str]] = {}
+        self._dirty: set[tuple[str, bool]] = set()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+
+    def get(self, mnemonic: str, zero_is_invalid: bool, word: int) -> Optional[str]:
+        category = self._shard(mnemonic, zero_is_invalid).get(word & 0xFFFF)
+        if category is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return category
+
+    def put(self, mnemonic: str, zero_is_invalid: bool, word: int, category: str) -> None:
+        self._shard(mnemonic, zero_is_invalid)[word & 0xFFFF] = category
+        self._dirty.add((mnemonic, zero_is_invalid))
+
+    def flush(self) -> None:
+        """Write every dirty shard atomically (temp file + rename)."""
+        for key in sorted(self._dirty):
+            path = self._shard_path(*key)
+            payload = json.dumps(
+                {str(word): category for word, category in sorted(self._shards[key].items())}
+            )
+            fd, tmp = tempfile.mkstemp(
+                dir=str(self.root), prefix=path.name + ".", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(payload)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        self._dirty.clear()
+
+    def __len__(self) -> int:
+        """Entries across the shards loaded so far (not the whole disk store)."""
+        return sum(len(shard) for shard in self._shards.values())
+
+    def __enter__(self) -> "OutcomeCache":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.flush()
+
+    # ------------------------------------------------------------------
+
+    def _shard_path(self, mnemonic: str, zero_is_invalid: bool) -> Path:
+        suffix = "-0invalid" if zero_is_invalid else ""
+        return self.root / f"{mnemonic}{suffix}.json"
+
+    def _shard(self, mnemonic: str, zero_is_invalid: bool) -> dict[int, str]:
+        key = (mnemonic, zero_is_invalid)
+        shard = self._shards.get(key)
+        if shard is None:
+            path = self._shard_path(*key)
+            shard = {}
+            if path.exists():
+                try:
+                    raw = json.loads(path.read_text())
+                except (OSError, ValueError):
+                    raw = {}  # a torn/corrupt shard is a cache miss, not an error
+                shard = {int(word): category for word, category in raw.items()}
+            self._shards[key] = shard
+        return shard
+
+
+def coerce_cache(
+    cache: Union["OutcomeCache", str, os.PathLike, None]
+) -> Optional[OutcomeCache]:
+    """Accept an OutcomeCache, a directory path, or None."""
+    if cache is None or isinstance(cache, OutcomeCache):
+        return cache
+    return OutcomeCache(cache)
+
+
+__all__ = ["OutcomeCache", "coerce_cache", "default_cache_root"]

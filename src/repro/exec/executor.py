@@ -1,0 +1,120 @@
+"""Deterministic fan-out of campaign work units over ``multiprocessing``.
+
+Work units are picklable *specs* consumed by a module-level worker
+function; results come back in spec order regardless of which worker
+finished first, so merging tallies is deterministic by construction.
+``workers=1`` never touches ``multiprocessing`` — it runs the same unit
+function (or a caller-supplied in-process equivalent) in a plain loop,
+which keeps serial and parallel campaigns bit-identical and keeps tests
+on the fast path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, Iterable, Optional, TypeVar
+
+from repro.exec.progress import ProgressReporter
+
+S = TypeVar("S")
+R = TypeVar("R")
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalise a worker count: ``None`` → 1, ``0`` → all cores."""
+    if workers is None:
+        return 1
+    if workers == 0:
+        return os.cpu_count() or 1
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    return workers
+
+
+class ParallelExecutor:
+    """Maps a worker function over specs, optionally across processes.
+
+    - ``workers`` — process count; 1 (default) runs in-process, 0 means
+      one per CPU core.
+    - ``chunk_size`` — specs handed to a worker per dispatch (larger
+      chunks amortise IPC for many small units).
+    - ``progress`` — a :class:`ProgressReporter` fed one ``advance`` per
+      completed unit.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = 1,
+        chunk_size: int = 1,
+        progress: Optional[ProgressReporter] = None,
+        start_method: Optional[str] = None,
+    ):
+        self.workers = resolve_workers(workers)
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.chunk_size = chunk_size
+        self.progress = progress
+        self._start_method = start_method
+
+    @property
+    def parallel(self) -> bool:
+        return self.workers > 1
+
+    def _context(self):
+        if self._start_method is not None:
+            return multiprocessing.get_context(self._start_method)
+        try:
+            # fork shares the already-imported interpreter state; it is the
+            # cheap path on the platforms this repo targets
+            return multiprocessing.get_context("fork")
+        except ValueError:
+            return multiprocessing.get_context()
+
+    def map(
+        self,
+        fn: Callable[[S], R],
+        specs: Iterable[S],
+        serial_fn: Optional[Callable[[S], R]] = None,
+        attempts_of: Optional[Callable[[R], int]] = None,
+        categories_of: Optional[Callable[[R], dict]] = None,
+    ) -> list[R]:
+        """Run ``fn`` over every spec, returning results in spec order.
+
+        ``fn`` must be a picklable module-level function; each spec must
+        pickle cleanly. ``serial_fn`` (when given) replaces ``fn`` on the
+        in-process path — callers use it to reuse already-built state
+        (e.g. a shared glitcher) when the computation is provably
+        identical. ``attempts_of`` / ``categories_of`` extract progress
+        metrics from each unit result.
+        """
+        specs = list(specs)
+        progress = self.progress
+        if progress is not None:
+            progress.start(len(specs))
+        results: list[R] = []
+
+        def record(result: R) -> None:
+            results.append(result)
+            if progress is not None:
+                progress.advance(
+                    units=1,
+                    attempts=attempts_of(result) if attempts_of else 0,
+                    categories=categories_of(result) if categories_of else None,
+                )
+
+        if not self.parallel or len(specs) <= 1:
+            run = serial_fn if serial_fn is not None else fn
+            for spec in specs:
+                record(run(spec))
+        else:
+            context = self._context()
+            with context.Pool(min(self.workers, len(specs))) as pool:
+                for result in pool.imap(fn, specs, chunksize=self.chunk_size):
+                    record(result)
+        if progress is not None:
+            progress.finish()
+        return results
+
+
+__all__ = ["ParallelExecutor", "resolve_workers"]

@@ -52,25 +52,36 @@ def run_figure2(
     k_values: tuple[int, ...] | None = None,
     conditions: list[str] | None = None,
     include_xor: bool = True,
+    workers: int = 1,
+    cache=None,
+    progress=None,
 ) -> Figure2Result:
     """Regenerate Figure 2. Full sweep by default; pass ``k_values`` /
-    ``conditions`` to subsample for quick runs."""
+    ``conditions`` to subsample for quick runs.
+
+    ``workers`` parallelises each panel's per-branch sweeps; ``cache`` (an
+    ``OutcomeCache`` or a directory path) persists outcomes on disk, so the
+    AND/XOR panels share corrupted-word executions and re-runs skip
+    emulation entirely.
+    """
     result = Figure2Result()
+    common = dict(k_values=k_values, conditions=conditions,
+                  workers=workers, cache=cache, progress=progress)
     result.panels["and"] = _figure2_data(
-        run_branch_campaign("and", k_values=k_values, conditions=conditions),
+        run_branch_campaign("and", **common),
         title="Figure 2a: AND model (1→0 flips)",
     )
     result.panels["or"] = _figure2_data(
-        run_branch_campaign("or", k_values=k_values, conditions=conditions),
+        run_branch_campaign("or", **common),
         title="Figure 2b: OR model (0→1 flips)",
     )
     result.panels["and-0invalid"] = _figure2_data(
-        run_branch_campaign("and", zero_is_invalid=True, k_values=k_values, conditions=conditions),
+        run_branch_campaign("and", zero_is_invalid=True, **common),
         title="Figure 2c: AND model, 0x0000 decoded as invalid",
     )
     if include_xor:
         result.panels["xor"] = _figure2_data(
-            run_branch_campaign("xor", k_values=k_values, conditions=conditions),
+            run_branch_campaign("xor", **common),
             title="Figure 2 ablation: XOR model (bidirectional flips)",
         )
     return result

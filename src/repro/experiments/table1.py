@@ -61,11 +61,14 @@ def run_table1(
     stride: int = 1,
     cycles=range(8),
     fault_model: FaultModel | None = None,
+    workers: int = 1,
+    progress=None,
 ) -> Table1Result:
     result = Table1Result()
     for guard in GUARD_KINDS:
         result.scans[guard] = run_single_glitch_scan(
-            guard, cycles=cycles, stride=stride, fault_model=fault_model
+            guard, cycles=cycles, stride=stride, fault_model=fault_model,
+            workers=workers, progress=progress,
         )
     return result
 

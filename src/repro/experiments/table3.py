@@ -55,11 +55,14 @@ def run_table3(
     stride: int = 1,
     last_cycles=range(10, 21),
     fault_model: FaultModel | None = None,
+    workers: int = 1,
+    progress=None,
 ) -> Table3Result:
     result = Table3Result()
     for guard in GUARD_KINDS:
         result.scans[guard] = run_long_glitch_scan(
-            guard, last_cycles=last_cycles, stride=stride, fault_model=fault_model
+            guard, last_cycles=last_cycles, stride=stride, fault_model=fault_model,
+            workers=workers, progress=progress,
         )
     return result
 

@@ -91,6 +91,8 @@ def run_table6(
     scenarios: tuple[str, ...] = SCENARIOS,
     defenses: tuple[str, ...] = ("none", "all", "all_no_delay"),
     fault_model: FaultModel | None = None,
+    workers: int = 1,
+    progress=None,
 ) -> Table6Result:
     result = Table6Result()
     for scenario in scenarios:
@@ -104,6 +106,8 @@ def run_table6(
                     defense=defense,
                     stride=stride,
                     fault_model=fault_model,
+                    workers=workers,
+                    progress=progress,
                 )
     return result
 

@@ -13,8 +13,10 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.bits import apply_flip, iter_masks
+from repro.exec import OutcomeCache, ParallelExecutor, ProgressReporter, coerce_cache
 from repro.glitchsim.harness import OUTCOME_CATEGORIES, SnippetHarness
 from repro.glitchsim.snippets import BranchSnippet, all_branch_snippets
 
@@ -79,13 +81,16 @@ def sweep_instruction(
     model: str,
     zero_is_invalid: bool = False,
     k_values: tuple[int, ...] | None = None,
+    cache: OutcomeCache | None = None,
 ) -> InstructionSweep:
     """Sweep every mask of every flip count ``k`` for one instruction.
 
     ``k_values`` restricts the sweep (useful for fast tests); ``None`` means
-    the full ``0..16`` range the paper used.
+    the full ``0..16`` range the paper used. ``cache`` adds a persistent
+    outcome store shared across models and runs (words the AND sweep already
+    executed are free for XOR).
     """
-    harness = SnippetHarness(snippet, zero_is_invalid=zero_is_invalid)
+    harness = SnippetHarness(snippet, zero_is_invalid=zero_is_invalid, disk_cache=cache)
     sweep = InstructionSweep(
         mnemonic=snippet.mnemonic,
         model=model,
@@ -103,21 +108,81 @@ def sweep_instruction(
     return sweep
 
 
+@dataclass(frozen=True)
+class _SweepSpec:
+    """Picklable work unit: one instruction's full sweep under one model."""
+
+    mnemonic: str
+    model: str
+    zero_is_invalid: bool
+    k_values: Optional[tuple[int, ...]]
+    cache_root: Optional[str]
+
+
+def _sweep_unit(spec: _SweepSpec) -> InstructionSweep:
+    """Worker entry point: rebuild the snippet (and cache handle) in-process."""
+    from repro.glitchsim.snippets import branch_snippet
+
+    snippet = branch_snippet(spec.mnemonic[1:])
+    cache = OutcomeCache(spec.cache_root) if spec.cache_root is not None else None
+    sweep = sweep_instruction(
+        snippet,
+        spec.model,
+        zero_is_invalid=spec.zero_is_invalid,
+        k_values=spec.k_values,
+        cache=cache,
+    )
+    if cache is not None:
+        cache.flush()
+    return sweep
+
+
 def run_branch_campaign(
     model: str,
     zero_is_invalid: bool = False,
     k_values: tuple[int, ...] | None = None,
     conditions: list[str] | None = None,
+    workers: int = 1,
+    cache: OutcomeCache | str | None = None,
+    progress: ProgressReporter | None = None,
 ) -> CampaignResult:
-    """Run the Figure 2 campaign for all (or selected) conditional branches."""
+    """Run the Figure 2 campaign for all (or selected) conditional branches.
+
+    ``workers`` fans the per-instruction sweeps out over processes (one work
+    unit per branch; each unit owns its own cache shard, so workers never
+    contend on a file). Results are merged in instruction order, so
+    ``workers=1`` and ``workers=N`` produce identical campaigns.
+    """
     snippets = all_branch_snippets()
     if conditions is not None:
         wanted = {f"b{c}" if not c.startswith("b") else c for c in conditions}
         snippets = [s for s in snippets if s.mnemonic in wanted]
-    sweeps = [
-        sweep_instruction(snippet, model, zero_is_invalid=zero_is_invalid, k_values=k_values)
+    cache = coerce_cache(cache)
+    cache_root = str(cache.root) if cache is not None else None
+    ks = tuple(k_values) if k_values is not None else None
+    by_mnemonic = {snippet.mnemonic: snippet for snippet in snippets}
+    specs = [
+        _SweepSpec(snippet.mnemonic, model, zero_is_invalid, ks, cache_root)
         for snippet in snippets
     ]
+
+    def serial(spec: _SweepSpec) -> InstructionSweep:
+        # in-process: reuse the built snippets and the shared cache handle
+        return sweep_instruction(
+            by_mnemonic[spec.mnemonic], spec.model,
+            zero_is_invalid=spec.zero_is_invalid, k_values=spec.k_values, cache=cache,
+        )
+
+    executor = ParallelExecutor(workers=workers, progress=progress)
+    sweeps = executor.map(
+        _sweep_unit,
+        specs,
+        serial_fn=serial,
+        attempts_of=lambda sweep: sum(sweep.totals.values()),
+        categories_of=lambda sweep: dict(sweep.totals),
+    )
+    if cache is not None:
+        cache.flush()
     return CampaignResult(model=model, zero_is_invalid=zero_is_invalid, sweeps=sweeps)
 
 

@@ -69,11 +69,23 @@ class SnippetHarness:
     Results are memoised per corrupted word: the outcome is a pure function
     of the resulting machine word, which turns the :math:`2^{16}` masks per
     flip-count into at most :math:`2^{16}` distinct executions total.
+
+    ``disk_cache`` (a :class:`repro.exec.OutcomeCache`) adds a persistent
+    layer keyed by ``(mnemonic, zero_is_invalid, corrupted_word)``: repeated
+    panels and re-runs skip emulation entirely. Only the outcome *category*
+    is persisted, so a disk hit returns an :class:`Outcome` with an empty
+    detail string.
     """
 
-    def __init__(self, snippet: BranchSnippet, zero_is_invalid: bool = False):
+    def __init__(
+        self,
+        snippet: BranchSnippet,
+        zero_is_invalid: bool = False,
+        disk_cache=None,
+    ):
         self.snippet = snippet
         self.zero_is_invalid = zero_is_invalid
+        self.disk_cache = disk_cache
         self._cache: dict[int, Outcome] = {}
         self._halfwords = list(snippet.program.halfwords)
         self._flash_size = max(0x400, (len(snippet.program.code) + 0x3FF) & ~0x3FF)
@@ -84,8 +96,21 @@ class SnippetHarness:
         cached = self._cache.get(corrupted_word)
         if cached is not None:
             return cached
+        if self.disk_cache is not None:
+            category = self.disk_cache.get(
+                self.snippet.mnemonic, self.zero_is_invalid, corrupted_word
+            )
+            if category is not None:
+                outcome = Outcome(category)
+                self._cache[corrupted_word] = outcome
+                return outcome
         outcome = self._execute(corrupted_word)
         self._cache[corrupted_word] = outcome
+        if self.disk_cache is not None:
+            self.disk_cache.put(
+                self.snippet.mnemonic, self.zero_is_invalid, corrupted_word,
+                outcome.category,
+            )
         return outcome
 
     # ------------------------------------------------------------------

@@ -12,6 +12,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
+from repro.exec import ParallelExecutor, ProgressReporter
 from repro.hw.clock import GRID_POINTS, GlitchParams, OFFSET_RANGE, WIDTH_RANGE
 from repro.hw.faults import FaultModel
 from repro.hw.glitcher import AttemptResult, ClockGlitcher
@@ -132,10 +133,24 @@ class LongGlitchScan:
 # grid iteration (with an optional stride for fast tests)
 # ----------------------------------------------------------------------
 
-def _grid(stride: int) -> Iterable[tuple[int, int]]:
-    for width in WIDTH_RANGE[::stride]:
-        for offset in OFFSET_RANGE[::stride]:
-            yield width, offset
+def _validate_stride(stride: int) -> int:
+    if not isinstance(stride, int) or isinstance(stride, bool):
+        raise ValueError(f"stride must be a positive integer, got {stride!r}")
+    if stride < 1:
+        raise ValueError(
+            f"stride must be >= 1, got {stride} (a non-positive stride would "
+            f"produce an empty or reversed grid and a silently wrong scan)"
+        )
+    return stride
+
+
+def _grid(stride: int) -> list[tuple[int, int]]:
+    _validate_stride(stride)
+    return [
+        (width, offset)
+        for width in WIDTH_RANGE[::stride]
+        for offset in OFFSET_RANGE[::stride]
+    ]
 
 
 def map_cycles_to_instructions(glitcher: ClockGlitcher, n_cycles: int) -> dict[int, str]:
@@ -179,6 +194,81 @@ def map_cycles_to_instructions(glitcher: ClockGlitcher, n_cycles: int) -> dict[i
 # ----------------------------------------------------------------------
 # scans
 # ----------------------------------------------------------------------
+#
+# Each scan is decomposed into per-row work units: a picklable spec names
+# the guard/cycle/stride, and the worker rebuilds its own firmware +
+# glitcher. The guard firmware never touches nonvolatile state, so a fresh
+# board per row produces exactly the rows a single shared board would —
+# which is what lets the in-process (``workers=1``) path keep one shared
+# glitcher while the multiprocessing path stays bit-identical.
+
+def _single_row(
+    glitcher: ClockGlitcher, comparator_register: int, cycle: int, stride: int
+) -> CycleRow:
+    row = CycleRow(cycle=cycle, instruction="-")
+    for width, offset in _grid(stride):
+        result = glitcher.run_attempt(GlitchParams(cycle, width, offset))
+        row.attempts += 1
+        if result.category == "success":
+            row.successes += 1
+            value = result.registers[comparator_register] & 0xFFFFFFFF
+            row.register_values[value] += 1
+        elif result.category == "reset":
+            row.resets += 1
+    return row
+
+
+def _multi_row(glitcher: ClockGlitcher, cycle: int, stride: int) -> MultiCycleRow:
+    row = MultiCycleRow(cycle=cycle)
+    for width, offset in _grid(stride):
+        result = glitcher.run_attempt(GlitchParams(cycle, width, offset))
+        row.attempts += 1
+        if result.category == "success":
+            row.full += 1
+        elif result.category == "partial":
+            row.partial += 1
+    return row
+
+
+def _long_row(glitcher: ClockGlitcher, last: int, stride: int) -> LongRangeRow:
+    row = LongRangeRow(last_cycle=last)
+    for width, offset in _grid(stride):
+        result = glitcher.run_attempt(
+            GlitchParams(ext_offset=0, width=width, offset=offset, repeat=last + 1)
+        )
+        row.attempts += 1
+        if result.category == "success":
+            row.successes += 1
+    return row
+
+
+@dataclass(frozen=True)
+class _GuardRowSpec:
+    """Picklable work unit: one scan row against a freshly-built guard board."""
+
+    kind: str  # "single" | "multi" | "long"
+    guard: str
+    cycle: int
+    stride: int
+    fault_model: Optional[FaultModel]
+
+
+def _guard_row_unit(spec: _GuardRowSpec):
+    from repro.firmware.loops import build_guard_firmware, guard_descriptor
+
+    if spec.kind == "single":
+        firmware = build_guard_firmware(spec.guard, "single")
+        glitcher = ClockGlitcher(firmware, fault_model=spec.fault_model)
+        descriptor = guard_descriptor(spec.guard)
+        return _single_row(glitcher, descriptor.comparator_register, spec.cycle, spec.stride)
+    if spec.kind == "multi":
+        firmware = build_guard_firmware(spec.guard, "double")
+        glitcher = ClockGlitcher(firmware, fault_model=spec.fault_model, expected_triggers=2)
+        return _multi_row(glitcher, spec.cycle, spec.stride)
+    firmware = build_guard_firmware(spec.guard, "contiguous")
+    glitcher = ClockGlitcher(firmware, fault_model=spec.fault_model)
+    return _long_row(glitcher, spec.cycle, spec.stride)
+
 
 def run_single_glitch_scan(
     guard: str,
@@ -186,28 +276,49 @@ def run_single_glitch_scan(
     fault_model: Optional[FaultModel] = None,
     stride: int = 1,
     glitcher: Optional[ClockGlitcher] = None,
+    workers: int = 1,
+    progress: Optional[ProgressReporter] = None,
 ) -> SingleGlitchScan:
-    """Table I: scan every (width, offset) for each glitched clock cycle."""
+    """Table I: scan every (width, offset) for each glitched clock cycle.
+
+    ``workers`` distributes the per-cycle rows over processes. A pre-built
+    ``glitcher`` carries its own fault model, so combining it with
+    ``fault_model`` (or with ``workers > 1`` — a live board cannot be
+    shipped to worker processes) raises ``ValueError``.
+    """
     from repro.firmware.loops import build_guard_firmware, guard_descriptor
 
+    if glitcher is not None and fault_model is not None:
+        raise ValueError(
+            "pass either a pre-built glitcher or a fault_model, not both: the "
+            "glitcher was already constructed with its own fault model, so the "
+            "fault_model argument would be silently ignored"
+        )
+    _validate_stride(stride)
+    cycles = list(cycles)
     descriptor = guard_descriptor(guard)
+    executor = ParallelExecutor(workers=workers, progress=progress)
+    if glitcher is not None and executor.parallel:
+        raise ValueError(
+            "a pre-built glitcher cannot be used with workers > 1; "
+            "pass fault_model and let each worker build its own board"
+        )
     if glitcher is None:
         firmware = build_guard_firmware(guard, "single")
         glitcher = ClockGlitcher(firmware, fault_model=fault_model)
     instruction_map = map_cycles_to_instructions(glitcher, max(cycles, default=0) + 1)
-    rows = []
-    for cycle in cycles:
-        row = CycleRow(cycle=cycle, instruction=instruction_map.get(cycle, "-"))
-        for width, offset in _grid(stride):
-            result = glitcher.run_attempt(GlitchParams(cycle, width, offset))
-            row.attempts += 1
-            if result.category == "success":
-                row.successes += 1
-                value = result.registers[descriptor.comparator_register] & 0xFFFFFFFF
-                row.register_values[value] += 1
-            elif result.category == "reset":
-                row.resets += 1
-        rows.append(row)
+    shared = glitcher
+    rows = executor.map(
+        _guard_row_unit,
+        [_GuardRowSpec("single", guard, cycle, stride, fault_model) for cycle in cycles],
+        serial_fn=lambda spec: _single_row(
+            shared, descriptor.comparator_register, spec.cycle, spec.stride
+        ),
+        attempts_of=lambda row: row.attempts,
+        categories_of=lambda row: {"success": row.successes, "reset": row.resets},
+    )
+    for row in rows:
+        row.instruction = instruction_map.get(row.cycle, "-")
     return SingleGlitchScan(guard=guard, rows=rows)
 
 
@@ -216,23 +327,24 @@ def run_multi_glitch_scan(
     cycles: Iterable[int] = range(8),
     fault_model: Optional[FaultModel] = None,
     stride: int = 1,
+    workers: int = 1,
+    progress: Optional[ProgressReporter] = None,
 ) -> MultiGlitchScan:
     """Table II: the same glitch fired after each of two triggers."""
     from repro.firmware.loops import build_guard_firmware
 
+    _validate_stride(stride)
+    cycles = list(cycles)
     firmware = build_guard_firmware(guard, "double")
     glitcher = ClockGlitcher(firmware, fault_model=fault_model, expected_triggers=2)
-    rows = []
-    for cycle in cycles:
-        row = MultiCycleRow(cycle=cycle)
-        for width, offset in _grid(stride):
-            result = glitcher.run_attempt(GlitchParams(cycle, width, offset))
-            row.attempts += 1
-            if result.category == "success":
-                row.full += 1
-            elif result.category == "partial":
-                row.partial += 1
-        rows.append(row)
+    executor = ParallelExecutor(workers=workers, progress=progress)
+    rows = executor.map(
+        _guard_row_unit,
+        [_GuardRowSpec("multi", guard, cycle, stride, fault_model) for cycle in cycles],
+        serial_fn=lambda spec: _multi_row(glitcher, spec.cycle, spec.stride),
+        attempts_of=lambda row: row.attempts,
+        categories_of=lambda row: {"full": row.full, "partial": row.partial},
+    )
     return MultiGlitchScan(guard=guard, rows=rows)
 
 
@@ -241,23 +353,24 @@ def run_long_glitch_scan(
     last_cycles: Iterable[int] = range(10, 21),
     fault_model: Optional[FaultModel] = None,
     stride: int = 1,
+    workers: int = 1,
+    progress: Optional[ProgressReporter] = None,
 ) -> LongGlitchScan:
     """Table III: one glitch spanning cycles 0..last over two adjacent loops."""
     from repro.firmware.loops import build_guard_firmware
 
+    _validate_stride(stride)
+    last_cycles = list(last_cycles)
     firmware = build_guard_firmware(guard, "contiguous")
     glitcher = ClockGlitcher(firmware, fault_model=fault_model)
-    rows = []
-    for last in last_cycles:
-        row = LongRangeRow(last_cycle=last)
-        for width, offset in _grid(stride):
-            result = glitcher.run_attempt(
-                GlitchParams(ext_offset=0, width=width, offset=offset, repeat=last + 1)
-            )
-            row.attempts += 1
-            if result.category == "success":
-                row.successes += 1
-        rows.append(row)
+    executor = ParallelExecutor(workers=workers, progress=progress)
+    rows = executor.map(
+        _guard_row_unit,
+        [_GuardRowSpec("long", guard, last, stride, fault_model) for last in last_cycles],
+        serial_fn=lambda spec: _long_row(glitcher, spec.cycle, spec.stride),
+        attempts_of=lambda row: row.attempts,
+        categories_of=lambda row: {"success": row.successes},
+    )
     return LongGlitchScan(guard=guard, rows=rows)
 
 
@@ -314,6 +427,41 @@ ATTACK_SHAPES = {
 }
 
 
+@dataclass(frozen=True)
+class _DefenseShapeSpec:
+    """Picklable work unit: one attack shape element against one image."""
+
+    image: object  # AssembledProgram — plain bytes/dicts, pickles cleanly
+    ext_offset: int
+    repeat: int
+    stride: int
+    fault_model: Optional[FaultModel]
+    detect: Optional[str]
+
+
+def _defense_shape_unit(spec: _DefenseShapeSpec) -> DefenseScanResult:
+    glitcher = ClockGlitcher(
+        spec.image, fault_model=spec.fault_model, detect_symbol=spec.detect
+    )
+    tally = DefenseScanResult(scenario="", defense="", attack="")
+    for width, offset in _grid(spec.stride):
+        outcome = glitcher.run_attempt(
+            GlitchParams(
+                ext_offset=spec.ext_offset, width=width, offset=offset, repeat=spec.repeat
+            )
+        )
+        tally.attempts += 1
+        if outcome.category == "success":
+            tally.successes += 1
+        elif outcome.category == "detected":
+            tally.detections += 1
+        elif outcome.category == "reset":
+            tally.resets += 1
+        else:
+            tally.no_effect += 1
+    return tally
+
+
 def run_defense_scan(
     image,
     attack: str,
@@ -322,27 +470,45 @@ def run_defense_scan(
     fault_model: Optional[FaultModel] = None,
     stride: int = 1,
     detect_symbol: Optional[str] = "gr_detected",
+    workers: int = 1,
+    progress: Optional[ProgressReporter] = None,
 ) -> DefenseScanResult:
-    """Attack a (possibly defended) firmware image with one Table VI attack."""
+    """Attack a (possibly defended) firmware image with one Table VI attack.
+
+    Each attack-shape element (one ``(ext_offset, repeat)`` pair, i.e. one
+    9,801-point grid) runs against a freshly power-cycled board, so shape
+    elements are independent of execution order and the scan tallies are
+    identical for any ``workers`` count — including against firmware whose
+    nonvolatile seed page evolves across attempts (the random-delay
+    defense). Within a shape element the board's seed page still persists
+    attempt-to-attempt, exactly like a real bench session.
+    """
     try:
         shape = ATTACK_SHAPES[attack]
     except KeyError:
         raise ValueError(f"unknown attack {attack!r}; expected one of {sorted(ATTACK_SHAPES)}")
+    _validate_stride(stride)
     detect = detect_symbol if detect_symbol and detect_symbol in image.symbols else None
-    glitcher = ClockGlitcher(image, fault_model=fault_model, detect_symbol=detect)
+    executor = ParallelExecutor(workers=workers, progress=progress)
+    partials = executor.map(
+        _defense_shape_unit,
+        [
+            _DefenseShapeSpec(image, ext_offset, repeat, stride, fault_model, detect)
+            for ext_offset, repeat in shape
+        ],
+        attempts_of=lambda tally: tally.attempts,
+        categories_of=lambda tally: {
+            "success": tally.successes,
+            "detected": tally.detections,
+            "reset": tally.resets,
+            "no_effect": tally.no_effect,
+        },
+    )
     result = DefenseScanResult(scenario=scenario, defense=defense, attack=attack)
-    for ext_offset, repeat in shape:
-        for width, offset in _grid(stride):
-            outcome = glitcher.run_attempt(
-                GlitchParams(ext_offset=ext_offset, width=width, offset=offset, repeat=repeat)
-            )
-            result.attempts += 1
-            if outcome.category == "success":
-                result.successes += 1
-            elif outcome.category == "detected":
-                result.detections += 1
-            elif outcome.category == "reset":
-                result.resets += 1
-            else:
-                result.no_effect += 1
+    for tally in partials:
+        result.attempts += tally.attempts
+        result.successes += tally.successes
+        result.detections += tally.detections
+        result.resets += tally.resets
+        result.no_effect += tally.no_effect
     return result

@@ -65,17 +65,31 @@ class ParameterSearch:
         self.scan_cycles = scan_cycles
         self.attempts = 0
         self.successes = 0
+        self._max_attempts: Optional[int] = None
 
     # ------------------------------------------------------------------
 
+    def _exhausted(self) -> bool:
+        return self._max_attempts is not None and self.attempts >= self._max_attempts
+
     def run(self, max_attempts: int = 200_000) -> SearchResult:
+        """Search within an attempt budget.
+
+        ``max_attempts`` bounds the whole search: both the coarse scan and
+        the refinement phase abort once the budget is spent (only an
+        in-flight confirmation run, at most ``CONFIRMATION_RUNS`` attempts,
+        may overshoot).
+        """
+        self._max_attempts = max_attempts
         result = SearchResult(guard=self.guard, found=False)
 
         # Phase 1: coarse scan with a wide (10-cycle) glitch.
         candidates = []
         for width in WIDTH_RANGE[:: self.coarse_stride]:
+            if self._exhausted():
+                break
             for offset in OFFSET_RANGE[:: self.coarse_stride]:
-                if self.attempts >= max_attempts:
+                if self._exhausted():
                     break
                 params = GlitchParams(0, width, offset, repeat=self.scan_cycles)
                 if self._attempt(params):
@@ -85,11 +99,13 @@ class ParameterSearch:
 
         # Phase 2: per-cycle refinement around each candidate.
         for width, offset in candidates:
+            if self._exhausted():
+                break
             for cycle in range(self.scan_cycles):
-                if self.attempts >= max_attempts:
+                if self._exhausted():
                     break
                 refined = self._refine(width, offset, cycle)
-                if refined is not None:
+                if refined is not None and not self._exhausted():
                     rate = self._confirm(refined)
                     result.history.append(
                         f"confirmed {refined} at {rate * 100:.0f}% over "
@@ -122,6 +138,8 @@ class ParameterSearch:
         span = max(1, self.coarse_stride // 2)
         for dw in range(-span, span + 1):
             for do in range(-span, span + 1):
+                if self._exhausted():
+                    return best
                 w = width + dw
                 o = offset + do
                 if w not in WIDTH_RANGE or o not in OFFSET_RANGE:

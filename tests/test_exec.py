@@ -1,0 +1,227 @@
+"""Tests for the campaign-execution subsystem (``repro.exec``)."""
+
+import json
+
+import pytest
+
+from repro.exec import (
+    OutcomeCache,
+    ParallelExecutor,
+    ProgressReporter,
+    coerce_cache,
+    console_progress,
+    resolve_workers,
+)
+from repro.exec.progress import format_snapshot
+from repro.glitchsim import SnippetHarness, branch_snippet, run_branch_campaign
+
+
+def _square(x):  # module-level: picklable for the multiprocessing path
+    return x * x
+
+
+class TestResolveWorkers:
+    def test_defaults(self):
+        assert resolve_workers(None) == 1
+        assert resolve_workers(1) == 1
+        assert resolve_workers(3) == 3
+
+    def test_zero_means_all_cores(self):
+        assert resolve_workers(0) >= 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_workers(-1)
+
+
+class TestParallelExecutor:
+    def test_serial_map_preserves_order(self):
+        executor = ParallelExecutor(workers=1)
+        assert executor.map(_square, range(6)) == [0, 1, 4, 9, 16, 25]
+
+    def test_parallel_map_matches_serial(self):
+        serial = ParallelExecutor(workers=1).map(_square, range(20))
+        parallel = ParallelExecutor(workers=2).map(_square, range(20))
+        assert serial == parallel
+
+    def test_parallel_chunked(self):
+        executor = ParallelExecutor(workers=2, chunk_size=4)
+        assert executor.map(_square, range(10)) == [x * x for x in range(10)]
+
+    def test_serial_fn_used_in_process(self):
+        calls = []
+
+        def serial(x):
+            calls.append(x)
+            return x * x
+
+        executor = ParallelExecutor(workers=1)
+        assert executor.map(_square, [2, 3], serial_fn=serial) == [4, 9]
+        assert calls == [2, 3]
+
+    def test_invalid_chunk_size_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(workers=1, chunk_size=0)
+
+    def test_progress_fed_per_unit(self):
+        reporter = ProgressReporter()
+        executor = ParallelExecutor(workers=1, progress=reporter)
+        executor.map(
+            _square, [1, 2, 3],
+            attempts_of=lambda r: r,
+            categories_of=lambda r: {"seen": 1},
+        )
+        assert reporter.units_done == 3
+        assert reporter.units_total == 3
+        assert reporter.attempts == 1 + 4 + 9
+        assert reporter.categories["seen"] == 3
+
+
+class TestProgressReporter:
+    def test_snapshot_metrics(self):
+        # clock is read at start() and once per snapshot() (no callback set)
+        ticks = iter([0.0, 4.0])
+        reporter = ProgressReporter(clock=lambda: next(ticks))
+        reporter.start(4)
+        reporter.advance(attempts=100)
+        reporter.advance(attempts=100)
+        snapshot = reporter.snapshot()
+        assert snapshot.units_done == 2
+        assert snapshot.attempts == 200
+        assert snapshot.elapsed == 4.0
+        assert snapshot.rate == 50.0
+        assert snapshot.eta == 4.0  # 2 units left at 2s/unit
+
+    def test_eta_undefined_before_first_unit(self):
+        reporter = ProgressReporter()
+        reporter.start(5)
+        assert reporter.snapshot().eta is None
+
+    def test_callback_and_restart(self):
+        snapshots = []
+        reporter = ProgressReporter(callback=snapshots.append)
+        reporter.start(2)
+        reporter.advance(attempts=10)
+        reporter.finish()
+        assert snapshots[-1].finished
+        reporter.start(3)  # reusable across scans
+        assert reporter.attempts == 0
+        assert reporter.units_total == 3
+
+    def test_format_snapshot_mentions_rate_and_eta(self):
+        reporter = ProgressReporter()
+        reporter.start(4)
+        reporter.advance(attempts=50, categories={"success": 3})
+        text = format_snapshot(reporter.snapshot())
+        assert "1/4 units" in text
+        assert "attempts" in text
+        assert "success=3" in text
+
+    def test_console_progress_writes_stream(self):
+        class Sink:
+            def __init__(self):
+                self.text = ""
+
+            def write(self, chunk):
+                self.text += chunk
+
+            def flush(self):
+                pass
+
+        sink = Sink()
+        reporter = console_progress(label="scan", stream=sink, min_interval=0.0)
+        reporter.start(1)
+        reporter.advance(attempts=7)
+        reporter.finish()
+        assert "scan" in sink.text
+        assert sink.text.endswith("\n")
+
+
+class TestOutcomeCache:
+    def test_roundtrip_and_persistence(self, tmp_path):
+        cache = OutcomeCache(tmp_path)
+        assert cache.get("beq", False, 0x1234) is None
+        cache.put("beq", False, 0x1234, "success")
+        assert cache.get("beq", False, 0x1234) == "success"
+        cache.flush()
+        # a second instance reads the shard back from disk
+        again = OutcomeCache(tmp_path)
+        assert again.get("beq", False, 0x1234) == "success"
+        assert again.hits == 1
+
+    def test_zero_invalid_shards_are_separate(self, tmp_path):
+        cache = OutcomeCache(tmp_path)
+        cache.put("beq", False, 0, "success")
+        cache.put("beq", True, 0, "invalid_instruction")
+        cache.flush()
+        assert (tmp_path / "beq.json").exists()
+        assert (tmp_path / "beq-0invalid.json").exists()
+        assert OutcomeCache(tmp_path).get("beq", True, 0) == "invalid_instruction"
+
+    def test_corrupt_shard_is_a_miss_not_an_error(self, tmp_path):
+        (tmp_path / "beq.json").write_text("{not json")
+        cache = OutcomeCache(tmp_path)
+        assert cache.get("beq", False, 7) is None
+
+    def test_context_manager_flushes(self, tmp_path):
+        with OutcomeCache(tmp_path) as cache:
+            cache.put("bne", False, 1, "no_effect")
+        assert json.loads((tmp_path / "bne.json").read_text()) == {"1": "no_effect"}
+
+    def test_coerce_cache(self, tmp_path):
+        assert coerce_cache(None) is None
+        cache = OutcomeCache(tmp_path)
+        assert coerce_cache(cache) is cache
+        assert coerce_cache(str(tmp_path)).root == tmp_path
+
+
+class TestHarnessDiskCache:
+    def test_disk_hit_skips_emulation(self, tmp_path):
+        snippet = branch_snippet("eq")
+        cache = OutcomeCache(tmp_path)
+        first = SnippetHarness(snippet, disk_cache=cache).run(0x0000)
+        assert first.category == "success"
+        cache.flush()
+
+        warm_cache = OutcomeCache(tmp_path)
+        warm = SnippetHarness(snippet, disk_cache=warm_cache)
+        executions = []
+        warm._execute = lambda word: executions.append(word)  # must never run
+        assert warm.run(0x0000).category == "success"
+        assert executions == []
+        assert warm_cache.hits == 1
+
+
+class TestCampaignParallel:
+    def test_workers_produce_identical_campaigns(self):
+        serial = run_branch_campaign("and", k_values=(1, 2), conditions=["eq", "ne"])
+        parallel = run_branch_campaign(
+            "and", k_values=(1, 2), conditions=["eq", "ne"], workers=2
+        )
+        assert serial == parallel
+        assert repr(serial) == repr(parallel)
+
+    def test_campaign_cache_warm_run_matches_cold(self, tmp_path):
+        cold = run_branch_campaign("and", k_values=(1,), conditions=["eq"], cache=tmp_path)
+        warm_cache = OutcomeCache(tmp_path)
+        warm = run_branch_campaign(
+            "and", k_values=(1,), conditions=["eq"], cache=warm_cache
+        )
+        assert cold == warm
+        assert warm_cache.hits > 0
+
+    def test_parallel_workers_write_cache_shards(self, tmp_path):
+        run_branch_campaign(
+            "and", k_values=(1,), conditions=["eq", "ne"], workers=2, cache=tmp_path
+        )
+        assert (tmp_path / "beq.json").exists()
+        assert (tmp_path / "bne.json").exists()
+
+    def test_campaign_progress_counts_masks(self):
+        reporter = ProgressReporter()
+        run_branch_campaign(
+            "and", k_values=(1,), conditions=["eq", "ne"], progress=reporter
+        )
+        assert reporter.units_done == 2
+        assert reporter.attempts == 2 * 16  # C(16,1) masks per branch
+        assert sum(reporter.categories.values()) == reporter.attempts

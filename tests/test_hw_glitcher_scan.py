@@ -13,7 +13,7 @@ from repro.hw.scan import (
     run_multi_glitch_scan,
     run_single_glitch_scan,
 )
-from repro.hw.search import ParameterSearch
+from repro.hw.search import CONFIRMATION_RUNS, ParameterSearch
 
 
 class TestGuardFirmware:
@@ -161,6 +161,86 @@ class TestScans:
         assert long_scan.success_rate > multi.full_rate
 
 
+class TestScanRegressions:
+    """Regressions for the scan-loop bugs fixed alongside the executor."""
+
+    def test_generator_cycles_not_consumed(self):
+        """max() used to drain a generator, leaving an empty scan."""
+        scan = run_single_glitch_scan("not_a", cycles=iter([0, 1]), stride=12)
+        assert len(scan.rows) == 2
+        assert scan.total_attempts == 2 * len(range(-49, 50, 12)) ** 2
+
+    def test_generator_matches_list_cycles(self):
+        from_list = run_single_glitch_scan("not_a", cycles=[0, 1], stride=12)
+        from_generator = run_single_glitch_scan("not_a", cycles=iter([0, 1]), stride=12)
+        assert from_list == from_generator
+
+    def test_glitcher_plus_fault_model_conflict_rejected(self):
+        glitcher = ClockGlitcher(build_guard_firmware("not_a", "single"))
+        with pytest.raises(ValueError, match="not both"):
+            run_single_glitch_scan(
+                "not_a", glitcher=glitcher, fault_model=FaultModel(seed=1), stride=12
+            )
+
+    def test_prebuilt_glitcher_still_accepted_alone(self):
+        glitcher = ClockGlitcher(build_guard_firmware("not_a", "single"))
+        scan = run_single_glitch_scan("not_a", glitcher=glitcher, stride=12, cycles=[0])
+        assert scan.total_attempts > 0
+
+    def test_prebuilt_glitcher_with_workers_rejected(self):
+        glitcher = ClockGlitcher(build_guard_firmware("not_a", "single"))
+        with pytest.raises(ValueError, match="workers"):
+            run_single_glitch_scan("not_a", glitcher=glitcher, stride=12, workers=2)
+
+    @pytest.mark.parametrize("stride", [0, -1, -3])
+    def test_bad_stride_rejected_everywhere(self, stride):
+        with pytest.raises(ValueError, match="stride"):
+            run_single_glitch_scan("not_a", stride=stride)
+        with pytest.raises(ValueError, match="stride"):
+            run_multi_glitch_scan("not_a", stride=stride)
+        with pytest.raises(ValueError, match="stride"):
+            run_long_glitch_scan("not_a", stride=stride)
+
+    def test_bad_stride_rejected_for_defense_scan(self):
+        from repro.hw.scan import run_defense_scan
+
+        with pytest.raises(ValueError, match="stride"):
+            run_defense_scan(build_guard_firmware("not_a", "single"), "single", stride=0)
+
+    def test_stride_subsamples_grid(self):
+        scan = run_single_glitch_scan("not_a", cycles=[0], stride=7)
+        assert scan.total_attempts == len(range(-49, 50, 7)) ** 2
+
+
+class TestParallelScans:
+    """workers=1 and workers=N must tally identically (chunked fan-out)."""
+
+    def test_single_scan_parallel_equality(self):
+        serial = run_single_glitch_scan("not_a", stride=10, cycles=range(4))
+        parallel = run_single_glitch_scan("not_a", stride=10, cycles=range(4), workers=2)
+        assert serial == parallel
+        assert repr(serial) == repr(parallel)
+
+    def test_multi_scan_parallel_equality(self):
+        serial = run_multi_glitch_scan("a", stride=10, cycles=range(4))
+        parallel = run_multi_glitch_scan("a", stride=10, cycles=range(4), workers=2)
+        assert serial == parallel
+
+    def test_long_scan_parallel_equality(self):
+        serial = run_long_glitch_scan("a", stride=10, last_cycles=(10, 12))
+        parallel = run_long_glitch_scan("a", stride=10, last_cycles=(10, 12), workers=2)
+        assert serial == parallel
+
+    def test_defense_scan_parallel_equality(self):
+        from repro.hw.scan import run_defense_scan
+
+        image = build_guard_firmware("not_a", "single")
+        serial = run_defense_scan(image, "single", stride=12)
+        parallel = run_defense_scan(image, "single", stride=12, workers=2)
+        assert serial == parallel
+        assert repr(serial) == repr(parallel)
+
+
 class TestParameterSearch:
     def test_search_finds_repeatable_parameters(self):
         """§V-B: the tuning algorithm converges to 10-out-of-10 parameters."""
@@ -182,3 +262,19 @@ class TestParameterSearch:
         assert result.found
         for _ in range(5):
             assert search.glitcher.run_attempt(result.params).category == "success"
+
+    @pytest.mark.parametrize("max_attempts", [1, 25, 60])
+    def test_budget_aborts_both_phases(self, max_attempts):
+        """Regression: the budget check used to exit only the inner
+        offset/cycle loop, so both phases ran far past max_attempts."""
+        search = ParameterSearch("a", coarse_stride=6)
+        result = search.run(max_attempts=max_attempts)
+        # only an in-flight confirmation run may overshoot the budget
+        assert result.attempts <= max_attempts + CONFIRMATION_RUNS
+        assert result.attempts == search.attempts
+
+    def test_exhausted_budget_reports_not_found(self):
+        search = ParameterSearch("a", coarse_stride=6)
+        result = search.run(max_attempts=5)
+        assert not result.found
+        assert result.params is None
