@@ -94,6 +94,8 @@ def cmd_attack(args) -> int:
         hardened.image, args.attack,
         scenario=args.source, defense=config.describe(), stride=args.stride,
         workers=args.workers, progress=_progress_reporter(args),
+        checkpoint_dir=args.checkpoint_dir, resume=args.resume,
+        retries=args.retries, unit_timeout=args.unit_timeout,
     )
     print(f"attack={args.attack} defense={config.describe()} stride={args.stride}")
     print(f"  attempts:   {result.attempts}")
@@ -101,7 +103,18 @@ def cmd_attack(args) -> int:
     print(f"  detections: {result.detections} ({result.detection_rate * 100:.1f}% "
           f"of det+succ)")
     print(f"  resets:     {result.resets}")
+    _report_failed_units(result.failed_units)
     return 0
+
+
+def _report_failed_units(failed_units) -> None:
+    if not failed_units:
+        return
+    print(f"warning: {len(failed_units)} work unit(s) quarantined after "
+          f"exhausting retries (tallies exclude them):", file=sys.stderr)
+    for unit in failed_units:
+        print(f"  {unit.spec!r}: {unit.error} ({unit.attempts} attempts)",
+              file=sys.stderr)
 
 
 def cmd_experiment(args) -> int:
@@ -110,30 +123,33 @@ def cmd_experiment(args) -> int:
     name = args.name
     progress = _progress_reporter(args)
     workers = args.workers
+    robust = dict(checkpoint_dir=args.checkpoint_dir, resume=args.resume,
+                  retries=args.retries, unit_timeout=args.unit_timeout)
     if name == "fig2":
         result = experiments.run_figure2(
-            workers=workers, cache=args.cache_dir, progress=progress
+            workers=workers, cache=args.cache_dir, progress=progress, **robust
         )
     elif name == "table1":
         result = experiments.run_table1(stride=args.stride, workers=workers,
-                                        progress=progress)
+                                        progress=progress, **robust)
     elif name == "table2":
         result = experiments.run_table2(stride=args.stride, workers=workers,
-                                        progress=progress)
+                                        progress=progress, **robust)
     elif name == "table3":
         result = experiments.run_table3(stride=args.stride, workers=workers,
-                                        progress=progress)
+                                        progress=progress, **robust)
     elif name == "table4":
         result = experiments.run_table4()
     elif name == "table5":
         result = experiments.run_table5()
     elif name == "table6":
         result = experiments.run_table6(stride=args.stride, workers=workers,
-                                        progress=progress)
+                                        progress=progress, **robust)
     elif name == "table7":
         result = experiments.run_table7()
     elif name == "search":
-        result = experiments.run_search()
+        result = experiments.run_search(checkpoint_dir=args.checkpoint_dir,
+                                        resume=args.resume)
     else:  # pragma: no cover - argparse restricts choices
         raise ValueError(name)
     print(result.render())
@@ -180,6 +196,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="worker processes for the scan (0 = all cores)")
     p_attack.add_argument("--progress", action="store_true",
                           help="show attempts/sec, tallies, and ETA on stderr")
+    _add_robustness_flags(p_attack)
     p_attack.set_defaults(func=cmd_attack)
 
     p_exp = sub.add_parser("experiment", help="run one paper artifact")
@@ -196,9 +213,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--cache-dir", default=None, metavar="DIR",
                        help="persistent outcome-cache directory for fig2 "
                             "(default: no disk cache)")
+    _add_robustness_flags(p_exp)
     p_exp.set_defaults(func=cmd_experiment)
 
     return parser
+
+
+def _add_robustness_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                        help="write per-unit JSONL checkpoints here "
+                             "(default with --resume: <cache root>/checkpoints)")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume from an existing checkpoint, replaying "
+                             "completed work units instead of re-running them")
+    parser.add_argument("--retries", type=int, default=0,
+                        help="extra attempts for a failing work unit before it "
+                             "is quarantined into the failed-units report")
+    parser.add_argument("--unit-timeout", type=float, default=None, metavar="SEC",
+                        help="wall-clock bound per work unit on the "
+                             "multiprocessing path (hung workers are rebuilt)")
 
 
 def main(argv: list[str] | None = None) -> int:

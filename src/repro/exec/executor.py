@@ -7,29 +7,60 @@ finished first, so merging tallies is deterministic by construction.
 function (or a caller-supplied in-process equivalent) in a plain loop,
 which keeps serial and parallel campaigns bit-identical and keeps tests
 on the fast path.
+
+Fault tolerance: ``map`` always finalizes its progress reporter and
+tears the pool down (a raising worker no longer leaks either), and can
+additionally
+
+- retry a failing unit with exponential backoff (``retries``/``backoff``),
+- bound a unit's wall-clock time on the multiprocessing path
+  (``unit_timeout`` — a hung or crashed worker is detected, the pool is
+  rebuilt, and the unit is charged a failed attempt),
+- quarantine a unit that exhausts its attempts into ``failed_units``
+  instead of aborting the whole campaign (``on_error="quarantine"``), and
+- skip/record units against a :class:`~repro.exec.checkpoint.CampaignCheckpoint`
+  so an interrupted campaign resumes from the last completed unit.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import Callable, Iterable, Optional, TypeVar
+import sys
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Optional, TypeVar
 
+from repro.exec.checkpoint import MISSING, CampaignCheckpoint
 from repro.exec.progress import ProgressReporter
 
 S = TypeVar("S")
 R = TypeVar("R")
 
+#: placeholder for a spec whose unit never produced a result (quarantined)
+_UNSET = object()
+
 
 def resolve_workers(workers: Optional[int]) -> int:
-    """Normalise a worker count: ``None`` → 1, ``0`` → all cores."""
+    """Normalise a worker count: ``None`` → 1, ``0`` → all cores (min 1)."""
     if workers is None:
         return 1
     if workers == 0:
-        return os.cpu_count() or 1
+        # cpu_count() can return None (and 0 on some exotic containers);
+        # a single-core host still gets one worker
+        return max(1, os.cpu_count() or 1)
     if workers < 0:
         raise ValueError(f"workers must be >= 0, got {workers}")
     return workers
+
+
+@dataclass
+class FailedUnit:
+    """One quarantined work unit: the spec, the last error, attempts used."""
+
+    spec: Any
+    error: str
+    attempts: int
 
 
 class ParallelExecutor:
@@ -41,6 +72,15 @@ class ParallelExecutor:
       chunks amortise IPC for many small units).
     - ``progress`` — a :class:`ProgressReporter` fed one ``advance`` per
       completed unit.
+    - ``retries`` — extra attempts granted to a failing unit (0 = none).
+    - ``unit_timeout`` — seconds a unit may run on the multiprocessing
+      path before it counts as a failed attempt (None = unbounded; the
+      in-process path cannot preempt a running unit and ignores it).
+    - ``backoff`` — base delay before retry ``n`` sleeps
+      ``backoff * 2**(n-1)`` seconds.
+    - ``on_error`` — ``"raise"`` propagates a unit's final failure
+      (after retries); ``"quarantine"`` records it in ``failed_units``
+      and keeps going.
     """
 
     def __init__(
@@ -49,27 +89,50 @@ class ParallelExecutor:
         chunk_size: int = 1,
         progress: Optional[ProgressReporter] = None,
         start_method: Optional[str] = None,
+        retries: int = 0,
+        unit_timeout: Optional[float] = None,
+        backoff: float = 0.05,
+        on_error: str = "raise",
     ):
         self.workers = resolve_workers(workers)
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if unit_timeout is not None and unit_timeout <= 0:
+            raise ValueError(f"unit_timeout must be > 0, got {unit_timeout}")
+        if on_error not in ("raise", "quarantine"):
+            raise ValueError(f"on_error must be 'raise' or 'quarantine', got {on_error!r}")
         self.chunk_size = chunk_size
         self.progress = progress
         self._start_method = start_method
+        self.retries = retries
+        self.unit_timeout = unit_timeout
+        self.backoff = backoff
+        self.on_error = on_error
+        self.failed_units: list[FailedUnit] = []
 
     @property
     def parallel(self) -> bool:
         return self.workers > 1
 
-    def _context(self):
+    def _preferred_start_method(self) -> Optional[str]:
         if self._start_method is not None:
-            return multiprocessing.get_context(self._start_method)
-        try:
-            # fork shares the already-imported interpreter state; it is the
-            # cheap path on the platforms this repo targets
-            return multiprocessing.get_context("fork")
-        except ValueError:
-            return multiprocessing.get_context()
+            return self._start_method
+        methods = multiprocessing.get_all_start_methods()
+        # fork shares the already-imported interpreter state (the cheap
+        # path), but is unavailable on some platforms and unsafe under
+        # macOS system frameworks — fall back to the platform default
+        # (spawn) there.
+        if sys.platform != "darwin" and "fork" in methods:
+            return "fork"
+        return None
+
+    def _context(self):
+        method = self._preferred_start_method()
+        if method is not None:
+            return multiprocessing.get_context(method)
+        return multiprocessing.get_context()
 
     def map(
         self,
@@ -78,7 +141,11 @@ class ParallelExecutor:
         serial_fn: Optional[Callable[[S], R]] = None,
         attempts_of: Optional[Callable[[R], int]] = None,
         categories_of: Optional[Callable[[R], dict]] = None,
-    ) -> list[R]:
+        checkpoint: Optional[CampaignCheckpoint] = None,
+        key_of: Optional[Callable[[S], str]] = None,
+        encode: Optional[Callable[[R], Any]] = None,
+        decode: Optional[Callable[[Any], R]] = None,
+    ) -> list[Optional[R]]:
         """Run ``fn`` over every spec, returning results in spec order.
 
         ``fn`` must be a picklable module-level function; each spec must
@@ -87,15 +154,31 @@ class ParallelExecutor:
         (e.g. a shared glitcher) when the computation is provably
         identical. ``attempts_of`` / ``categories_of`` extract progress
         metrics from each unit result.
+
+        ``checkpoint`` + ``key_of`` make the map resumable: specs whose
+        key is already recorded are decoded (``decode``) instead of run,
+        and every fresh completion is encoded (``encode``) and persisted
+        before progress advances — so an interruption at any point loses
+        at most the in-flight units. Quarantined specs (``on_error=
+        "quarantine"``) yield ``None`` placeholders and are reported in
+        ``self.failed_units``; with the default ``on_error="raise"`` the
+        final failure propagates after the pool and reporter are torn
+        down cleanly.
         """
         specs = list(specs)
+        if checkpoint is not None and key_of is None:
+            raise ValueError("checkpoint requires key_of to derive stable unit keys")
         progress = self.progress
         if progress is not None:
             progress.start(len(specs))
-        results: list[R] = []
+        results: list[Any] = [_UNSET] * len(specs)
+        self.failed_units = []
 
-        def record(result: R) -> None:
-            results.append(result)
+        def record(index: int, result: R, replayed: bool = False) -> None:
+            results[index] = result
+            if checkpoint is not None and not replayed:
+                payload = encode(result) if encode is not None else result
+                checkpoint.record(key_of(specs[index]), payload)
             if progress is not None:
                 progress.advance(
                     units=1,
@@ -103,18 +186,118 @@ class ParallelExecutor:
                     categories=categories_of(result) if categories_of else None,
                 )
 
-        if not self.parallel or len(specs) <= 1:
-            run = serial_fn if serial_fn is not None else fn
-            for spec in specs:
-                record(run(spec))
-        else:
-            context = self._context()
-            with context.Pool(min(self.workers, len(specs))) as pool:
-                for result in pool.imap(fn, specs, chunksize=self.chunk_size):
-                    record(result)
-        if progress is not None:
-            progress.finish()
-        return results
+        def fail(index: int, error: BaseException, attempts: int) -> None:
+            if self.on_error == "raise":
+                raise error
+            self.failed_units.append(
+                FailedUnit(spec=specs[index], error=repr(error), attempts=attempts)
+            )
+
+        try:
+            pending: list[int] = []
+            for index, spec in enumerate(specs):
+                payload = checkpoint.get(key_of(spec)) if checkpoint is not None else MISSING
+                if payload is not MISSING:
+                    record(index, decode(payload) if decode is not None else payload,
+                           replayed=True)
+                else:
+                    pending.append(index)
+            if pending:
+                if not self.parallel or len(pending) <= 1:
+                    run = serial_fn if serial_fn is not None else fn
+                    self._run_serial(run, specs, pending, record, fail)
+                else:
+                    self._run_parallel(fn, specs, pending, record, fail)
+        finally:
+            # a raising worker (or SIGINT) must still finalize the
+            # reporter and persist every completed unit
+            if progress is not None:
+                progress.finish()
+            if checkpoint is not None:
+                checkpoint.flush()
+        return [result if result is not _UNSET else None for result in results]
+
+    # ------------------------------------------------------------------
+
+    def _backoff_sleep(self, attempt: int) -> None:
+        if self.backoff > 0:
+            time.sleep(self.backoff * (2 ** (attempt - 1)))
+
+    def _run_serial(self, run, specs, pending, record, fail) -> None:
+        for index in pending:
+            attempts = 0
+            while True:
+                try:
+                    result = run(specs[index])
+                except Exception as exc:  # KeyboardInterrupt/SystemExit propagate
+                    attempts += 1
+                    if attempts > self.retries:
+                        fail(index, exc, attempts)
+                        break
+                    self._backoff_sleep(attempts)
+                else:
+                    record(index, result)
+                    break
+
+    def _run_parallel(self, fn, specs, pending, record, fail) -> None:
+        context = self._context()
+        size = min(self.workers, len(pending))
+        if self.retries == 0 and self.unit_timeout is None and self.on_error == "raise":
+            # fast path: chunked imap, no per-unit bookkeeping
+            with context.Pool(size) as pool:
+                ordered = [specs[index] for index in pending]
+                for index, result in zip(
+                    pending, pool.imap(fn, ordered, chunksize=self.chunk_size)
+                ):
+                    record(index, result)
+            return
+        attempts = {index: 0 for index in pending}
+        pool = context.Pool(size)
+        try:
+            while pending:
+                handles = [(index, pool.apply_async(fn, (specs[index],))) for index in pending]
+                retry: list[int] = []
+                rebuild = False
+                for index, handle in handles:
+                    if rebuild:
+                        # the pool died under this handle (a peer timed
+                        # out); resubmit without charging an attempt
+                        retry.append(index)
+                        continue
+                    try:
+                        value = handle.get(self.unit_timeout)
+                    except multiprocessing.TimeoutError:
+                        attempts[index] += 1
+                        rebuild = True  # the worker may be hung — rebuild the pool
+                        if attempts[index] > self.retries:
+                            fail(
+                                index,
+                                TimeoutError(
+                                    f"work unit exceeded unit_timeout="
+                                    f"{self.unit_timeout}s ({attempts[index]} attempts)"
+                                ),
+                                attempts[index],
+                            )
+                        else:
+                            retry.append(index)
+                    except Exception as exc:
+                        attempts[index] += 1
+                        if attempts[index] > self.retries:
+                            fail(index, exc, attempts[index])
+                        else:
+                            retry.append(index)
+                    else:
+                        record(index, value)
+                if rebuild:
+                    pool.terminate()
+                    pool.join()
+                    pool = context.Pool(size)
+                if retry:
+                    self._backoff_sleep(max(attempts[index] for index in retry))
+                pending = retry
+        finally:
+            pool.terminate()
+            pool.join()
 
 
-__all__ = ["ParallelExecutor", "resolve_workers"]
+__all__ = ["ParallelExecutor", "FailedUnit", "resolve_workers"]

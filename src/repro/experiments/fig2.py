@@ -55,6 +55,10 @@ def run_figure2(
     workers: int = 1,
     cache=None,
     progress=None,
+    checkpoint_dir=None,
+    resume: bool = False,
+    retries: int = 0,
+    unit_timeout=None,
 ) -> Figure2Result:
     """Regenerate Figure 2. Full sweep by default; pass ``k_values`` /
     ``conditions`` to subsample for quick runs.
@@ -62,11 +66,16 @@ def run_figure2(
     ``workers`` parallelises each panel's per-branch sweeps; ``cache`` (an
     ``OutcomeCache`` or a directory path) persists outcomes on disk, so the
     AND/XOR panels share corrupted-word executions and re-runs skip
-    emulation entirely.
+    emulation entirely. ``checkpoint_dir``/``resume`` make each panel's
+    campaign resumable (panels checkpoint independently — the file name
+    embeds the model), and ``retries``/``unit_timeout`` quarantine failing
+    sweeps instead of aborting the figure.
     """
     result = Figure2Result()
     common = dict(k_values=k_values, conditions=conditions,
-                  workers=workers, cache=cache, progress=progress)
+                  workers=workers, cache=cache, progress=progress,
+                  checkpoint_dir=checkpoint_dir, resume=resume,
+                  retries=retries, unit_timeout=unit_timeout)
     result.panels["and"] = _figure2_data(
         run_branch_campaign("and", **common),
         title="Figure 2a: AND model (1→0 flips)",

@@ -50,11 +50,19 @@ def run_search(
     guards: tuple[str, ...] = ("a", "a_ne_const", "not_a"),
     coarse_stride: int = 4,
     fault_model: FaultModel | None = None,
+    checkpoint_dir=None,
+    resume: bool = False,
 ) -> SearchExperiment:
     experiment = SearchExperiment()
     for guard in guards:
-        search = ParameterSearch(guard, coarse_stride=coarse_stride, fault_model=fault_model)
-        experiment.results[guard] = search.run()
+        search = ParameterSearch(
+            guard, coarse_stride=coarse_stride, fault_model=fault_model,
+            checkpoint_dir=checkpoint_dir, resume=resume,
+        )
+        try:
+            experiment.results[guard] = search.run()
+        finally:
+            search.close()
     return experiment
 
 

@@ -63,12 +63,18 @@ def run_table1(
     fault_model: FaultModel | None = None,
     workers: int = 1,
     progress=None,
+    checkpoint_dir=None,
+    resume: bool = False,
+    retries: int = 0,
+    unit_timeout=None,
 ) -> Table1Result:
     result = Table1Result()
     for guard in GUARD_KINDS:
         result.scans[guard] = run_single_glitch_scan(
             guard, cycles=cycles, stride=stride, fault_model=fault_model,
             workers=workers, progress=progress,
+            checkpoint_dir=checkpoint_dir, resume=resume,
+            retries=retries, unit_timeout=unit_timeout,
         )
     return result
 

@@ -57,12 +57,18 @@ def run_table3(
     fault_model: FaultModel | None = None,
     workers: int = 1,
     progress=None,
+    checkpoint_dir=None,
+    resume: bool = False,
+    retries: int = 0,
+    unit_timeout=None,
 ) -> Table3Result:
     result = Table3Result()
     for guard in GUARD_KINDS:
         result.scans[guard] = run_long_glitch_scan(
             guard, last_cycles=last_cycles, stride=stride, fault_model=fault_model,
             workers=workers, progress=progress,
+            checkpoint_dir=checkpoint_dir, resume=resume,
+            retries=retries, unit_timeout=unit_timeout,
         )
     return result
 

@@ -93,6 +93,10 @@ def run_table6(
     fault_model: FaultModel | None = None,
     workers: int = 1,
     progress=None,
+    checkpoint_dir=None,
+    resume: bool = False,
+    retries: int = 0,
+    unit_timeout=None,
 ) -> Table6Result:
     result = Table6Result()
     for scenario in scenarios:
@@ -108,6 +112,10 @@ def run_table6(
                     fault_model=fault_model,
                     workers=workers,
                     progress=progress,
+                    checkpoint_dir=checkpoint_dir,
+                    resume=resume,
+                    retries=retries,
+                    unit_timeout=unit_timeout,
                 )
     return result
 

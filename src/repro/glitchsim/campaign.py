@@ -16,7 +16,14 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.bits import apply_flip, iter_masks
-from repro.exec import OutcomeCache, ParallelExecutor, ProgressReporter, coerce_cache
+from repro.exec import (
+    FailedUnit,
+    OutcomeCache,
+    ParallelExecutor,
+    ProgressReporter,
+    coerce_cache,
+    open_campaign_checkpoint,
+)
 from repro.glitchsim.harness import OUTCOME_CATEGORIES, SnippetHarness
 from repro.glitchsim.snippets import BranchSnippet, all_branch_snippets
 
@@ -65,6 +72,8 @@ class CampaignResult:
     model: str
     zero_is_invalid: bool
     sweeps: list[InstructionSweep]
+    #: specs quarantined after exhausting their retries (never aborts the run)
+    failed_units: list[FailedUnit] = field(default_factory=list)
 
     def sweep_for(self, mnemonic: str) -> InstructionSweep:
         for sweep in self.sweeps:
@@ -125,16 +134,39 @@ def _sweep_unit(spec: _SweepSpec) -> InstructionSweep:
 
     snippet = branch_snippet(spec.mnemonic[1:])
     cache = OutcomeCache(spec.cache_root) if spec.cache_root is not None else None
-    sweep = sweep_instruction(
-        snippet,
-        spec.model,
-        zero_is_invalid=spec.zero_is_invalid,
-        k_values=spec.k_values,
-        cache=cache,
+    try:
+        return sweep_instruction(
+            snippet,
+            spec.model,
+            zero_is_invalid=spec.zero_is_invalid,
+            k_values=spec.k_values,
+            cache=cache,
+        )
+    finally:
+        # per-word outcomes already computed survive even if the sweep raised
+        if cache is not None:
+            cache.flush()
+
+
+def _encode_sweep(sweep: InstructionSweep) -> dict:
+    """JSON-able checkpoint payload for one completed instruction sweep."""
+    return {
+        "mnemonic": sweep.mnemonic,
+        "model": sweep.model,
+        "target_word": sweep.target_word,
+        "zero_is_invalid": sweep.zero_is_invalid,
+        "by_k": {str(k): dict(counter) for k, counter in sweep.by_k.items()},
+    }
+
+
+def _decode_sweep(payload: dict) -> InstructionSweep:
+    return InstructionSweep(
+        mnemonic=payload["mnemonic"],
+        model=payload["model"],
+        target_word=payload["target_word"],
+        zero_is_invalid=payload["zero_is_invalid"],
+        by_k={int(k): Counter(counts) for k, counts in payload["by_k"].items()},
     )
-    if cache is not None:
-        cache.flush()
-    return sweep
 
 
 def run_branch_campaign(
@@ -145,6 +177,10 @@ def run_branch_campaign(
     workers: int = 1,
     cache: OutcomeCache | str | None = None,
     progress: ProgressReporter | None = None,
+    checkpoint_dir: str | None = None,
+    resume: bool = False,
+    retries: int = 0,
+    unit_timeout: float | None = None,
 ) -> CampaignResult:
     """Run the Figure 2 campaign for all (or selected) conditional branches.
 
@@ -152,6 +188,14 @@ def run_branch_campaign(
     unit per branch; each unit owns its own cache shard, so workers never
     contend on a file). Results are merged in instruction order, so
     ``workers=1`` and ``workers=N`` produce identical campaigns.
+
+    ``checkpoint_dir``/``resume`` persist each completed sweep to a JSONL
+    checkpoint (keyed by mnemonic) and replay recorded sweeps on resume, so
+    an interrupted campaign restarts only its missing branches and merges
+    to tallies identical to an uninterrupted run. ``retries`` grants a
+    failing sweep extra attempts (exponential backoff) before it is
+    quarantined into ``CampaignResult.failed_units``; ``unit_timeout``
+    bounds a unit's wall-clock seconds on the multiprocessing path.
     """
     snippets = all_branch_snippets()
     if conditions is not None:
@@ -166,6 +210,19 @@ def run_branch_campaign(
         for snippet in snippets
     ]
 
+    checkpoint = None
+    if checkpoint_dir is not None or resume:
+        meta = {
+            "campaign": "branch",
+            "model": model,
+            "zero_is_invalid": zero_is_invalid,
+            "k_values": list(ks) if ks is not None else None,
+            "conditions": sorted(by_mnemonic),
+        }
+        checkpoint = open_campaign_checkpoint(
+            checkpoint_dir, f"branch-{model}", meta, resume=resume
+        )
+
     def serial(spec: _SweepSpec) -> InstructionSweep:
         # in-process: reuse the built snippets and the shared cache handle
         return sweep_instruction(
@@ -173,17 +230,34 @@ def run_branch_campaign(
             zero_is_invalid=spec.zero_is_invalid, k_values=spec.k_values, cache=cache,
         )
 
-    executor = ParallelExecutor(workers=workers, progress=progress)
-    sweeps = executor.map(
-        _sweep_unit,
-        specs,
-        serial_fn=serial,
-        attempts_of=lambda sweep: sum(sweep.totals.values()),
-        categories_of=lambda sweep: dict(sweep.totals),
+    executor = ParallelExecutor(
+        workers=workers, progress=progress,
+        retries=retries, unit_timeout=unit_timeout, on_error="quarantine",
     )
-    if cache is not None:
-        cache.flush()
-    return CampaignResult(model=model, zero_is_invalid=zero_is_invalid, sweeps=sweeps)
+    try:
+        sweeps = executor.map(
+            _sweep_unit,
+            specs,
+            serial_fn=serial,
+            attempts_of=lambda sweep: sum(sweep.totals.values()),
+            categories_of=lambda sweep: dict(sweep.totals),
+            checkpoint=checkpoint,
+            key_of=lambda spec: spec.mnemonic,
+            encode=_encode_sweep,
+            decode=_decode_sweep,
+        )
+    finally:
+        # SIGINT / worker crash must not discard dirty shards or the checkpoint
+        if cache is not None:
+            cache.flush()
+        if checkpoint is not None:
+            checkpoint.close()
+    return CampaignResult(
+        model=model,
+        zero_is_invalid=zero_is_invalid,
+        sweeps=[sweep for sweep in sweeps if sweep is not None],
+        failed_units=list(executor.failed_units),
+    )
 
 
 __all__ = ["InstructionSweep", "CampaignResult", "sweep_instruction", "run_branch_campaign"]

@@ -12,7 +12,12 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
-from repro.exec import ParallelExecutor, ProgressReporter
+from repro.exec import (
+    FailedUnit,
+    ParallelExecutor,
+    ProgressReporter,
+    open_campaign_checkpoint,
+)
 from repro.hw.clock import GRID_POINTS, GlitchParams, OFFSET_RANGE, WIDTH_RANGE
 from repro.hw.faults import FaultModel
 from repro.hw.glitcher import AttemptResult, ClockGlitcher
@@ -41,6 +46,7 @@ class SingleGlitchScan:
 
     guard: str
     rows: list[CycleRow]
+    failed_units: list[FailedUnit] = field(default_factory=list)
 
     @property
     def total_attempts(self) -> int:
@@ -78,6 +84,7 @@ class MultiGlitchScan:
 
     guard: str
     rows: list[MultiCycleRow]
+    failed_units: list[FailedUnit] = field(default_factory=list)
 
     @property
     def total_attempts(self) -> int:
@@ -115,6 +122,7 @@ class LongGlitchScan:
 
     guard: str
     rows: list[LongRangeRow]
+    failed_units: list[FailedUnit] = field(default_factory=list)
 
     @property
     def total_attempts(self) -> int:
@@ -253,6 +261,68 @@ class _GuardRowSpec:
     fault_model: Optional[FaultModel]
 
 
+# checkpoint codecs: one JSON-able payload per completed scan row ----------
+
+def _encode_single_row(row: CycleRow) -> dict:
+    return {
+        "cycle": row.cycle,
+        "attempts": row.attempts,
+        "successes": row.successes,
+        "resets": row.resets,
+        "register_values": {str(value): count for value, count in row.register_values.items()},
+    }
+
+
+def _decode_single_row(payload: dict) -> CycleRow:
+    return CycleRow(
+        cycle=payload["cycle"],
+        instruction="-",  # re-derived from the live instruction map after the merge
+        attempts=payload["attempts"],
+        successes=payload["successes"],
+        resets=payload["resets"],
+        register_values=Counter(
+            {int(value): count for value, count in payload["register_values"].items()}
+        ),
+    )
+
+
+def _encode_multi_row(row: MultiCycleRow) -> dict:
+    return {"cycle": row.cycle, "attempts": row.attempts,
+            "partial": row.partial, "full": row.full}
+
+
+def _decode_multi_row(payload: dict) -> MultiCycleRow:
+    return MultiCycleRow(**payload)
+
+
+def _encode_long_row(row: LongRangeRow) -> dict:
+    return {"last_cycle": row.last_cycle, "attempts": row.attempts,
+            "successes": row.successes}
+
+
+def _decode_long_row(payload: dict) -> LongRangeRow:
+    return LongRangeRow(**payload)
+
+
+def _scan_checkpoint(
+    checkpoint_dir, resume, kind: str, guard: str, cycles: list[int],
+    stride: int, fault_model: Optional[FaultModel],
+):
+    """Open the checkpoint for one guard scan, or ``None`` when not requested."""
+    if checkpoint_dir is None and not resume:
+        return None
+    meta = {
+        "campaign": f"scan-{kind}",
+        "guard": guard,
+        "cycles": list(cycles),
+        "stride": stride,
+        "fault_seed": fault_model.seed if fault_model is not None else None,
+    }
+    return open_campaign_checkpoint(
+        checkpoint_dir, f"scan-{kind}-{guard}", meta, resume=resume
+    )
+
+
 def _guard_row_unit(spec: _GuardRowSpec):
     from repro.firmware.loops import build_guard_firmware, guard_descriptor
 
@@ -278,6 +348,10 @@ def run_single_glitch_scan(
     glitcher: Optional[ClockGlitcher] = None,
     workers: int = 1,
     progress: Optional[ProgressReporter] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+    retries: int = 0,
+    unit_timeout: Optional[float] = None,
 ) -> SingleGlitchScan:
     """Table I: scan every (width, offset) for each glitched clock cycle.
 
@@ -285,6 +359,11 @@ def run_single_glitch_scan(
     ``glitcher`` carries its own fault model, so combining it with
     ``fault_model`` (or with ``workers > 1`` — a live board cannot be
     shipped to worker processes) raises ``ValueError``.
+
+    ``checkpoint_dir``/``resume`` persist completed rows (keyed by cycle)
+    so an interrupted scan restarts only its missing cycles; ``retries``/
+    ``unit_timeout`` retry a failing row before quarantining it into
+    ``failed_units``.
     """
     from repro.firmware.loops import build_guard_firmware, guard_descriptor
 
@@ -297,7 +376,10 @@ def run_single_glitch_scan(
     _validate_stride(stride)
     cycles = list(cycles)
     descriptor = guard_descriptor(guard)
-    executor = ParallelExecutor(workers=workers, progress=progress)
+    executor = ParallelExecutor(
+        workers=workers, progress=progress,
+        retries=retries, unit_timeout=unit_timeout, on_error="quarantine",
+    )
     if glitcher is not None and executor.parallel:
         raise ValueError(
             "a pre-built glitcher cannot be used with workers > 1; "
@@ -308,18 +390,32 @@ def run_single_glitch_scan(
         glitcher = ClockGlitcher(firmware, fault_model=fault_model)
     instruction_map = map_cycles_to_instructions(glitcher, max(cycles, default=0) + 1)
     shared = glitcher
-    rows = executor.map(
-        _guard_row_unit,
-        [_GuardRowSpec("single", guard, cycle, stride, fault_model) for cycle in cycles],
-        serial_fn=lambda spec: _single_row(
-            shared, descriptor.comparator_register, spec.cycle, spec.stride
-        ),
-        attempts_of=lambda row: row.attempts,
-        categories_of=lambda row: {"success": row.successes, "reset": row.resets},
+    checkpoint = _scan_checkpoint(
+        checkpoint_dir, resume, "single", guard, cycles, stride, fault_model
     )
+    try:
+        rows = executor.map(
+            _guard_row_unit,
+            [_GuardRowSpec("single", guard, cycle, stride, fault_model) for cycle in cycles],
+            serial_fn=lambda spec: _single_row(
+                shared, descriptor.comparator_register, spec.cycle, spec.stride
+            ),
+            attempts_of=lambda row: row.attempts,
+            categories_of=lambda row: {"success": row.successes, "reset": row.resets},
+            checkpoint=checkpoint,
+            key_of=lambda spec: str(spec.cycle),
+            encode=_encode_single_row,
+            decode=_decode_single_row,
+        )
+    finally:
+        if checkpoint is not None:
+            checkpoint.close()
+    rows = [row for row in rows if row is not None]
     for row in rows:
         row.instruction = instruction_map.get(row.cycle, "-")
-    return SingleGlitchScan(guard=guard, rows=rows)
+    return SingleGlitchScan(
+        guard=guard, rows=rows, failed_units=list(executor.failed_units)
+    )
 
 
 def run_multi_glitch_scan(
@@ -329,6 +425,10 @@ def run_multi_glitch_scan(
     stride: int = 1,
     workers: int = 1,
     progress: Optional[ProgressReporter] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+    retries: int = 0,
+    unit_timeout: Optional[float] = None,
 ) -> MultiGlitchScan:
     """Table II: the same glitch fired after each of two triggers."""
     from repro.firmware.loops import build_guard_firmware
@@ -337,15 +437,33 @@ def run_multi_glitch_scan(
     cycles = list(cycles)
     firmware = build_guard_firmware(guard, "double")
     glitcher = ClockGlitcher(firmware, fault_model=fault_model, expected_triggers=2)
-    executor = ParallelExecutor(workers=workers, progress=progress)
-    rows = executor.map(
-        _guard_row_unit,
-        [_GuardRowSpec("multi", guard, cycle, stride, fault_model) for cycle in cycles],
-        serial_fn=lambda spec: _multi_row(glitcher, spec.cycle, spec.stride),
-        attempts_of=lambda row: row.attempts,
-        categories_of=lambda row: {"full": row.full, "partial": row.partial},
+    executor = ParallelExecutor(
+        workers=workers, progress=progress,
+        retries=retries, unit_timeout=unit_timeout, on_error="quarantine",
     )
-    return MultiGlitchScan(guard=guard, rows=rows)
+    checkpoint = _scan_checkpoint(
+        checkpoint_dir, resume, "multi", guard, cycles, stride, fault_model
+    )
+    try:
+        rows = executor.map(
+            _guard_row_unit,
+            [_GuardRowSpec("multi", guard, cycle, stride, fault_model) for cycle in cycles],
+            serial_fn=lambda spec: _multi_row(glitcher, spec.cycle, spec.stride),
+            attempts_of=lambda row: row.attempts,
+            categories_of=lambda row: {"full": row.full, "partial": row.partial},
+            checkpoint=checkpoint,
+            key_of=lambda spec: str(spec.cycle),
+            encode=_encode_multi_row,
+            decode=_decode_multi_row,
+        )
+    finally:
+        if checkpoint is not None:
+            checkpoint.close()
+    return MultiGlitchScan(
+        guard=guard,
+        rows=[row for row in rows if row is not None],
+        failed_units=list(executor.failed_units),
+    )
 
 
 def run_long_glitch_scan(
@@ -355,6 +473,10 @@ def run_long_glitch_scan(
     stride: int = 1,
     workers: int = 1,
     progress: Optional[ProgressReporter] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+    retries: int = 0,
+    unit_timeout: Optional[float] = None,
 ) -> LongGlitchScan:
     """Table III: one glitch spanning cycles 0..last over two adjacent loops."""
     from repro.firmware.loops import build_guard_firmware
@@ -363,15 +485,33 @@ def run_long_glitch_scan(
     last_cycles = list(last_cycles)
     firmware = build_guard_firmware(guard, "contiguous")
     glitcher = ClockGlitcher(firmware, fault_model=fault_model)
-    executor = ParallelExecutor(workers=workers, progress=progress)
-    rows = executor.map(
-        _guard_row_unit,
-        [_GuardRowSpec("long", guard, last, stride, fault_model) for last in last_cycles],
-        serial_fn=lambda spec: _long_row(glitcher, spec.cycle, spec.stride),
-        attempts_of=lambda row: row.attempts,
-        categories_of=lambda row: {"success": row.successes},
+    executor = ParallelExecutor(
+        workers=workers, progress=progress,
+        retries=retries, unit_timeout=unit_timeout, on_error="quarantine",
     )
-    return LongGlitchScan(guard=guard, rows=rows)
+    checkpoint = _scan_checkpoint(
+        checkpoint_dir, resume, "long", guard, last_cycles, stride, fault_model
+    )
+    try:
+        rows = executor.map(
+            _guard_row_unit,
+            [_GuardRowSpec("long", guard, last, stride, fault_model) for last in last_cycles],
+            serial_fn=lambda spec: _long_row(glitcher, spec.cycle, spec.stride),
+            attempts_of=lambda row: row.attempts,
+            categories_of=lambda row: {"success": row.successes},
+            checkpoint=checkpoint,
+            key_of=lambda spec: str(spec.cycle),
+            encode=_encode_long_row,
+            decode=_decode_long_row,
+        )
+    finally:
+        if checkpoint is not None:
+            checkpoint.close()
+    return LongGlitchScan(
+        guard=guard,
+        rows=[row for row in rows if row is not None],
+        failed_units=list(executor.failed_units),
+    )
 
 
 __all__ = [
@@ -404,6 +544,7 @@ class DefenseScanResult:
     detections: int = 0
     resets: int = 0
     no_effect: int = 0
+    failed_units: list[FailedUnit] = field(default_factory=list)
 
     @property
     def success_rate(self) -> float:
@@ -472,6 +613,10 @@ def run_defense_scan(
     detect_symbol: Optional[str] = "gr_detected",
     workers: int = 1,
     progress: Optional[ProgressReporter] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+    retries: int = 0,
+    unit_timeout: Optional[float] = None,
 ) -> DefenseScanResult:
     """Attack a (possibly defended) firmware image with one Table VI attack.
 
@@ -489,23 +634,61 @@ def run_defense_scan(
         raise ValueError(f"unknown attack {attack!r}; expected one of {sorted(ATTACK_SHAPES)}")
     _validate_stride(stride)
     detect = detect_symbol if detect_symbol and detect_symbol in image.symbols else None
-    executor = ParallelExecutor(workers=workers, progress=progress)
-    partials = executor.map(
-        _defense_shape_unit,
-        [
-            _DefenseShapeSpec(image, ext_offset, repeat, stride, fault_model, detect)
-            for ext_offset, repeat in shape
-        ],
-        attempts_of=lambda tally: tally.attempts,
-        categories_of=lambda tally: {
-            "success": tally.successes,
-            "detected": tally.detections,
-            "reset": tally.resets,
-            "no_effect": tally.no_effect,
-        },
+    executor = ParallelExecutor(
+        workers=workers, progress=progress,
+        retries=retries, unit_timeout=unit_timeout, on_error="quarantine",
     )
-    result = DefenseScanResult(scenario=scenario, defense=defense, attack=attack)
+    checkpoint = None
+    if checkpoint_dir is not None or resume:
+        meta = {
+            "campaign": "defense",
+            "scenario": scenario,
+            "defense": defense,
+            "attack": attack,
+            "stride": stride,
+            "detect": detect,
+            "fault_seed": fault_model.seed if fault_model is not None else None,
+        }
+        checkpoint = open_campaign_checkpoint(
+            checkpoint_dir, f"defense-{attack}", meta, resume=resume
+        )
+    try:
+        partials = executor.map(
+            _defense_shape_unit,
+            [
+                _DefenseShapeSpec(image, ext_offset, repeat, stride, fault_model, detect)
+                for ext_offset, repeat in shape
+            ],
+            attempts_of=lambda tally: tally.attempts,
+            categories_of=lambda tally: {
+                "success": tally.successes,
+                "detected": tally.detections,
+                "reset": tally.resets,
+                "no_effect": tally.no_effect,
+            },
+            checkpoint=checkpoint,
+            key_of=lambda spec: f"{spec.ext_offset}x{spec.repeat}",
+            encode=lambda tally: {
+                "attempts": tally.attempts,
+                "successes": tally.successes,
+                "detections": tally.detections,
+                "resets": tally.resets,
+                "no_effect": tally.no_effect,
+            },
+            decode=lambda payload: DefenseScanResult(
+                scenario="", defense="", attack="", **payload
+            ),
+        )
+    finally:
+        if checkpoint is not None:
+            checkpoint.close()
+    result = DefenseScanResult(
+        scenario=scenario, defense=defense, attack=attack,
+        failed_units=list(executor.failed_units),
+    )
     for tally in partials:
+        if tally is None:
+            continue
         result.attempts += tally.attempts
         result.successes += tally.successes
         result.detections += tally.detections

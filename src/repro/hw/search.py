@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.exec import open_campaign_checkpoint
+from repro.exec.checkpoint import MISSING
 from repro.hw.clock import GlitchParams, OFFSET_RANGE, WIDTH_RANGE
 from repro.hw.faults import FaultModel
 from repro.hw.glitcher import ClockGlitcher
@@ -55,6 +57,8 @@ class ParameterSearch:
         fault_model: Optional[FaultModel] = None,
         coarse_stride: int = 4,
         scan_cycles: int = 10,
+        checkpoint_dir: Optional[str] = None,
+        resume: bool = False,
     ):
         from repro.firmware.loops import build_guard_firmware
 
@@ -66,6 +70,28 @@ class ParameterSearch:
         self.attempts = 0
         self.successes = 0
         self._max_attempts: Optional[int] = None
+        self._checkpoint = None
+        if checkpoint_dir is not None or resume:
+            # every attempt outcome is logged in sequence; the search is
+            # deterministic given those outcomes, so a resumed search
+            # replays the recorded prefix without touching the glitcher
+            # and reaches the interrupted state bit-identically
+            meta = {
+                "campaign": "search",
+                "guard": guard,
+                "coarse_stride": coarse_stride,
+                "scan_cycles": scan_cycles,
+                "fault_seed": fault_model.seed if fault_model is not None else None,
+            }
+            self._checkpoint = open_campaign_checkpoint(
+                checkpoint_dir, f"search-{guard}", meta, resume=resume,
+                flush_every=256,
+            )
+
+    def close(self) -> None:
+        """Flush and close the attempt-log checkpoint (if any)."""
+        if self._checkpoint is not None:
+            self._checkpoint.close()
 
     # ------------------------------------------------------------------
 
@@ -81,6 +107,14 @@ class ParameterSearch:
         may overshoot).
         """
         self._max_attempts = max_attempts
+        try:
+            return self._run()
+        finally:
+            # an interrupted search keeps its attempt log for --resume
+            if self._checkpoint is not None:
+                self._checkpoint.flush()
+
+    def _run(self) -> SearchResult:
         result = SearchResult(guard=self.guard, found=False)
 
         # Phase 1: coarse scan with a wide (10-cycle) glitch.
@@ -126,11 +160,18 @@ class ParameterSearch:
 
     def _attempt(self, params: GlitchParams) -> bool:
         self.attempts += 1
-        outcome = self.glitcher.run_attempt(params)
-        if outcome.category == "success":
+        success = None
+        if self._checkpoint is not None:
+            recorded = self._checkpoint.get(str(self.attempts))
+            if recorded is not MISSING:
+                success = bool(recorded)  # replayed from the interrupted run
+        if success is None:
+            success = self.glitcher.run_attempt(params).category == "success"
+            if self._checkpoint is not None:
+                self._checkpoint.record(str(self.attempts), success)
+        if success:
             self.successes += 1
-            return True
-        return False
+        return success
 
     def _refine(self, width: int, offset: int, cycle: int) -> Optional[GlitchParams]:
         """Search the local neighbourhood of (width, offset) at one cycle."""

@@ -1,10 +1,14 @@
 """Tests for the campaign-execution subsystem (``repro.exec``)."""
 
 import json
+import os
+import sys
+import time
 
 import pytest
 
 from repro.exec import (
+    CampaignCheckpoint,
     OutcomeCache,
     ParallelExecutor,
     ProgressReporter,
@@ -17,6 +21,32 @@ from repro.glitchsim import SnippetHarness, branch_snippet, run_branch_campaign
 
 
 def _square(x):  # module-level: picklable for the multiprocessing path
+    return x * x
+
+
+def _boom(x):
+    raise RuntimeError(f"boom {x}")
+
+
+def _flaky(spec):
+    """Fails on the first call for a given marker path, succeeds after."""
+    path, value = spec
+    if not os.path.exists(path):
+        with open(path, "w"):
+            pass
+        raise RuntimeError("transient failure")
+    return value * 2
+
+
+def _hang_or_square(spec):
+    if spec == "hang":
+        time.sleep(60)
+    return spec * spec
+
+
+def _boom_on_negative(x):
+    if x < 0:
+        raise RuntimeError(f"poisoned spec {x}")
     return x * x
 
 
@@ -75,6 +105,155 @@ class TestParallelExecutor:
         assert reporter.units_total == 3
         assert reporter.attempts == 1 + 4 + 9
         assert reporter.categories["seen"] == 3
+
+
+class TestExecutorFailurePaths:
+    def test_serial_exception_propagates_but_finalizes_progress(self):
+        reporter = ProgressReporter()
+        executor = ParallelExecutor(workers=1, progress=reporter)
+        with pytest.raises(RuntimeError, match="boom"):
+            executor.map(_boom, [1, 2, 3])
+        assert reporter.snapshot().finished  # finish() ran despite the raise
+
+    def test_parallel_exception_propagates_but_finalizes_progress(self):
+        reporter = ProgressReporter()
+        executor = ParallelExecutor(workers=2, progress=reporter)
+        with pytest.raises(RuntimeError, match="boom"):
+            executor.map(_boom, [1, 2, 3, 4])
+        assert reporter.snapshot().finished
+
+    def test_serial_retry_then_succeed(self, tmp_path):
+        specs = [(str(tmp_path / f"marker-{i}"), i) for i in range(3)]
+        executor = ParallelExecutor(workers=1, retries=2, backoff=0.0)
+        assert executor.map(_flaky, specs) == [0, 2, 4]
+        assert executor.failed_units == []
+
+    def test_parallel_retry_then_succeed(self, tmp_path):
+        specs = [(str(tmp_path / f"marker-{i}"), i) for i in range(4)]
+        executor = ParallelExecutor(workers=2, retries=2, backoff=0.0)
+        assert executor.map(_flaky, specs) == [0, 2, 4, 6]
+        assert executor.failed_units == []
+
+    def test_serial_quarantine_after_max_retries(self):
+        executor = ParallelExecutor(
+            workers=1, retries=3, backoff=0.0, on_error="quarantine"
+        )
+        results = executor.map(_boom, [7])
+        assert results == [None]
+        assert len(executor.failed_units) == 1
+        failed = executor.failed_units[0]
+        assert failed.spec == 7
+        assert failed.attempts == 4  # 1 initial + 3 retries
+        assert "boom" in failed.error
+
+    def test_parallel_quarantine_keeps_remaining_units(self):
+        # one poisoned spec must not abort its siblings
+        executor = ParallelExecutor(
+            workers=2, retries=1, backoff=0.0, on_error="quarantine"
+        )
+        results = executor.map(_boom_on_negative, [2, -1, 4, 5])
+        assert results == [4, None, 16, 25]
+        assert len(executor.failed_units) == 1
+        assert executor.failed_units[0].spec == -1
+        assert executor.failed_units[0].attempts == 2
+
+    def test_parallel_timeout_quarantines_hung_unit(self):
+        executor = ParallelExecutor(
+            workers=2, unit_timeout=1.0, backoff=0.0, on_error="quarantine"
+        )
+        results = executor.map(_hang_or_square, [3, "hang", 5])
+        assert results == [9, None, 25]
+        assert len(executor.failed_units) == 1
+        assert executor.failed_units[0].spec == "hang"
+        assert "unit_timeout" in executor.failed_units[0].error
+
+    def test_keyboard_interrupt_flushes_checkpoint(self, tmp_path):
+        done = []
+
+        def unit(x):
+            if x == "stop":
+                raise KeyboardInterrupt
+            done.append(x)
+            return x
+
+        reporter = ProgressReporter()
+        checkpoint = CampaignCheckpoint(tmp_path / "ck.jsonl", meta={"t": 1})
+        executor = ParallelExecutor(workers=1, progress=reporter)
+        with pytest.raises(KeyboardInterrupt):
+            executor.map(
+                unit, [1, 2, "stop", 4],
+                checkpoint=checkpoint, key_of=str,
+            )
+        checkpoint.close()
+        assert done == [1, 2]
+        assert reporter.snapshot().finished
+        # the completed prefix survived on disk
+        reloaded = CampaignCheckpoint(tmp_path / "ck.jsonl", meta={"t": 1}, resume=True)
+        assert reloaded.results == {"1": 1, "2": 2}
+
+    def test_checkpoint_replays_recorded_units(self, tmp_path):
+        checkpoint = CampaignCheckpoint(tmp_path / "ck.jsonl", meta={})
+        checkpoint.record("2", 99)
+        executed = []
+
+        def unit(x):
+            executed.append(x)
+            return x * x
+
+        executor = ParallelExecutor(workers=1)
+        results = executor.map(unit, [1, 2, 3], checkpoint=checkpoint, key_of=str)
+        checkpoint.close()
+        assert results == [1, 99, 9]  # recorded payload wins, order preserved
+        assert executed == [1, 3]
+
+    def test_checkpoint_requires_key_of(self, tmp_path):
+        checkpoint = CampaignCheckpoint(tmp_path / "ck.jsonl")
+        with pytest.raises(ValueError, match="key_of"):
+            ParallelExecutor(workers=1).map(_square, [1], checkpoint=checkpoint)
+        checkpoint.close()
+
+    def test_invalid_robustness_params_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(retries=-1)
+        with pytest.raises(ValueError):
+            ParallelExecutor(unit_timeout=0)
+        with pytest.raises(ValueError):
+            ParallelExecutor(on_error="explode")
+
+
+class TestStartMethodFallback:
+    def test_explicit_method_wins(self):
+        executor = ParallelExecutor(workers=2, start_method="spawn")
+        assert executor._preferred_start_method() == "spawn"
+
+    def test_fork_preferred_where_available(self, monkeypatch):
+        monkeypatch.setattr(sys, "platform", "linux")
+        executor = ParallelExecutor(workers=2)
+        from repro.exec import executor as executor_mod
+        monkeypatch.setattr(
+            executor_mod.multiprocessing, "get_all_start_methods",
+            lambda: ["fork", "spawn", "forkserver"],
+        )
+        assert executor._preferred_start_method() == "fork"
+
+    def test_darwin_falls_back_to_platform_default(self, monkeypatch):
+        monkeypatch.setattr(sys, "platform", "darwin")
+        executor = ParallelExecutor(workers=2)
+        assert executor._preferred_start_method() is None
+
+    def test_no_fork_falls_back_to_platform_default(self, monkeypatch):
+        from repro.exec import executor as executor_mod
+        monkeypatch.setattr(
+            executor_mod.multiprocessing, "get_all_start_methods", lambda: ["spawn"]
+        )
+        executor = ParallelExecutor(workers=2)
+        assert executor._preferred_start_method() is None
+
+    def test_resolve_workers_zero_on_single_core_host(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        assert resolve_workers(0) == 1
+        monkeypatch.setattr(os, "cpu_count", lambda: 0)
+        assert resolve_workers(0) == 1
 
 
 class TestProgressReporter:
