@@ -10,6 +10,8 @@ Commands:
   strided glitch campaign against the ``win`` symbol.
 - ``experiment <name>`` — run one paper artifact
   (fig2 | table1 | ... | table7 | search) and print it.
+- ``report <events.jsonl>`` — render the timing/metrics summary of a run
+  recorded with ``--trace``/``--metrics-out``.
 """
 
 from __future__ import annotations
@@ -78,6 +80,30 @@ def _progress_reporter(args):
     return None
 
 
+def _observer_from_args(args, label: str):
+    """Build an Observer when --trace/--metrics-out asked for one, else None."""
+    trace = getattr(args, "trace", False)
+    metrics_out = getattr(args, "metrics_out", None)
+    if not trace and metrics_out is None:
+        return None
+    from repro.obs import JsonlSink, Observer, default_events_path
+
+    path = metrics_out if metrics_out is not None else default_events_path(label)
+    return Observer(sink=JsonlSink(path))
+
+
+def _finish_observer(obs, args) -> None:
+    """Close the event log and (with --trace) print the run summary."""
+    if obs is None:
+        return
+    obs.close()
+    print(f"event log: {obs.sink.path}", file=sys.stderr)
+    if getattr(args, "trace", False):
+        from repro.obs import render_report
+
+        print(render_report(obs.events), file=sys.stderr)
+
+
 def cmd_attack(args) -> int:
     from repro.hw.scan import run_defense_scan
     from repro.resistor import harden
@@ -90,13 +116,18 @@ def cmd_attack(args) -> int:
         print("error: the program must define a win() function (the attack goal)",
               file=sys.stderr)
         return 1
-    result = run_defense_scan(
-        hardened.image, args.attack,
-        scenario=args.source, defense=config.describe(), stride=args.stride,
-        workers=args.workers, progress=_progress_reporter(args),
-        checkpoint_dir=args.checkpoint_dir, resume=args.resume,
-        retries=args.retries, unit_timeout=args.unit_timeout,
-    )
+    obs = _observer_from_args(args, f"attack-{args.attack}")
+    try:
+        result = run_defense_scan(
+            hardened.image, args.attack,
+            scenario=args.source, defense=config.describe(), stride=args.stride,
+            workers=args.workers, progress=_progress_reporter(args),
+            checkpoint_dir=args.checkpoint_dir, resume=args.resume,
+            retries=args.retries, unit_timeout=args.unit_timeout,
+            obs=obs,
+        )
+    finally:
+        _finish_observer(obs, args)
     print(f"attack={args.attack} defense={config.describe()} stride={args.stride}")
     print(f"  attempts:   {result.attempts}")
     print(f"  successes:  {result.successes} ({result.success_rate * 100:.4f}%)")
@@ -123,36 +154,47 @@ def cmd_experiment(args) -> int:
     name = args.name
     progress = _progress_reporter(args)
     workers = args.workers
+    obs = _observer_from_args(args, f"experiment-{name}")
     robust = dict(checkpoint_dir=args.checkpoint_dir, resume=args.resume,
-                  retries=args.retries, unit_timeout=args.unit_timeout)
-    if name == "fig2":
-        result = experiments.run_figure2(
-            workers=workers, cache=args.cache_dir, progress=progress, **robust
-        )
-    elif name == "table1":
-        result = experiments.run_table1(stride=args.stride, workers=workers,
-                                        progress=progress, **robust)
-    elif name == "table2":
-        result = experiments.run_table2(stride=args.stride, workers=workers,
-                                        progress=progress, **robust)
-    elif name == "table3":
-        result = experiments.run_table3(stride=args.stride, workers=workers,
-                                        progress=progress, **robust)
-    elif name == "table4":
-        result = experiments.run_table4()
-    elif name == "table5":
-        result = experiments.run_table5()
-    elif name == "table6":
-        result = experiments.run_table6(stride=args.stride, workers=workers,
-                                        progress=progress, **robust)
-    elif name == "table7":
-        result = experiments.run_table7()
-    elif name == "search":
-        result = experiments.run_search(checkpoint_dir=args.checkpoint_dir,
-                                        resume=args.resume)
-    else:  # pragma: no cover - argparse restricts choices
-        raise ValueError(name)
+                  retries=args.retries, unit_timeout=args.unit_timeout, obs=obs)
+    try:
+        if name == "fig2":
+            result = experiments.run_figure2(
+                workers=workers, cache=args.cache_dir, progress=progress, **robust
+            )
+        elif name == "table1":
+            result = experiments.run_table1(stride=args.stride, workers=workers,
+                                            progress=progress, **robust)
+        elif name == "table2":
+            result = experiments.run_table2(stride=args.stride, workers=workers,
+                                            progress=progress, **robust)
+        elif name == "table3":
+            result = experiments.run_table3(stride=args.stride, workers=workers,
+                                            progress=progress, **robust)
+        elif name == "table4":
+            result = experiments.run_table4()
+        elif name == "table5":
+            result = experiments.run_table5()
+        elif name == "table6":
+            result = experiments.run_table6(stride=args.stride, workers=workers,
+                                            progress=progress, **robust)
+        elif name == "table7":
+            result = experiments.run_table7()
+        elif name == "search":
+            result = experiments.run_search(checkpoint_dir=args.checkpoint_dir,
+                                            resume=args.resume, obs=obs)
+        else:  # pragma: no cover - argparse restricts choices
+            raise ValueError(name)
+    finally:
+        _finish_observer(obs, args)
     print(result.render())
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.obs import load_events, render_report
+
+    print(render_report(load_events(args.events)))
     return 0
 
 
@@ -197,6 +239,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_attack.add_argument("--progress", action="store_true",
                           help="show attempts/sec, tallies, and ETA on stderr")
     _add_robustness_flags(p_attack)
+    _add_observability_flags(p_attack)
     p_attack.set_defaults(func=cmd_attack)
 
     p_exp = sub.add_parser("experiment", help="run one paper artifact")
@@ -214,7 +257,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="persistent outcome-cache directory for fig2 "
                             "(default: no disk cache)")
     _add_robustness_flags(p_exp)
+    _add_observability_flags(p_exp)
     p_exp.set_defaults(func=cmd_experiment)
+
+    p_report = sub.add_parser(
+        "report", help="summarise a --trace/--metrics-out JSONL event log"
+    )
+    p_report.add_argument("events", help="path to the JSONL event log")
+    p_report.set_defaults(func=cmd_report)
 
     return parser
 
@@ -232,6 +282,16 @@ def _add_robustness_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--unit-timeout", type=float, default=None, metavar="SEC",
                         help="wall-clock bound per work unit on the "
                              "multiprocessing path (hung workers are rebuilt)")
+
+
+def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", action="store_true",
+                        help="record spans/counters/events and print a timing "
+                             "report to stderr when the run finishes")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="write the JSONL event log here (implies "
+                             "recording; default with --trace: "
+                             "<cache root>/runs/<label>-<timestamp>.jsonl)")
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -29,10 +29,12 @@ import os
 import sys
 import time
 from dataclasses import dataclass
+from functools import partial
 from typing import Any, Callable, Iterable, Optional, TypeVar
 
 from repro.exec.checkpoint import MISSING, CampaignCheckpoint
 from repro.exec.progress import ProgressReporter
+from repro.obs.core import Observer, WorkerTelemetry, coerce_observer, observed_call
 
 S = TypeVar("S")
 R = TypeVar("R")
@@ -81,6 +83,12 @@ class ParallelExecutor:
     - ``on_error`` — ``"raise"`` propagates a unit's final failure
       (after retries); ``"quarantine"`` records it in ``failed_units``
       and keeps going.
+    - ``obs`` — a :class:`repro.obs.Observer`; counts units, attempts,
+      per-category outcomes, retries/timeouts/quarantines and emits one
+      ``unit`` event per completion. On the multiprocessing path each
+      unit runs under a worker-local observer whose counters/events ride
+      back inside the result and are merged in record order, so metrics
+      are identical for any worker count.
     """
 
     def __init__(
@@ -93,6 +101,7 @@ class ParallelExecutor:
         unit_timeout: Optional[float] = None,
         backoff: float = 0.05,
         on_error: str = "raise",
+        obs: Optional[Observer] = None,
     ):
         self.workers = resolve_workers(workers)
         if chunk_size < 1:
@@ -110,6 +119,7 @@ class ParallelExecutor:
         self.unit_timeout = unit_timeout
         self.backoff = backoff
         self.on_error = on_error
+        self.obs = coerce_observer(obs)
         self.failed_units: list[FailedUnit] = []
 
     @property
@@ -169,52 +179,85 @@ class ParallelExecutor:
         if checkpoint is not None and key_of is None:
             raise ValueError("checkpoint requires key_of to derive stable unit keys")
         progress = self.progress
+        obs = self.obs
         if progress is not None:
             progress.start(len(specs))
         results: list[Any] = [_UNSET] * len(specs)
         self.failed_units = []
 
-        def record(index: int, result: R, replayed: bool = False) -> None:
+        def record(index: int, result: R, replayed: bool = False,
+                   wall: Optional[float] = None) -> None:
+            # worker-side telemetry rides back inside the result; unwrap
+            # and merge it before the checkpoint/metric extractors run
+            if isinstance(result, WorkerTelemetry):
+                obs.merge(result.counters, result.events)
+                wall = result.wall
+                result = result.result
             results[index] = result
             if checkpoint is not None and not replayed:
                 payload = encode(result) if encode is not None else result
                 checkpoint.record(key_of(specs[index]), payload)
+                obs.count("checkpoint.recorded")
+            attempts = attempts_of(result) if attempts_of else 0
+            categories = categories_of(result) if categories_of else None
+            # replayed units count toward attempts/outcome totals so a
+            # resumed run reports the same campaign-wide metrics as an
+            # uninterrupted one
+            obs.count("units.replayed" if replayed else "units.completed")
+            obs.count("attempts", attempts)
+            if categories:
+                for category, n in categories.items():
+                    obs.count(f"outcome.{category}", n)
+            if obs.enabled:
+                event = {
+                    "key": key_of(specs[index]) if key_of is not None else index,
+                    "attempts": attempts,
+                    "replayed": replayed,
+                }
+                if wall is not None:
+                    event["wall"] = round(wall, 6)
+                obs.event("unit", **event)
             if progress is not None:
-                progress.advance(
-                    units=1,
-                    attempts=attempts_of(result) if attempts_of else 0,
-                    categories=categories_of(result) if categories_of else None,
-                )
+                progress.advance(units=1, attempts=attempts, categories=categories)
 
         def fail(index: int, error: BaseException, attempts: int) -> None:
             if self.on_error == "raise":
                 raise error
+            obs.count("exec.quarantined")
+            if obs.enabled:
+                obs.event(
+                    "unit_failed",
+                    key=key_of(specs[index]) if key_of is not None else index,
+                    attempts=attempts,
+                    error=repr(error),
+                )
             self.failed_units.append(
                 FailedUnit(spec=specs[index], error=repr(error), attempts=attempts)
             )
 
-        try:
-            pending: list[int] = []
-            for index, spec in enumerate(specs):
-                payload = checkpoint.get(key_of(spec)) if checkpoint is not None else MISSING
-                if payload is not MISSING:
-                    record(index, decode(payload) if decode is not None else payload,
-                           replayed=True)
-                else:
-                    pending.append(index)
-            if pending:
-                if not self.parallel or len(pending) <= 1:
-                    run = serial_fn if serial_fn is not None else fn
-                    self._run_serial(run, specs, pending, record, fail)
-                else:
-                    self._run_parallel(fn, specs, pending, record, fail)
-        finally:
-            # a raising worker (or SIGINT) must still finalize the
-            # reporter and persist every completed unit
-            if progress is not None:
-                progress.finish()
-            if checkpoint is not None:
-                checkpoint.flush()
+        with obs.trace("exec.map", units=len(specs), workers=self.workers):
+            try:
+                pending: list[int] = []
+                for index, spec in enumerate(specs):
+                    payload = checkpoint.get(key_of(spec)) if checkpoint is not None else MISSING
+                    if payload is not MISSING:
+                        record(index, decode(payload) if decode is not None else payload,
+                               replayed=True)
+                    else:
+                        pending.append(index)
+                if pending:
+                    if not self.parallel or len(pending) <= 1:
+                        run = serial_fn if serial_fn is not None else fn
+                        self._run_serial(run, specs, pending, record, fail)
+                    else:
+                        self._run_parallel(fn, specs, pending, record, fail)
+            finally:
+                # a raising worker (or SIGINT) must still finalize the
+                # reporter and persist every completed unit
+                if progress is not None:
+                    progress.finish()
+                if checkpoint is not None:
+                    checkpoint.flush()
         return [result if result is not _UNSET else None for result in results]
 
     # ------------------------------------------------------------------
@@ -224,9 +267,11 @@ class ParallelExecutor:
             time.sleep(self.backoff * (2 ** (attempt - 1)))
 
     def _run_serial(self, run, specs, pending, record, fail) -> None:
+        obs = self.obs
         for index in pending:
             attempts = 0
             while True:
+                wall0 = time.perf_counter() if obs.enabled else 0.0
                 try:
                     result = run(specs[index])
                 except Exception as exc:  # KeyboardInterrupt/SystemExit propagate
@@ -234,12 +279,19 @@ class ParallelExecutor:
                     if attempts > self.retries:
                         fail(index, exc, attempts)
                         break
+                    obs.count("exec.retries")
                     self._backoff_sleep(attempts)
                 else:
-                    record(index, result)
+                    wall = time.perf_counter() - wall0 if obs.enabled else None
+                    record(index, result, wall=wall)
                     break
 
     def _run_parallel(self, fn, specs, pending, record, fail) -> None:
+        obs = self.obs
+        if obs.enabled:
+            # wrap each unit in a worker-local observer; record() unwraps
+            # the returned WorkerTelemetry envelope
+            fn = partial(observed_call, fn)
         context = self._context()
         size = min(self.workers, len(pending))
         if self.retries == 0 and self.unit_timeout is None and self.on_error == "raise":
@@ -268,6 +320,7 @@ class ParallelExecutor:
                         value = handle.get(self.unit_timeout)
                     except multiprocessing.TimeoutError:
                         attempts[index] += 1
+                        obs.count("exec.timeouts")
                         rebuild = True  # the worker may be hung — rebuild the pool
                         if attempts[index] > self.retries:
                             fail(
@@ -279,12 +332,14 @@ class ParallelExecutor:
                                 attempts[index],
                             )
                         else:
+                            obs.count("exec.retries")
                             retry.append(index)
                     except Exception as exc:
                         attempts[index] += 1
                         if attempts[index] > self.retries:
                             fail(index, exc, attempts[index])
                         else:
+                            obs.count("exec.retries")
                             retry.append(index)
                     else:
                         record(index, value)

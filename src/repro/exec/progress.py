@@ -31,15 +31,24 @@ class ProgressSnapshot:
 
     @property
     def rate(self) -> float:
-        """Attempts per second since ``start()``."""
+        """Attempts per second since ``start()`` (0.0 until time passes)."""
         return self.attempts / self.elapsed if self.elapsed > 0 else 0.0
 
     @property
     def eta(self) -> Optional[float]:
-        """Estimated seconds remaining, from per-unit throughput."""
-        if self.units_done <= 0 or self.units_total <= 0:
+        """Estimated seconds remaining, from per-unit throughput.
+
+        ``None`` when no estimate exists: nothing finished yet, the total
+        is unknown (``units_total <= 0``), or no time has elapsed (a unit
+        completing at elapsed == 0 would otherwise predict 0s for any
+        amount of remaining work). Never negative — overshooting the
+        planned total (e.g. totals learned late) clamps to 0.0.
+        """
+        if self.units_done <= 0 or self.units_total <= 0 or self.elapsed <= 0:
             return None
         remaining = self.units_total - self.units_done
+        if remaining <= 0:
+            return 0.0
         return (self.elapsed / self.units_done) * remaining
 
 

@@ -59,6 +59,7 @@ def run_figure2(
     resume: bool = False,
     retries: int = 0,
     unit_timeout=None,
+    obs=None,
 ) -> Figure2Result:
     """Regenerate Figure 2. Full sweep by default; pass ``k_values`` /
     ``conditions`` to subsample for quick runs.
@@ -71,28 +72,32 @@ def run_figure2(
     embeds the model), and ``retries``/``unit_timeout`` quarantine failing
     sweeps instead of aborting the figure.
     """
+    from repro.obs import coerce_observer
+
+    obs = coerce_observer(obs)
     result = Figure2Result()
     common = dict(k_values=k_values, conditions=conditions,
                   workers=workers, cache=cache, progress=progress,
                   checkpoint_dir=checkpoint_dir, resume=resume,
-                  retries=retries, unit_timeout=unit_timeout)
-    result.panels["and"] = _figure2_data(
-        run_branch_campaign("and", **common),
-        title="Figure 2a: AND model (1→0 flips)",
-    )
-    result.panels["or"] = _figure2_data(
-        run_branch_campaign("or", **common),
-        title="Figure 2b: OR model (0→1 flips)",
-    )
-    result.panels["and-0invalid"] = _figure2_data(
-        run_branch_campaign("and", zero_is_invalid=True, **common),
-        title="Figure 2c: AND model, 0x0000 decoded as invalid",
-    )
-    if include_xor:
-        result.panels["xor"] = _figure2_data(
-            run_branch_campaign("xor", **common),
-            title="Figure 2 ablation: XOR model (bidirectional flips)",
+                  retries=retries, unit_timeout=unit_timeout, obs=obs)
+    with obs.trace("fig2"):
+        result.panels["and"] = _figure2_data(
+            run_branch_campaign("and", **common),
+            title="Figure 2a: AND model (1→0 flips)",
         )
+        result.panels["or"] = _figure2_data(
+            run_branch_campaign("or", **common),
+            title="Figure 2b: OR model (0→1 flips)",
+        )
+        result.panels["and-0invalid"] = _figure2_data(
+            run_branch_campaign("and", zero_is_invalid=True, **common),
+            title="Figure 2c: AND model, 0x0000 decoded as invalid",
+        )
+        if include_xor:
+            result.panels["xor"] = _figure2_data(
+                run_branch_campaign("xor", **common),
+                title="Figure 2 ablation: XOR model (bidirectional flips)",
+            )
     return result
 
 

@@ -52,17 +52,22 @@ def run_search(
     fault_model: FaultModel | None = None,
     checkpoint_dir=None,
     resume: bool = False,
+    obs=None,
 ) -> SearchExperiment:
+    from repro.obs import coerce_observer
+
+    obs = coerce_observer(obs)
     experiment = SearchExperiment()
-    for guard in guards:
-        search = ParameterSearch(
-            guard, coarse_stride=coarse_stride, fault_model=fault_model,
-            checkpoint_dir=checkpoint_dir, resume=resume,
-        )
-        try:
-            experiment.results[guard] = search.run()
-        finally:
-            search.close()
+    with obs.trace("param_search", coarse_stride=coarse_stride):
+        for guard in guards:
+            search = ParameterSearch(
+                guard, coarse_stride=coarse_stride, fault_model=fault_model,
+                checkpoint_dir=checkpoint_dir, resume=resume, obs=obs,
+            )
+            try:
+                experiment.results[guard] = search.run()
+            finally:
+                search.close()
     return experiment
 
 

@@ -67,15 +67,20 @@ def run_table1(
     resume: bool = False,
     retries: int = 0,
     unit_timeout=None,
+    obs=None,
 ) -> Table1Result:
+    from repro.obs import coerce_observer
+
+    obs = coerce_observer(obs)
     result = Table1Result()
-    for guard in GUARD_KINDS:
-        result.scans[guard] = run_single_glitch_scan(
-            guard, cycles=cycles, stride=stride, fault_model=fault_model,
-            workers=workers, progress=progress,
-            checkpoint_dir=checkpoint_dir, resume=resume,
-            retries=retries, unit_timeout=unit_timeout,
-        )
+    with obs.trace("table1", stride=stride):
+        for guard in GUARD_KINDS:
+            result.scans[guard] = run_single_glitch_scan(
+                guard, cycles=cycles, stride=stride, fault_model=fault_model,
+                workers=workers, progress=progress,
+                checkpoint_dir=checkpoint_dir, resume=resume,
+                retries=retries, unit_timeout=unit_timeout, obs=obs,
+            )
     return result
 
 

@@ -61,15 +61,20 @@ def run_table3(
     resume: bool = False,
     retries: int = 0,
     unit_timeout=None,
+    obs=None,
 ) -> Table3Result:
+    from repro.obs import coerce_observer
+
+    obs = coerce_observer(obs)
     result = Table3Result()
-    for guard in GUARD_KINDS:
-        result.scans[guard] = run_long_glitch_scan(
-            guard, last_cycles=last_cycles, stride=stride, fault_model=fault_model,
-            workers=workers, progress=progress,
-            checkpoint_dir=checkpoint_dir, resume=resume,
-            retries=retries, unit_timeout=unit_timeout,
-        )
+    with obs.trace("table3", stride=stride):
+        for guard in GUARD_KINDS:
+            result.scans[guard] = run_long_glitch_scan(
+                guard, last_cycles=last_cycles, stride=stride, fault_model=fault_model,
+                workers=workers, progress=progress,
+                checkpoint_dir=checkpoint_dir, resume=resume,
+                retries=retries, unit_timeout=unit_timeout, obs=obs,
+            )
     return result
 
 

@@ -97,26 +97,32 @@ def run_table6(
     resume: bool = False,
     retries: int = 0,
     unit_timeout=None,
+    obs=None,
 ) -> Table6Result:
+    from repro.obs import coerce_observer
+
+    obs = coerce_observer(obs)
     result = Table6Result()
-    for scenario in scenarios:
-        for defense in defenses:
-            hardened = build_defended_guard(scenario, DEFENSE_STACKS[defense]())
-            for attack in attacks:
-                result.results[(scenario, defense, attack)] = run_defense_scan(
-                    hardened.image,
-                    attack,
-                    scenario=scenario,
-                    defense=defense,
-                    stride=stride,
-                    fault_model=fault_model,
-                    workers=workers,
-                    progress=progress,
-                    checkpoint_dir=checkpoint_dir,
-                    resume=resume,
-                    retries=retries,
-                    unit_timeout=unit_timeout,
-                )
+    with obs.trace("table6", stride=stride):
+        for scenario in scenarios:
+            for defense in defenses:
+                hardened = build_defended_guard(scenario, DEFENSE_STACKS[defense]())
+                for attack in attacks:
+                    result.results[(scenario, defense, attack)] = run_defense_scan(
+                        hardened.image,
+                        attack,
+                        scenario=scenario,
+                        defense=defense,
+                        stride=stride,
+                        fault_model=fault_model,
+                        workers=workers,
+                        progress=progress,
+                        checkpoint_dir=checkpoint_dir,
+                        resume=resume,
+                        retries=retries,
+                        unit_timeout=unit_timeout,
+                        obs=obs,
+                    )
     return result
 
 

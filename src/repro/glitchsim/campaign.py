@@ -26,6 +26,7 @@ from repro.exec import (
 )
 from repro.glitchsim.harness import OUTCOME_CATEGORIES, SnippetHarness
 from repro.glitchsim.snippets import BranchSnippet, all_branch_snippets
+from repro.obs import Observer, coerce_observer, current
 
 INSTRUCTION_BITS = 16
 
@@ -146,6 +147,11 @@ def _sweep_unit(spec: _SweepSpec) -> InstructionSweep:
         # per-word outcomes already computed survive even if the sweep raised
         if cache is not None:
             cache.flush()
+            # attribute this unit's disk-cache traffic to the ambient
+            # (worker-local) observer; the envelope carries it back
+            obs = current()
+            obs.count("cache.hits", cache.hits)
+            obs.count("cache.misses", cache.misses)
 
 
 def _encode_sweep(sweep: InstructionSweep) -> dict:
@@ -181,6 +187,7 @@ def run_branch_campaign(
     resume: bool = False,
     retries: int = 0,
     unit_timeout: float | None = None,
+    obs: Observer | None = None,
 ) -> CampaignResult:
     """Run the Figure 2 campaign for all (or selected) conditional branches.
 
@@ -196,7 +203,12 @@ def run_branch_campaign(
     failing sweep extra attempts (exponential backoff) before it is
     quarantined into ``CampaignResult.failed_units``; ``unit_timeout``
     bounds a unit's wall-clock seconds on the multiprocessing path.
+
+    ``obs`` (a :class:`repro.obs.Observer`) traces the campaign span and
+    tallies attempts, outcome categories, cache hits/misses, retries,
+    and quarantines — identically for any worker count.
     """
+    obs = coerce_observer(obs)
     snippets = all_branch_snippets()
     if conditions is not None:
         wanted = {f"b{c}" if not c.startswith("b") else c for c in conditions}
@@ -233,23 +245,34 @@ def run_branch_campaign(
     executor = ParallelExecutor(
         workers=workers, progress=progress,
         retries=retries, unit_timeout=unit_timeout, on_error="quarantine",
+        obs=obs,
     )
+    # serial units reuse the shared cache handle, so their hit/miss
+    # traffic lands on the handle's counters rather than the ambient
+    # worker observer — count the deltas here. (The parallel path never
+    # touches the shared handle; workers report via their envelopes.)
+    cache_hits0 = cache.hits if cache is not None else 0
+    cache_misses0 = cache.misses if cache is not None else 0
     try:
-        sweeps = executor.map(
-            _sweep_unit,
-            specs,
-            serial_fn=serial,
-            attempts_of=lambda sweep: sum(sweep.totals.values()),
-            categories_of=lambda sweep: dict(sweep.totals),
-            checkpoint=checkpoint,
-            key_of=lambda spec: spec.mnemonic,
-            encode=_encode_sweep,
-            decode=_decode_sweep,
-        )
+        with obs.trace(f"campaign.branch[{model}]", model=model,
+                       zero_is_invalid=zero_is_invalid, units=len(specs)):
+            sweeps = executor.map(
+                _sweep_unit,
+                specs,
+                serial_fn=serial,
+                attempts_of=lambda sweep: sum(sweep.totals.values()),
+                categories_of=lambda sweep: dict(sweep.totals),
+                checkpoint=checkpoint,
+                key_of=lambda spec: spec.mnemonic,
+                encode=_encode_sweep,
+                decode=_decode_sweep,
+            )
     finally:
         # SIGINT / worker crash must not discard dirty shards or the checkpoint
         if cache is not None:
             cache.flush()
+            obs.count("cache.hits", cache.hits - cache_hits0)
+            obs.count("cache.misses", cache.misses - cache_misses0)
         if checkpoint is not None:
             checkpoint.close()
     return CampaignResult(

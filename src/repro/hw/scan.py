@@ -22,6 +22,7 @@ from repro.hw.clock import GRID_POINTS, GlitchParams, OFFSET_RANGE, WIDTH_RANGE
 from repro.hw.faults import FaultModel
 from repro.hw.glitcher import AttemptResult, ClockGlitcher
 from repro.isa.disassembler import disassemble_one
+from repro.obs import Observer, coerce_observer
 
 
 # ----------------------------------------------------------------------
@@ -352,6 +353,7 @@ def run_single_glitch_scan(
     resume: bool = False,
     retries: int = 0,
     unit_timeout: Optional[float] = None,
+    obs: Optional[Observer] = None,
 ) -> SingleGlitchScan:
     """Table I: scan every (width, offset) for each glitched clock cycle.
 
@@ -376,9 +378,11 @@ def run_single_glitch_scan(
     _validate_stride(stride)
     cycles = list(cycles)
     descriptor = guard_descriptor(guard)
+    obs = coerce_observer(obs)
     executor = ParallelExecutor(
         workers=workers, progress=progress,
         retries=retries, unit_timeout=unit_timeout, on_error="quarantine",
+        obs=obs,
     )
     if glitcher is not None and executor.parallel:
         raise ValueError(
@@ -394,28 +398,34 @@ def run_single_glitch_scan(
         checkpoint_dir, resume, "single", guard, cycles, stride, fault_model
     )
     try:
-        rows = executor.map(
-            _guard_row_unit,
-            [_GuardRowSpec("single", guard, cycle, stride, fault_model) for cycle in cycles],
-            serial_fn=lambda spec: _single_row(
-                shared, descriptor.comparator_register, spec.cycle, spec.stride
-            ),
-            attempts_of=lambda row: row.attempts,
-            categories_of=lambda row: {"success": row.successes, "reset": row.resets},
-            checkpoint=checkpoint,
-            key_of=lambda spec: str(spec.cycle),
-            encode=_encode_single_row,
-            decode=_decode_single_row,
-        )
+        with obs.trace(f"scan.single[{guard}]", guard=guard, stride=stride,
+                       cycles=len(cycles)):
+            rows = executor.map(
+                _guard_row_unit,
+                [_GuardRowSpec("single", guard, cycle, stride, fault_model) for cycle in cycles],
+                serial_fn=lambda spec: _single_row(
+                    shared, descriptor.comparator_register, spec.cycle, spec.stride
+                ),
+                attempts_of=lambda row: row.attempts,
+                categories_of=lambda row: {"success": row.successes, "reset": row.resets},
+                checkpoint=checkpoint,
+                key_of=lambda spec: str(spec.cycle),
+                encode=_encode_single_row,
+                decode=_decode_single_row,
+            )
     finally:
         if checkpoint is not None:
             checkpoint.close()
     rows = [row for row in rows if row is not None]
     for row in rows:
         row.instruction = instruction_map.get(row.cycle, "-")
-    return SingleGlitchScan(
+    scan = SingleGlitchScan(
         guard=guard, rows=rows, failed_units=list(executor.failed_units)
     )
+    if obs.enabled:
+        obs.event("scan", kind="single", guard=guard,
+                  attempts=scan.total_attempts, successes=scan.total_successes)
+    return scan
 
 
 def run_multi_glitch_scan(
@@ -429,6 +439,7 @@ def run_multi_glitch_scan(
     resume: bool = False,
     retries: int = 0,
     unit_timeout: Optional[float] = None,
+    obs: Optional[Observer] = None,
 ) -> MultiGlitchScan:
     """Table II: the same glitch fired after each of two triggers."""
     from repro.firmware.loops import build_guard_firmware
@@ -437,33 +448,42 @@ def run_multi_glitch_scan(
     cycles = list(cycles)
     firmware = build_guard_firmware(guard, "double")
     glitcher = ClockGlitcher(firmware, fault_model=fault_model, expected_triggers=2)
+    obs = coerce_observer(obs)
     executor = ParallelExecutor(
         workers=workers, progress=progress,
         retries=retries, unit_timeout=unit_timeout, on_error="quarantine",
+        obs=obs,
     )
     checkpoint = _scan_checkpoint(
         checkpoint_dir, resume, "multi", guard, cycles, stride, fault_model
     )
     try:
-        rows = executor.map(
-            _guard_row_unit,
-            [_GuardRowSpec("multi", guard, cycle, stride, fault_model) for cycle in cycles],
-            serial_fn=lambda spec: _multi_row(glitcher, spec.cycle, spec.stride),
-            attempts_of=lambda row: row.attempts,
-            categories_of=lambda row: {"full": row.full, "partial": row.partial},
-            checkpoint=checkpoint,
-            key_of=lambda spec: str(spec.cycle),
-            encode=_encode_multi_row,
-            decode=_decode_multi_row,
-        )
+        with obs.trace(f"scan.multi[{guard}]", guard=guard, stride=stride,
+                       cycles=len(cycles)):
+            rows = executor.map(
+                _guard_row_unit,
+                [_GuardRowSpec("multi", guard, cycle, stride, fault_model) for cycle in cycles],
+                serial_fn=lambda spec: _multi_row(glitcher, spec.cycle, spec.stride),
+                attempts_of=lambda row: row.attempts,
+                categories_of=lambda row: {"full": row.full, "partial": row.partial},
+                checkpoint=checkpoint,
+                key_of=lambda spec: str(spec.cycle),
+                encode=_encode_multi_row,
+                decode=_decode_multi_row,
+            )
     finally:
         if checkpoint is not None:
             checkpoint.close()
-    return MultiGlitchScan(
+    scan = MultiGlitchScan(
         guard=guard,
         rows=[row for row in rows if row is not None],
         failed_units=list(executor.failed_units),
     )
+    if obs.enabled:
+        obs.event("scan", kind="multi", guard=guard,
+                  attempts=scan.total_attempts, full=scan.total_full,
+                  partial=scan.total_partial)
+    return scan
 
 
 def run_long_glitch_scan(
@@ -477,6 +497,7 @@ def run_long_glitch_scan(
     resume: bool = False,
     retries: int = 0,
     unit_timeout: Optional[float] = None,
+    obs: Optional[Observer] = None,
 ) -> LongGlitchScan:
     """Table III: one glitch spanning cycles 0..last over two adjacent loops."""
     from repro.firmware.loops import build_guard_firmware
@@ -485,33 +506,41 @@ def run_long_glitch_scan(
     last_cycles = list(last_cycles)
     firmware = build_guard_firmware(guard, "contiguous")
     glitcher = ClockGlitcher(firmware, fault_model=fault_model)
+    obs = coerce_observer(obs)
     executor = ParallelExecutor(
         workers=workers, progress=progress,
         retries=retries, unit_timeout=unit_timeout, on_error="quarantine",
+        obs=obs,
     )
     checkpoint = _scan_checkpoint(
         checkpoint_dir, resume, "long", guard, last_cycles, stride, fault_model
     )
     try:
-        rows = executor.map(
-            _guard_row_unit,
-            [_GuardRowSpec("long", guard, last, stride, fault_model) for last in last_cycles],
-            serial_fn=lambda spec: _long_row(glitcher, spec.cycle, spec.stride),
-            attempts_of=lambda row: row.attempts,
-            categories_of=lambda row: {"success": row.successes},
-            checkpoint=checkpoint,
-            key_of=lambda spec: str(spec.cycle),
-            encode=_encode_long_row,
-            decode=_decode_long_row,
-        )
+        with obs.trace(f"scan.long[{guard}]", guard=guard, stride=stride,
+                       cycles=len(last_cycles)):
+            rows = executor.map(
+                _guard_row_unit,
+                [_GuardRowSpec("long", guard, last, stride, fault_model) for last in last_cycles],
+                serial_fn=lambda spec: _long_row(glitcher, spec.cycle, spec.stride),
+                attempts_of=lambda row: row.attempts,
+                categories_of=lambda row: {"success": row.successes},
+                checkpoint=checkpoint,
+                key_of=lambda spec: str(spec.cycle),
+                encode=_encode_long_row,
+                decode=_decode_long_row,
+            )
     finally:
         if checkpoint is not None:
             checkpoint.close()
-    return LongGlitchScan(
+    scan = LongGlitchScan(
         guard=guard,
         rows=[row for row in rows if row is not None],
         failed_units=list(executor.failed_units),
     )
+    if obs.enabled:
+        obs.event("scan", kind="long", guard=guard,
+                  attempts=scan.total_attempts, successes=scan.total_successes)
+    return scan
 
 
 __all__ = [
@@ -617,6 +646,7 @@ def run_defense_scan(
     resume: bool = False,
     retries: int = 0,
     unit_timeout: Optional[float] = None,
+    obs: Optional[Observer] = None,
 ) -> DefenseScanResult:
     """Attack a (possibly defended) firmware image with one Table VI attack.
 
@@ -634,9 +664,11 @@ def run_defense_scan(
         raise ValueError(f"unknown attack {attack!r}; expected one of {sorted(ATTACK_SHAPES)}")
     _validate_stride(stride)
     detect = detect_symbol if detect_symbol and detect_symbol in image.symbols else None
+    obs = coerce_observer(obs)
     executor = ParallelExecutor(
         workers=workers, progress=progress,
         retries=retries, unit_timeout=unit_timeout, on_error="quarantine",
+        obs=obs,
     )
     checkpoint = None
     if checkpoint_dir is not None or resume:
@@ -653,32 +685,36 @@ def run_defense_scan(
             checkpoint_dir, f"defense-{attack}", meta, resume=resume
         )
     try:
-        partials = executor.map(
-            _defense_shape_unit,
-            [
-                _DefenseShapeSpec(image, ext_offset, repeat, stride, fault_model, detect)
-                for ext_offset, repeat in shape
-            ],
-            attempts_of=lambda tally: tally.attempts,
-            categories_of=lambda tally: {
-                "success": tally.successes,
-                "detected": tally.detections,
-                "reset": tally.resets,
-                "no_effect": tally.no_effect,
-            },
-            checkpoint=checkpoint,
-            key_of=lambda spec: f"{spec.ext_offset}x{spec.repeat}",
-            encode=lambda tally: {
-                "attempts": tally.attempts,
-                "successes": tally.successes,
-                "detections": tally.detections,
-                "resets": tally.resets,
-                "no_effect": tally.no_effect,
-            },
-            decode=lambda payload: DefenseScanResult(
-                scenario="", defense="", attack="", **payload
-            ),
-        )
+        with obs.trace(
+            f"scan.defense[{attack}]", attack=attack,
+            scenario=scenario, defense=defense, stride=stride,
+        ):
+            partials = executor.map(
+                _defense_shape_unit,
+                [
+                    _DefenseShapeSpec(image, ext_offset, repeat, stride, fault_model, detect)
+                    for ext_offset, repeat in shape
+                ],
+                attempts_of=lambda tally: tally.attempts,
+                categories_of=lambda tally: {
+                    "success": tally.successes,
+                    "detected": tally.detections,
+                    "reset": tally.resets,
+                    "no_effect": tally.no_effect,
+                },
+                checkpoint=checkpoint,
+                key_of=lambda spec: f"{spec.ext_offset}x{spec.repeat}",
+                encode=lambda tally: {
+                    "attempts": tally.attempts,
+                    "successes": tally.successes,
+                    "detections": tally.detections,
+                    "resets": tally.resets,
+                    "no_effect": tally.no_effect,
+                },
+                decode=lambda payload: DefenseScanResult(
+                    scenario="", defense="", attack="", **payload
+                ),
+            )
     finally:
         if checkpoint is not None:
             checkpoint.close()
@@ -694,4 +730,8 @@ def run_defense_scan(
         result.detections += tally.detections
         result.resets += tally.resets
         result.no_effect += tally.no_effect
+    if obs.enabled:
+        obs.event("scan", kind="defense", attack=attack, scenario=scenario,
+                  defense=defense, attempts=result.attempts,
+                  successes=result.successes, detections=result.detections)
     return result

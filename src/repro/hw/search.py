@@ -22,6 +22,7 @@ from repro.exec.checkpoint import MISSING
 from repro.hw.clock import GlitchParams, OFFSET_RANGE, WIDTH_RANGE
 from repro.hw.faults import FaultModel
 from repro.hw.glitcher import ClockGlitcher
+from repro.obs import Observer, coerce_observer
 
 #: attempts per second observed on the paper's bench (36,869 in 59 minutes)
 ATTEMPTS_PER_SECOND = 36_869 / (59 * 60)
@@ -59,6 +60,7 @@ class ParameterSearch:
         scan_cycles: int = 10,
         checkpoint_dir: Optional[str] = None,
         resume: bool = False,
+        obs: Optional[Observer] = None,
     ):
         from repro.firmware.loops import build_guard_firmware
 
@@ -67,6 +69,7 @@ class ParameterSearch:
         self.glitcher = ClockGlitcher(firmware, fault_model=fault_model)
         self.coarse_stride = coarse_stride
         self.scan_cycles = scan_cycles
+        self.obs = coerce_observer(obs)
         self.attempts = 0
         self.successes = 0
         self._max_attempts: Optional[int] = None
@@ -107,12 +110,25 @@ class ParameterSearch:
         may overshoot).
         """
         self._max_attempts = max_attempts
+        obs = self.obs
+        # the per-attempt loop is the hot path — count totals as one
+        # end-of-run delta instead of touching the observer per attempt
+        attempts0, successes0 = self.attempts, self.successes
         try:
-            return self._run()
+            with obs.trace(f"search[{self.guard}]", guard=self.guard,
+                           max_attempts=max_attempts):
+                result = self._run()
         finally:
             # an interrupted search keeps its attempt log for --resume
             if self._checkpoint is not None:
                 self._checkpoint.flush()
+            obs.count("search.attempts", self.attempts - attempts0)
+            obs.count("search.successes", self.successes - successes0)
+        if obs.enabled:
+            obs.event("search", guard=self.guard, found=result.found,
+                      attempts=result.attempts, successes=result.successes,
+                      params=str(result.params) if result.params else None)
+        return result
 
     def _run(self) -> SearchResult:
         result = SearchResult(guard=self.guard, found=False)

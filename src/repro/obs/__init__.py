@@ -1,0 +1,32 @@
+"""Campaign observability: tracing, metrics, and JSONL event logs."""
+
+from repro.obs.core import (
+    NULL_OBSERVER,
+    JsonlSink,
+    NullObserver,
+    Observer,
+    Span,
+    WorkerTelemetry,
+    activate,
+    coerce_observer,
+    current,
+    default_events_path,
+    observed_call,
+)
+from repro.obs.report import load_events, render_report
+
+__all__ = [
+    "NULL_OBSERVER",
+    "JsonlSink",
+    "NullObserver",
+    "Observer",
+    "Span",
+    "WorkerTelemetry",
+    "activate",
+    "coerce_observer",
+    "current",
+    "default_events_path",
+    "load_events",
+    "observed_call",
+    "render_report",
+]

@@ -60,6 +60,55 @@ class TestReadmeQuickstartRuns:
         )
 
 
+class TestCliDocsCoverage:
+    """Every CLI subcommand and long flag must be documented.
+
+    Walks the real parser (``repro.cli.build_parser``) so a newly added
+    flag fails this test until README.md and docs/API.md mention it.
+    """
+
+    @staticmethod
+    def _cli_surface():
+        import argparse
+
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        subparsers = next(
+            action for action in parser._actions
+            if isinstance(action, argparse._SubParsersAction)
+        )
+        commands = {}
+        for name, sub in subparsers.choices.items():
+            flags = set()
+            for action in sub._actions:
+                for option in action.option_strings:
+                    if option.startswith("--"):
+                        flags.add(option)
+            flags.discard("--help")
+            commands[name] = flags
+        return commands
+
+    @pytest.mark.parametrize("doc", ["README.md", "docs/API.md"])
+    def test_every_subcommand_documented(self, doc):
+        text = _read(doc)
+        for command in self._cli_surface():
+            assert re.search(rf"\b{command}\b", text), (
+                f"{doc} does not mention the `{command}` subcommand"
+            )
+
+    @pytest.mark.parametrize("doc", ["README.md", "docs/API.md"])
+    def test_every_long_flag_documented(self, doc):
+        text = _read(doc)
+        missing = sorted(
+            flag
+            for flags in self._cli_surface().values()
+            for flag in flags
+            if flag not in text
+        )
+        assert not missing, f"{doc} does not mention CLI flag(s): {missing}"
+
+
 class TestExperimentsClaimsMatchDrivers:
     def test_every_table_has_a_driver(self):
         import repro.experiments as experiments

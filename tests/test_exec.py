@@ -276,6 +276,38 @@ class TestProgressReporter:
         reporter.start(5)
         assert reporter.snapshot().eta is None
 
+    def test_zero_elapsed_mid_run_has_no_rate_or_eta(self):
+        # a unit completing in the same clock tick as start() must not
+        # claim infinite throughput or a zero-second ETA
+        reporter = ProgressReporter(clock=lambda: 0.0)
+        reporter.start(4)
+        reporter.advance(attempts=100)
+        snapshot = reporter.snapshot()
+        assert snapshot.elapsed == 0.0
+        assert snapshot.rate == 0.0
+        assert snapshot.eta is None
+
+    def test_unknown_units_total_has_no_eta(self):
+        ticks = iter([0.0, 2.0, 4.0])
+        reporter = ProgressReporter(clock=lambda: next(ticks))
+        reporter.start(0)  # total unknown (e.g. streamed specs)
+        reporter.advance(attempts=10)
+        snapshot = reporter.snapshot()
+        assert snapshot.units_total == 0
+        assert snapshot.eta is None
+        assert snapshot.rate > 0
+
+    def test_overshooting_units_total_clamps_eta_to_zero(self):
+        ticks = iter([0.0, 2.0, 4.0, 6.0, 8.0])
+        reporter = ProgressReporter(clock=lambda: next(ticks))
+        reporter.start(2)
+        reporter.advance()
+        reporter.advance()
+        reporter.advance()  # a late-discovered third unit
+        snapshot = reporter.snapshot()
+        assert snapshot.units_done == 3
+        assert snapshot.eta == 0.0  # never negative
+
     def test_callback_and_restart(self):
         snapshots = []
         reporter = ProgressReporter(callback=snapshots.append)

@@ -173,33 +173,49 @@ class TestStackAndMultiple:
             decode(0xC800)
 
 
-class TestBranches:
-    def test_beq_forward(self):
-        instr = decode(0xD001)  # beq +2 (offset field 1 → bytes 2)
-        assert instr.mnemonic == "beq"
-        assert instr.cond == 0
-        assert instr.imm == 2
+class TestConditionalBranchSweep:
+    """Property sweep over the whole ``0xDxxx`` conditional-branch region.
 
-    def test_beq_number_six_encoding_from_paper(self):
-        # The paper quotes `beq #6` as 0b1101_0000_0000_0000-ish low Hamming weight.
-        instr = decode(0xD001)
-        assert instr.raw == 0xD001
+    Every one of the 14 × 256 valid encodings must decode to the right
+    mnemonic/cond/offset and re-encode to the same word; the UDF block
+    (cond 14) must reject every word; and no halfword outside the region
+    may ever decode as fmt 16.
+    """
 
-    def test_bne_backward(self):
-        instr = decode(0xD1FC)  # bne -8
-        assert instr.mnemonic == "bne"
-        assert instr.imm == -8
+    def test_every_valid_encoding_decodes_and_reencodes(self):
+        from repro.bits import sign_extend
+        from repro.isa import encode
+        from repro.isa.conditions import condition_name
 
-    def test_all_fourteen_conditions_decode(self):
-        seen = set()
         for cond in range(14):
-            instr = decode(0xD000 | (cond << 8))
-            seen.add(instr.mnemonic)
-        assert len(seen) == 14
+            for offset8 in range(256):
+                halfword = 0xD000 | (cond << 8) | offset8
+                instr = decode(halfword)
+                assert instr.fmt == 16, f"{halfword:#06x}"
+                assert instr.mnemonic == f"b{condition_name(cond)}"
+                assert instr.cond == cond
+                assert instr.imm == sign_extend(offset8, 8) * 2
+                assert instr.raw == halfword
+                assert encode(instr) == [halfword]
 
-    def test_udf_is_invalid(self):
-        with pytest.raises(InvalidInstruction):
-            decode(0xDE00)
+    def test_udf_block_rejects_every_word(self):
+        for offset8 in range(256):
+            with pytest.raises(InvalidInstruction):
+                decode(0xDE00 | offset8)
+
+    def test_svc_block_is_not_a_branch(self):
+        for imm8 in range(256):
+            instr = decode(0xDF00 | imm8)
+            assert (instr.mnemonic, instr.imm) == ("svc", imm8)
+
+    def test_no_halfword_outside_the_region_decodes_fmt16(self):
+        for halfword in range(0x10000):
+            try:
+                instr = decode(halfword, next_halfword=0xF800)
+            except InvalidInstruction:
+                continue
+            inside = 0xD000 <= halfword <= 0xDDFF
+            assert (instr.fmt == 16) == inside, f"{halfword:#06x} -> fmt {instr.fmt}"
 
     def test_svc(self):
         instr = decode(0xDF2A)
