@@ -56,3 +56,32 @@ def test_table1_cycle_instruction_column(table1):
     assert rows[0].instruction.startswith("mov r3")
     assert rows[4].instruction.startswith("cmp")
     assert rows[5].instruction.startswith("beq")
+
+
+def test_table1_baseline_replay_differential(stride):
+    """Baseline replay is invisible in the tallies: replay on/off rows match.
+
+    The replayed scan rewinds the board to its captured trigger state per
+    attempt; the control scan re-simulates every attempt from reset. Both
+    use the default fault model, so every row — down to the post-mortem
+    register-value counters — must be identical.
+    """
+    from repro.firmware.loops import build_guard_firmware
+    from repro.hw.glitcher import ClockGlitcher
+    from repro.hw.scan import run_single_glitch_scan
+
+    guard = "not_a"
+    sub = max(stride, 8)  # the differential only needs a grid subsample
+    replayed = run_single_glitch_scan(guard, stride=sub)
+    control = run_single_glitch_scan(
+        guard, stride=sub,
+        glitcher=ClockGlitcher(build_guard_firmware(guard, "single"), replay=False),
+    )
+    for fast_row, slow_row in zip(replayed.rows, control.rows):
+        assert (
+            fast_row.cycle, fast_row.attempts, fast_row.successes,
+            fast_row.resets, fast_row.register_values,
+        ) == (
+            slow_row.cycle, slow_row.attempts, slow_row.successes,
+            slow_row.resets, slow_row.register_values,
+        )

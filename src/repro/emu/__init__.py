@@ -9,9 +9,25 @@ instruction / ...).
 The cycle-accurate pipelined core used for the "real-world" experiments
 lives in :mod:`repro.hw.pipeline` and reuses this package's memory model
 and instruction semantics.
+
+Campaign hot paths use the snapshot engine
+(:meth:`Memory.snapshot`/:meth:`Memory.restore`,
+:meth:`CPU.snapshot`/:meth:`CPU.reset_from`, and ``CPU.decode_cache``)
+to replay thousands of corrupted executions against one pre-built
+machine instead of rebuilding it per attempt; see
+``docs/ARCHITECTURE.md`` for the invariants.
 """
 
-from repro.emu.memory import Memory, MemoryRegion, MMIORegion
-from repro.emu.cpu import CPU, RunResult
+from repro.emu.memory import Memory, MemoryRegion, MemorySnapshot, MMIORegion, PAGE_SIZE
+from repro.emu.cpu import CPU, CPUSnapshot, RunResult
 
-__all__ = ["Memory", "MemoryRegion", "MMIORegion", "CPU", "RunResult"]
+__all__ = [
+    "Memory",
+    "MemoryRegion",
+    "MemorySnapshot",
+    "MMIORegion",
+    "PAGE_SIZE",
+    "CPU",
+    "CPUSnapshot",
+    "RunResult",
+]

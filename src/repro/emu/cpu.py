@@ -29,6 +29,14 @@ from repro.isa.instruction import Instruction
 from repro.isa.registers import LR, PC, SP
 
 WORD_MASK = alu.WORD_MASK
+_PC_MASK = WORD_MASK & ~1
+
+# Interned NZCV combinations: flag writes happen on almost every step, and
+# Flags is frozen, so the sixteen possible values are shared singletons.
+_FLAGS_BY_INDEX = tuple(
+    Flags(n=bool(i & 8), z=bool(i & 4), c=bool(i & 2), v=bool(i & 1))
+    for i in range(16)
+)
 
 
 @dataclass
@@ -38,6 +46,28 @@ class RunResult:
     steps: int
     reason: str  # "halted" | "stop_addr" | "limit"
     stop_address: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class CPUSnapshot:
+    """Architectural register/flag state captured by :meth:`CPU.snapshot`.
+
+    Attributes
+    ----------
+    regs : tuple of int
+        All sixteen core registers (r0–r12, SP, LR, PC).
+    flags : Flags
+        The NZCV condition flags (immutable, shared by reference).
+    halted : bool
+        Whether the core had executed ``bkpt``/``wfi``/``wfe``.
+    instruction_count : int
+        Retired-instruction counter at capture time.
+    """
+
+    regs: tuple
+    flags: Flags
+    halted: bool
+    instruction_count: int
 
 
 class CPU:
@@ -54,6 +84,14 @@ class CPU:
         self.pre_execute_hooks: list[Callable[["CPU", int, Instruction], None]] = []
         #: Optional handler for SVC; ``handler(cpu, imm)``. Default: fault.
         self.svc_handler: Optional[Callable[["CPU", int], None]] = None
+        #: Optional decode memo keyed by ``(halfword, next_halfword)``.
+        #: Decoding is a pure function of the fetched encoding (and the
+        #: per-CPU ``zero_is_invalid`` knob), so entries never need
+        #: invalidation — not even when the campaign corrupts a slot,
+        #: because the corrupted slot fetches a *different* halfword and
+        #: therefore hits a different key.  Share one dict across CPUs
+        #: only if they agree on ``zero_is_invalid``.
+        self.decode_cache: Optional[dict] = None
 
     # ------------------------------------------------------------------
     # register access
@@ -96,16 +134,38 @@ class CPU:
         next_halfword = None
         if (halfword >> 11) == 0b11110:
             next_halfword = self.memory.try_fetch_u16(address + 2)
-        return decode(halfword, next_halfword, zero_is_invalid=self.zero_is_invalid)
+        cache = self.decode_cache
+        if cache is None:
+            return decode(halfword, next_halfword, zero_is_invalid=self.zero_is_invalid)
+        # Bare int key for the common 16-bit case; only BL pairs need the
+        # tuple (int and tuple keys cannot collide).
+        key = halfword if next_halfword is None else (halfword, next_halfword)
+        hit = cache.get(key)
+        if hit is None:
+            try:
+                hit = decode(halfword, next_halfword, zero_is_invalid=self.zero_is_invalid)
+            except InvalidInstruction as exc:
+                cache[key] = exc
+                raise
+            cache[key] = hit
+            return hit
+        if isinstance(hit, InvalidInstruction):
+            raise hit
+        return hit
 
     def step(self) -> Instruction:
         """Execute one instruction; returns it. Faults propagate to the caller."""
-        address = self.pc
+        address = self.regs[PC]
         instr = self.fetch_and_decode(address)
-        for hook in self.pre_execute_hooks:
-            hook(self, address, instr)
-        self.pc = address + instr.size
-        self.execute(instr, address)
+        if self.pre_execute_hooks:
+            for hook in self.pre_execute_hooks:
+                hook(self, address, instr)
+        self.regs[PC] = (address + instr.size) & _PC_MASK
+        # Inline of execute(): dispatch sits on the hot path of every step.
+        handler = _DISPATCH.get(instr.mnemonic)
+        if handler is None:  # pragma: no cover - decoder emits known mnemonics
+            raise InvalidInstruction(f"no semantics for mnemonic {instr.mnemonic!r}")
+        handler(self, instr, address)
         self.instruction_count += 1
         return instr
 
@@ -116,20 +176,62 @@ class CPU:
         raise_on_limit: bool = False,
     ) -> RunResult:
         """Step until halted, a stop address is reached, or the budget runs out."""
-        stops = frozenset(stop_addresses)
+        stops = frozenset(stop_addresses) if stop_addresses else None
+        step = self.step
         for step_index in range(max_steps):
             if self.halted:
                 return RunResult(steps=step_index, reason="halted")
-            if self.pc in stops:
-                return RunResult(steps=step_index, reason="stop_addr", stop_address=self.pc)
-            self.step()
+            if stops is not None and self.regs[PC] in stops:
+                return RunResult(steps=step_index, reason="stop_addr", stop_address=self.regs[PC])
+            step()
         if self.halted:
             return RunResult(steps=max_steps, reason="halted")
-        if self.pc in stops:
-            return RunResult(steps=max_steps, reason="stop_addr", stop_address=self.pc)
+        if stops is not None and self.regs[PC] in stops:
+            return RunResult(steps=max_steps, reason="stop_addr", stop_address=self.regs[PC])
         if raise_on_limit:
             raise ExecutionLimitExceeded(f"no terminal state after {max_steps} steps", self.pc)
         return RunResult(steps=max_steps, reason="limit")
+
+    # ------------------------------------------------------------------
+    # snapshot / restore
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> CPUSnapshot:
+        """Capture the architectural state (registers, flags, halted, count).
+
+        Memory is *not* captured — pair this with
+        :meth:`repro.emu.memory.Memory.snapshot` to checkpoint a whole
+        machine.
+
+        Returns
+        -------
+        CPUSnapshot
+            Immutable state token for :meth:`reset_from`.
+        """
+        return CPUSnapshot(
+            regs=tuple(self.regs),
+            flags=self.flags,
+            halted=self.halted,
+            instruction_count=self.instruction_count,
+        )
+
+    def reset_from(self, snapshot: CPUSnapshot) -> None:
+        """Rewind the architectural state to a :meth:`snapshot` capture.
+
+        Hooks, the SVC handler, the decode cache, and the memory binding
+        are deliberately left alone — only register/flag/halt state is
+        architectural.
+
+        Parameters
+        ----------
+        snapshot : CPUSnapshot
+            The capture to restore; snapshots are immutable and may be
+            restored any number of times.
+        """
+        self.regs = list(snapshot.regs)
+        self.flags = snapshot.flags
+        self.halted = snapshot.halted
+        self.instruction_count = snapshot.instruction_count
 
     # ------------------------------------------------------------------
     # execution
@@ -150,13 +252,23 @@ class CPU:
     # -- helpers ---------------------------------------------------------
 
     def _set_nz(self, result: int) -> None:
-        self.flags = self.flags.replace(n=bool(result & 0x80000000), z=result == 0)
+        old = self.flags
+        self.flags = _FLAGS_BY_INDEX[
+            (8 if result & 0x80000000 else 0) | (4 if result == 0 else 0)
+            | (2 if old.c else 0) | (1 if old.v else 0)
+        ]
 
     def _set_nzc(self, result: int, carry: bool) -> None:
-        self.flags = Flags(n=bool(result & 0x80000000), z=result == 0, c=carry, v=self.flags.v)
+        self.flags = _FLAGS_BY_INDEX[
+            (8 if result & 0x80000000 else 0) | (4 if result == 0 else 0)
+            | (2 if carry else 0) | (1 if self.flags.v else 0)
+        ]
 
     def _set_nzcv(self, result: int, carry: bool, overflow: bool) -> None:
-        self.flags = Flags(n=bool(result & 0x80000000), z=result == 0, c=carry, v=overflow)
+        self.flags = _FLAGS_BY_INDEX[
+            (8 if result & 0x80000000 else 0) | (4 if result == 0 else 0)
+            | (2 if carry else 0) | (1 if overflow else 0)
+        ]
 
     def _load(self, address: int, length: int, align: int) -> int:
         if align > 1 and address % align:
@@ -537,4 +649,4 @@ def _register_semantics() -> None:
 _register_semantics()
 
 
-__all__ = ["CPU", "RunResult"]
+__all__ = ["CPU", "CPUSnapshot", "RunResult"]

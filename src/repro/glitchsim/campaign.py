@@ -92,15 +92,19 @@ def sweep_instruction(
     zero_is_invalid: bool = False,
     k_values: tuple[int, ...] | None = None,
     cache: OutcomeCache | None = None,
+    engine: str = "snapshot",
 ) -> InstructionSweep:
     """Sweep every mask of every flip count ``k`` for one instruction.
 
     ``k_values`` restricts the sweep (useful for fast tests); ``None`` means
     the full ``0..16`` range the paper used. ``cache`` adds a persistent
     outcome store shared across models and runs (words the AND sweep already
-    executed are free for XOR).
+    executed are free for XOR). ``engine`` picks the harness execution
+    engine (``"snapshot"``/``"rebuild"``); both tally identically.
     """
-    harness = SnippetHarness(snippet, zero_is_invalid=zero_is_invalid, disk_cache=cache)
+    harness = SnippetHarness(
+        snippet, zero_is_invalid=zero_is_invalid, disk_cache=cache, engine=engine
+    )
     sweep = InstructionSweep(
         mnemonic=snippet.mnemonic,
         model=model,
@@ -127,6 +131,7 @@ class _SweepSpec:
     zero_is_invalid: bool
     k_values: Optional[tuple[int, ...]]
     cache_root: Optional[str]
+    engine: str = "snapshot"
 
 
 def _sweep_unit(spec: _SweepSpec) -> InstructionSweep:
@@ -142,6 +147,7 @@ def _sweep_unit(spec: _SweepSpec) -> InstructionSweep:
             zero_is_invalid=spec.zero_is_invalid,
             k_values=spec.k_values,
             cache=cache,
+            engine=spec.engine,
         )
     finally:
         # per-word outcomes already computed survive even if the sweep raised
@@ -188,6 +194,7 @@ def run_branch_campaign(
     retries: int = 0,
     unit_timeout: float | None = None,
     obs: Observer | None = None,
+    engine: str = "snapshot",
 ) -> CampaignResult:
     """Run the Figure 2 campaign for all (or selected) conditional branches.
 
@@ -207,6 +214,12 @@ def run_branch_campaign(
     ``obs`` (a :class:`repro.obs.Observer`) traces the campaign span and
     tallies attempts, outcome categories, cache hits/misses, retries,
     and quarantines — identically for any worker count.
+
+    ``engine`` selects the harness execution engine (``"snapshot"``
+    replays one cached machine per branch, ``"rebuild"`` reconstructs it
+    per word). The engine is deliberately *not* part of the checkpoint
+    fingerprint: tallies are bit-identical across engines, so a resumed
+    campaign may switch engines freely.
     """
     obs = coerce_observer(obs)
     snippets = all_branch_snippets()
@@ -218,7 +231,7 @@ def run_branch_campaign(
     ks = tuple(k_values) if k_values is not None else None
     by_mnemonic = {snippet.mnemonic: snippet for snippet in snippets}
     specs = [
-        _SweepSpec(snippet.mnemonic, model, zero_is_invalid, ks, cache_root)
+        _SweepSpec(snippet.mnemonic, model, zero_is_invalid, ks, cache_root, engine)
         for snippet in snippets
     ]
 
@@ -240,6 +253,7 @@ def run_branch_campaign(
         return sweep_instruction(
             by_mnemonic[spec.mnemonic], spec.model,
             zero_is_invalid=spec.zero_is_invalid, k_values=spec.k_values, cache=cache,
+            engine=spec.engine,
         )
 
     executor = ParallelExecutor(

@@ -12,14 +12,28 @@ Categories, matching Section IV verbatim:
   PC was modified).
 - ``failed`` — any unrecognised error (including non-terminating runs).
 - ``no_effect`` — the modification had no effect on the execution.
+
+Two execution engines produce bit-identical outcomes:
+
+- ``"snapshot"`` (default) builds the address space once, runs the
+  flag-setup prefix up to (not including) the target instruction, takes a
+  :meth:`Memory.snapshot`/:meth:`CPU.snapshot` pair, and replays each
+  corrupted word by restoring the pair, journaling the corrupted halfword
+  into the target slot, and resuming with the remaining step budget.  A
+  shared per-harness decode cache memoises ``decode()`` by halfword value.
+- ``"rebuild"`` reconstructs ``Memory``/``CPU`` from scratch per word —
+  the original slow path, kept as the differential-testing oracle.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
+from typing import Optional
 
-from repro.emu import CPU, Memory
+from repro.bits import halfwords_to_bytes
+from repro.emu import CPU, CPUSnapshot, Memory, MemorySnapshot
+from repro.isa.decoder import decode
 from repro.errors import (
     AlignmentFault,
     BadFetch,
@@ -50,6 +64,31 @@ OUTCOME_CATEGORIES = (
 
 _STEP_LIMIT = 64
 
+ENGINES = ("snapshot", "rebuild")
+
+
+@dataclass
+class _SnapshotWorld:
+    """The pre-built machine the snapshot engine replays against."""
+
+    memory: Memory
+    cpu: CPU
+    memory_snapshot: MemorySnapshot
+    cpu_snapshot: CPUSnapshot
+    budget: int  # steps remaining out of _STEP_LIMIT after the setup prefix
+    flash_data: bytearray  # flash backing store, for the per-replay slot poke
+    slot_offset: int  # byte offset of the target halfword within flash
+    next_after_target: Optional[int]  # halfword at target+2 (for BL lookahead)
+    # Marker-block entry points (success = fall-through, normal = taken).
+    # A replay that *enters* either block finishes it deterministically
+    # (ldr-literal + bkpt), so execution can stop at the block head and
+    # classify from the registers already in hand — unless fewer than two
+    # budget steps remain, in which case the block is executed for real to
+    # keep the step accounting bit-identical with the rebuild engine.
+    success_address: int
+    normal_address: Optional[int]
+    marker_stops: frozenset
+
 
 @dataclass(frozen=True)
 class Outcome:
@@ -61,6 +100,15 @@ class Outcome:
     def __post_init__(self) -> None:
         if self.category not in OUTCOME_CATEGORIES:
             raise ValueError(f"unknown outcome category {self.category!r}")
+
+
+# Interned instances for the common fixed-detail outcomes (Outcome compares
+# by value, so interning is invisible to callers — it just skips ~65k
+# dataclass constructions per sweep).
+_OUTCOME_SUCCESS = Outcome("success")
+_OUTCOME_NO_EFFECT = Outcome("no_effect")
+_OUTCOME_LIMIT = Outcome("failed", f"did not halt within {_STEP_LIMIT} steps")
+_OUTCOME_NO_MARKER = Outcome("failed", "halted without reaching either marker")
 
 
 class SnippetHarness:
@@ -75,6 +123,13 @@ class SnippetHarness:
     panels and re-runs skip emulation entirely. Only the outcome *category*
     is persisted, so a disk hit returns an :class:`Outcome` with an empty
     detail string.
+
+    ``engine`` selects how cache misses execute: ``"snapshot"`` (default)
+    replays against a cached machine snapshot, ``"rebuild"`` reconstructs
+    the world per word.  The two are bit-identical by construction (the
+    snippet's setup prefix never reads or fetches the target slot, and the
+    replay resumes with exactly the leftover step budget); if the prefix
+    cannot be validated the harness silently falls back to ``"rebuild"``.
     """
 
     def __init__(
@@ -82,13 +137,23 @@ class SnippetHarness:
         snippet: BranchSnippet,
         zero_is_invalid: bool = False,
         disk_cache=None,
+        engine: str = "snapshot",
     ):
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
         self.snippet = snippet
         self.zero_is_invalid = zero_is_invalid
         self.disk_cache = disk_cache
+        self.engine = engine
         self._cache: dict[int, Outcome] = {}
         self._halfwords = list(snippet.program.halfwords)
         self._flash_size = max(0x400, (len(snippet.program.code) + 0x3FF) & ~0x3FF)
+        # Decode memo shared by every execution of this harness (pure by
+        # value, so corrupted and pristine words coexist as distinct keys).
+        self._decode_cache: dict = {}
+        # None = not built yet; False = prefix validation failed, use rebuild.
+        self._world: Optional[_SnapshotWorld] = None
+        self._world_unavailable = False
 
     def run(self, corrupted_word: int) -> Outcome:
         """Classify the execution with ``corrupted_word`` in the target slot."""
@@ -116,22 +181,123 @@ class SnippetHarness:
     # ------------------------------------------------------------------
 
     def _execute(self, corrupted_word: int) -> Outcome:
+        if self.engine == "snapshot":
+            world = self._snapshot_world()
+            if world is not None:
+                return self._execute_replay(world, corrupted_word)
+        return self._execute_rebuild(corrupted_word)
+
+    def _build_world(self, decode_cache: Optional[dict] = None) -> tuple[Memory, CPU]:
         memory = Memory()
         memory.map("flash", FLASH_BASE, self._flash_size, writable=False, executable=True)
         memory.map("ram", RAM_BASE, RAM_SIZE)
-
-        halfwords = list(self._halfwords)
-        halfwords[self.snippet.target_index] = corrupted_word
-        from repro.bits import halfwords_to_bytes
-
-        memory.load(FLASH_BASE, halfwords_to_bytes(halfwords))
-
         cpu = CPU(memory, zero_is_invalid=self.zero_is_invalid)
+        cpu.decode_cache = decode_cache
         cpu.pc = self.snippet.program.base
         cpu.sp = RAM_BASE + RAM_SIZE
+        return memory, cpu
 
+    def _snapshot_world(self) -> Optional[_SnapshotWorld]:
+        """Build (once) the machine paused right before the target slot."""
+        if self._world is not None:
+            return self._world
+        if self._world_unavailable:
+            return None
+        memory, cpu = self._build_world(decode_cache=self._decode_cache)
+        memory.load(FLASH_BASE, halfwords_to_bytes(self._halfwords))
         try:
-            result = cpu.run(_STEP_LIMIT)
+            prefix = cpu.run(_STEP_LIMIT, stop_addresses=(self.snippet.target_address,))
+        except EmulationFault:
+            prefix = None
+        if prefix is None or prefix.reason != "stop_addr":
+            # The pristine setup prefix never reached the target cleanly —
+            # no valid replay point exists, so fall back to rebuilding.
+            self._world_unavailable = True
+            return None
+        flash_region = memory.region_at(FLASH_BASE)
+        success_address = self.snippet.target_address + 2
+        normal_address = self.snippet.program.symbols.get("taken")
+        stops = {success_address}
+        if normal_address is not None:
+            stops.add(normal_address)
+        self._world = _SnapshotWorld(
+            memory=memory,
+            cpu=cpu,
+            memory_snapshot=memory.snapshot(),
+            cpu_snapshot=cpu.snapshot(),
+            budget=_STEP_LIMIT - prefix.steps,
+            flash_data=flash_region.data,
+            slot_offset=self.snippet.target_address - FLASH_BASE,
+            next_after_target=memory.try_fetch_u16(self.snippet.target_address + 2),
+            success_address=success_address,
+            normal_address=normal_address,
+            marker_stops=frozenset(stops),
+        )
+        return self._world
+
+    def _execute_replay(self, world: _SnapshotWorld, corrupted_word: int) -> Outcome:
+        # First-step pre-classification: the replayed machine fetches the
+        # corrupted word first, so if its decode faults, the outcome is
+        # ``invalid_instruction`` without touching any machine state.  The
+        # decode uses exactly the inputs the fetch at the target would see
+        # (the halfword at target+2 for a BL-prefix lookahead).
+        cpu = world.cpu
+        cache = cpu.decode_cache
+        key = (
+            corrupted_word
+            if (corrupted_word >> 11) != 0b11110
+            else (corrupted_word, world.next_after_target)
+        )
+        hit = cache.get(key)
+        if hit is None:
+            nxt = world.next_after_target if (corrupted_word >> 11) == 0b11110 else None
+            try:
+                cache[key] = decode(corrupted_word, nxt, zero_is_invalid=self.zero_is_invalid)
+            except InvalidInstruction as exc:
+                cache[key] = exc
+                return Outcome("invalid_instruction", str(exc))
+        elif isinstance(hit, InvalidInstruction):
+            return Outcome("invalid_instruction", str(hit))
+        # Inlined Memory.restore/CPU.reset_from (hot path: once per word).
+        # Replays never map regions, so restore reduces to undoing the
+        # journal — and most replays never store, leaving it empty.
+        if world.memory._journal:
+            world.memory.restore(world.memory_snapshot)
+        snap = world.cpu_snapshot
+        cpu.regs = list(snap.regs)
+        cpu.flags = snap.flags
+        cpu.halted = snap.halted
+        cpu.instruction_count = snap.instruction_count
+        # Poke the corrupted halfword straight into the flash backing store,
+        # bypassing the journal: every replay overwrites this exact slot
+        # before running, so restore never needs to undo it, and the CPU
+        # cannot touch it otherwise (flash is read-only to stores).
+        offset = world.slot_offset
+        world.flash_data[offset] = corrupted_word & 0xFF
+        world.flash_data[offset + 1] = corrupted_word >> 8
+        return self._classify_replay(world, cpu)
+
+    def _classify_replay(self, world: _SnapshotWorld, cpu: CPU) -> Outcome:
+        """Classify a replay, short-circuiting at the marker-block heads.
+
+        Entering a marker block is deterministic (ldr-literal + bkpt), so
+        stopping at the block head classifies without executing it —
+        except with fewer than the block's two steps of budget left, where
+        execution resumes to keep step accounting identical to the rebuild
+        engine.
+        """
+        budget = world.budget
+        try:
+            result = cpu.run(budget, stop_addresses=world.marker_stops)
+            if result.reason == "stop_addr":
+                if budget - result.steps >= 2:
+                    if (
+                        result.stop_address == world.success_address
+                        or cpu.regs[SUCCESS_REGISTER] == SUCCESS_MARKER
+                    ):
+                        return _OUTCOME_SUCCESS
+                    return _OUTCOME_NO_EFFECT
+                result = cpu.run(budget - result.steps)
         except InvalidInstruction as exc:
             return Outcome("invalid_instruction", str(exc))
         except BadFetch as exc:
@@ -142,12 +308,39 @@ class SnippetHarness:
             return Outcome("failed", str(exc))
 
         if result.reason != "halted":
-            return Outcome("failed", f"did not halt within {_STEP_LIMIT} steps")
+            return _OUTCOME_LIMIT
         if cpu.regs[SUCCESS_REGISTER] == SUCCESS_MARKER:
-            return Outcome("success")
+            return _OUTCOME_SUCCESS
         if cpu.regs[NORMAL_REGISTER] == NORMAL_MARKER:
-            return Outcome("no_effect")
-        return Outcome("failed", "halted without reaching either marker")
+            return _OUTCOME_NO_EFFECT
+        return _OUTCOME_NO_MARKER
+
+    def _execute_rebuild(self, corrupted_word: int) -> Outcome:
+        memory, cpu = self._build_world()
+        halfwords = list(self._halfwords)
+        halfwords[self.snippet.target_index] = corrupted_word
+        memory.load(FLASH_BASE, halfwords_to_bytes(halfwords))
+        return self._classify(cpu, _STEP_LIMIT)
+
+    def _classify(self, cpu: CPU, budget: int) -> Outcome:
+        try:
+            result = cpu.run(budget)
+        except InvalidInstruction as exc:
+            return Outcome("invalid_instruction", str(exc))
+        except BadFetch as exc:
+            return Outcome("bad_fetch", str(exc))
+        except (BadRead, BadWrite, AlignmentFault) as exc:
+            return Outcome("bad_read", str(exc))
+        except EmulationFault as exc:
+            return Outcome("failed", str(exc))
+
+        if result.reason != "halted":
+            return _OUTCOME_LIMIT
+        if cpu.regs[SUCCESS_REGISTER] == SUCCESS_MARKER:
+            return _OUTCOME_SUCCESS
+        if cpu.regs[NORMAL_REGISTER] == NORMAL_MARKER:
+            return _OUTCOME_NO_EFFECT
+        return _OUTCOME_NO_MARKER
 
 
 @lru_cache(maxsize=64)
@@ -164,4 +357,10 @@ def classify_branch_corruption(
     return _shared_harness(mnemonic, zero_is_invalid).run(corrupted_word)
 
 
-__all__ = ["Outcome", "SnippetHarness", "OUTCOME_CATEGORIES", "classify_branch_corruption"]
+__all__ = [
+    "Outcome",
+    "SnippetHarness",
+    "OUTCOME_CATEGORIES",
+    "ENGINES",
+    "classify_branch_corruption",
+]

@@ -14,6 +14,18 @@ Drives one :class:`~repro.hw.mcu.Board` through glitched runs:
 A parameter-deterministic fast path skips full simulation for grid points
 the fault model says produce neither a fault nor a crash — the
 overwhelming majority of the 9,801-point scans.
+
+Simulated attempts additionally use *baseline replay* (the hw-layer face
+of the snapshot engine, see ``docs/ARCHITECTURE.md``): the first full run
+snapshots the board at the trigger cycle — memory via the copy-on-write
+journal, pipeline latches via :class:`~repro.hw.pipeline.PipelineState` —
+and every later attempt rewinds to that point instead of re-simulating
+boot from reset.  The baseline is dropped whenever it could diverge from
+a fresh boot: an external ``board.reset()`` swaps the pipeline object out,
+and firmware that persists new nonvolatile seed-page state (the
+random-delay defense) changes ``board._seed_page``, both of which the
+replay gate checks before every restore.  Pass ``replay=False`` to force
+the from-reset path (the differential tests do).
 """
 
 from __future__ import annotations
@@ -21,10 +33,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.emu.memory import MemorySnapshot
 from repro.errors import EmulationFault
 from repro.hw.clock import GlitchParams
 from repro.hw.faults import FaultEffect, FaultModel, PipelineView
 from repro.hw.mcu import Board
+from repro.hw.pipeline import PipelinedCPU, PipelineState
 from repro.isa.assembler import AssembledProgram
 
 #: cycles allowed from power-on to the (first) trigger
@@ -68,8 +82,36 @@ class GlitchStatistics:
         return self.by_category.get(category, 0) / self.attempts
 
 
+@dataclass
+class _Baseline:
+    """The trigger-cycle restore point for baseline replay.
+
+    ``pipeline`` is kept for identity only: an external ``board.reset()``
+    builds a fresh pipeline, which is how the replay gate notices the
+    board was rebuilt behind the glitcher's back.  ``seed_page`` is the
+    nonvolatile page the captured boot started from; once an attempt
+    persists different seed bytes, a fresh boot would no longer reach
+    this state and the baseline is discarded.
+    """
+
+    pipeline: PipelinedCPU
+    memory_snapshot: MemorySnapshot
+    pipe_state: PipelineState
+    trigger_cycle: int
+    seed_page: bytes
+    gpio_state: int
+
+
 class ClockGlitcher:
-    """Arms and fires clock glitches against one firmware image."""
+    """Arms and fires clock glitches against one firmware image.
+
+    ``replay=True`` (the default) enables baseline replay: simulated
+    attempts after the first restore the board to its captured
+    trigger-cycle state instead of re-simulating boot from reset.
+    Outcomes are bit-identical either way — the replay gate falls back to
+    a full run whenever nonvolatile state changed or the board was reset
+    externally.
+    """
 
     def __init__(
         self,
@@ -79,6 +121,7 @@ class ClockGlitcher:
         detect_symbol: Optional[str] = None,
         expected_triggers: int = 1,
         zero_is_invalid: bool = False,
+        replay: bool = True,
     ):
         self.board = Board(firmware, zero_is_invalid=zero_is_invalid)
         self.fault_model = fault_model or FaultModel()
@@ -92,6 +135,8 @@ class ClockGlitcher:
         )
         if detect_symbol and self.detect_address is None:
             raise ValueError(f"firmware does not define the {detect_symbol!r} symbol")
+        self.replay = replay
+        self._baseline: Optional[_Baseline] = None
 
     # ------------------------------------------------------------------
 
@@ -123,12 +168,52 @@ class ClockGlitcher:
                     break  # the core resets at the first crashing cycle
         return plan
 
+    def _usable_baseline(self) -> Optional[_Baseline]:
+        """The captured baseline, or ``None`` when a replay could diverge."""
+        baseline = self._baseline
+        if baseline is None or not self.replay:
+            return None
+        board = self.board
+        if board.pipeline is not baseline.pipeline:
+            return None  # board.reset() was called externally; state is gone
+        if bytes(board._seed_page) != baseline.seed_page:
+            return None  # a fresh boot would read different nonvolatile state
+        return baseline
+
+    def _capture_baseline(self, trigger_cycle: int) -> None:
+        """Snapshot the board at the trigger cycle for later replays."""
+        board = self.board
+        self._baseline = _Baseline(
+            pipeline=board.pipeline,
+            memory_snapshot=board.cpu.memory.snapshot(),
+            pipe_state=board.pipeline.snapshot_state(),
+            trigger_cycle=trigger_cycle,
+            seed_page=bytes(board._seed_page),
+            gpio_state=board._gpio_state,
+        )
+
     def _simulate(
         self, params: Optional[GlitchParams], max_cycles: int = BOOT_BUDGET
     ) -> AttemptResult:
         board = self.board
-        board.reset()
-        pipeline = board.pipeline
+        baseline = self._usable_baseline()
+        if baseline is not None:
+            # Baseline replay: rewind memory (copy-on-write journal) and
+            # the pipeline to the captured trigger state.  A replayed
+            # attempt is still a power cycle as far as the firmware and
+            # the tallies are concerned.
+            board.cpu.memory.restore(baseline.memory_snapshot)
+            board.pipeline.restore_state(baseline.pipe_state)
+            board._gpio_state = baseline.gpio_state
+            board.boot_count += 1
+            pipeline = board.pipeline
+            windows: list[int] = [baseline.trigger_cycle]
+            capture = False
+        else:
+            board.reset()
+            pipeline = board.pipeline
+            windows = []
+            capture = self.replay
         stops = {self.win_address}
         if self.detect_address is not None:
             stops.add(self.detect_address)
@@ -137,7 +222,7 @@ class ClockGlitcher:
         if exit1 is not None:
             pipeline.milestone_addresses = frozenset({exit1})
 
-        windows: list[int] = []  # rel-cycle-0 anchors (trigger cycle + 1)
+        # windows: rel-cycle-0 anchors (trigger cycle + 1)
         board.trigger_callback = lambda value: windows.append(pipeline.cycles + 1)
 
         effects: list[FaultEffect] = []
@@ -189,6 +274,12 @@ class ClockGlitcher:
                     # waiting for a later trigger that may never come
                     if pipeline.cycles > first_end + 4 * SETTLE_CYCLES:
                         break
+                if capture and windows:
+                    # First top-of-loop after the trigger fired: no glitch
+                    # has landed yet (rel cycle 0 executes in the upcoming
+                    # step), so this state is attempt-independent.
+                    self._capture_baseline(windows[0])
+                    capture = False
                 pipeline.step_cycle()
         except EmulationFault:
             category = "reset"

@@ -17,6 +17,14 @@ chip with a 3-stage pipeline" (§V), on top of the architectural core in
 The mapping from clock cycle to in-flight instructions is exactly what
 Table I's "Cycle → Instruction" column reports, and what bounds a glitch's
 attribution in the paper's post-mortem analysis.
+
+:meth:`PipelinedCPU.snapshot_state` / :meth:`PipelinedCPU.restore_state`
+capture and rewind the pipeline mid-run (latches, execute slot, counters,
+plus the architectural CPU state).  Paired with
+:meth:`repro.emu.Memory.snapshot`, they power the glitcher's baseline
+replay: a scan boots the firmware to the trigger once and replays every
+(width, offset) attempt from that point instead of re-simulating from
+reset — see ``docs/ARCHITECTURE.md``.
 """
 
 from __future__ import annotations
@@ -24,7 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
-from repro.emu.cpu import CPU
+from repro.emu.cpu import CPU, CPUSnapshot
 from repro.errors import EmulationFault, HardFault, InvalidInstruction
 from repro.hw.faults import FaultEffect, PipelineView
 from repro.isa.decoder import decode
@@ -44,6 +52,48 @@ class _Slot:
     raw: tuple[int, ...]  # one halfword, or two for BL
     cycles_left: int
     pending_effects: list[FaultEffect]
+
+
+@dataclass(frozen=True)
+class PipelineState:
+    """A restore point for :class:`PipelinedCPU`, from :meth:`PipelinedCPU.snapshot_state`.
+
+    Captures everything the pipeline needs to resume mid-run: the
+    architectural CPU state plus the micro-architectural latches.  Memory
+    is *not* included — pair this with :meth:`repro.emu.Memory.snapshot`
+    (the glitcher's baseline replay does exactly that).
+
+    Attributes
+    ----------
+    cpu : CPUSnapshot
+        Architectural register/flag/halt state.
+    cycles, fetch_address, retired : int
+        Clock count, next fetch PC, and retired-instruction count.
+    fetch_latch, decode_latch : tuple or None
+        Front-end latch contents (immutable tuples, shared by reference).
+    slot : tuple or None
+        The execute-stage occupant as ``(address, raw, cycles_left,
+        pending_effects)``, or ``None`` when the stage is free.
+    stopped_at : int or None
+        Stop-address hit, if the run already terminated.
+    milestones : tuple of (int, int)
+        ``(cycle, address)`` milestone issues recorded so far.
+    last_bus_address : int or None
+        The board's bus-residue hint (feeds the fault model's
+        ``bus_residue`` substitution), carried so replays corrupt loads
+        with the same residual value a fresh run would.
+    """
+
+    cpu: CPUSnapshot
+    cycles: int
+    fetch_address: int
+    fetch_latch: Optional[tuple[int, int]]
+    decode_latch: Optional[tuple[int, tuple[int, ...]]]
+    slot: Optional[tuple[int, tuple[int, ...], int, tuple[FaultEffect, ...]]]
+    retired: int
+    stopped_at: Optional[int]
+    milestones: tuple[tuple[int, int], ...]
+    last_bus_address: Optional[int]
 
 
 class PipelinedCPU:
@@ -129,6 +179,70 @@ class PipelinedCPU:
             address, raw = self.decode_latch
             corrupted = _apply_mask(raw[-1], effect.mask, effect.mode) & 0xFFFF
             self.decode_latch = (address, raw[:-1] + (corrupted,))
+
+    # ------------------------------------------------------------------
+    # snapshot / restore
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> PipelineState:
+        """Capture the pipeline (and architectural CPU) state for later replay.
+
+        Memory is deliberately *not* captured — callers pair this with
+        :meth:`repro.emu.Memory.snapshot` on ``self.cpu.memory``.  The
+        run configuration (``stop_addresses``, ``milestone_addresses``,
+        ``glitch_resolver``, ``trace_hook``) is also left out: it belongs
+        to the driver, which reinstalls it per run.
+
+        Returns
+        -------
+        PipelineState
+            Immutable state token; pass it to :meth:`restore_state`.
+        """
+        slot = self.execute_slot
+        return PipelineState(
+            cpu=self.cpu.snapshot(),
+            cycles=self.cycles,
+            fetch_address=self.fetch_address,
+            fetch_latch=self.fetch_latch,
+            decode_latch=self.decode_latch,
+            slot=None if slot is None else (
+                slot.address, slot.raw, slot.cycles_left, tuple(slot.pending_effects)
+            ),
+            retired=self.retired,
+            stopped_at=self.stopped_at,
+            milestones=tuple(self.milestones),
+            last_bus_address=getattr(self.cpu, "last_bus_address", None),
+        )
+
+    def restore_state(self, state: PipelineState) -> None:
+        """Rewind the pipeline to a :meth:`snapshot_state` capture.
+
+        Restores registers, flags, latches, the execute slot, and the
+        cycle/retire counters; leaves memory, stop/milestone address
+        sets, the glitch resolver, and the trace hook untouched.
+
+        Parameters
+        ----------
+        state : PipelineState
+            Token from :meth:`snapshot_state` on this same pipeline.
+        """
+        self.cpu.reset_from(state.cpu)
+        self.cpu.last_bus_address = state.last_bus_address
+        self.cycles = state.cycles
+        self.fetch_address = state.fetch_address
+        self.fetch_latch = state.fetch_latch
+        self.decode_latch = state.decode_latch
+        if state.slot is None:
+            self.execute_slot = None
+        else:
+            address, raw, cycles_left, effects = state.slot
+            self.execute_slot = _Slot(
+                address=address, raw=raw, cycles_left=cycles_left,
+                pending_effects=list(effects),
+            )
+        self.retired = state.retired
+        self.stopped_at = state.stopped_at
+        self.milestones = list(state.milestones)
 
     # ------------------------------------------------------------------
     # stages
@@ -363,4 +477,4 @@ def _first_reg(instr: Instruction) -> Optional[int]:
     return None
 
 
-__all__ = ["PipelinedCPU", "GlitchResolver"]
+__all__ = ["PipelinedCPU", "PipelineState", "GlitchResolver"]

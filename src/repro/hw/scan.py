@@ -4,6 +4,15 @@ Each scan sweeps the full ``[-49, 49] × [-49, 49]`` (width, offset) grid —
 9,801 attempts — per clock cycle (or per cycle-range for long glitches)
 and tallies successes, crashes, and the post-mortem comparator register
 values the paper reports.
+
+The serial path shares one :class:`~repro.hw.glitcher.ClockGlitcher`
+across all rows of a scan, so the glitcher's baseline replay (see
+``docs/ARCHITECTURE.md``) kicks in automatically: the pre-glitch boot up
+to the trigger cycle is simulated once per firmware image and every
+subsequent simulated attempt rewinds to that snapshot. On the
+multiprocessing path each worker builds its own glitcher and gets its
+own baseline. Tallies are identical with replay on or off
+(``benchmarks/test_bench_table1.py`` runs the differential).
 """
 
 from __future__ import annotations

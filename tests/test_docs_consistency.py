@@ -1,8 +1,10 @@
 """Documentation consistency: the READMEs must not rot.
 
 Checks that every module path, benchmark file, and example script the
-documentation names actually exists, and that the README quickstart code
-runs verbatim.
+documentation names actually exists, that the README quickstart code
+runs verbatim, that docs/ARCHITECTURE.md covers every public module,
+and that docs/EXPERIMENTS.md gives a runnable command for every
+``experiment`` subcommand choice.
 """
 
 import re
@@ -17,8 +19,25 @@ def _read(name: str) -> str:
     return (ROOT / name).read_text()
 
 
+def _public_modules() -> list[str]:
+    """Every importable ``repro.*`` module, underscore names excluded."""
+    src = ROOT / "src"
+    modules = []
+    for path in sorted((src / "repro").rglob("*.py")):
+        relative = path.relative_to(src)
+        parts = list(relative.with_suffix("").parts)
+        if parts[-1] == "__init__":
+            parts = parts[:-1]
+        if any(part.startswith("_") for part in parts):
+            continue
+        modules.append(".".join(parts))
+    return modules
+
+
 class TestReferencedPathsExist:
-    @pytest.mark.parametrize("doc", ["README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/API.md"])
+    @pytest.mark.parametrize("doc", ["README.md", "DESIGN.md", "EXPERIMENTS.md",
+                                     "docs/API.md", "docs/ARCHITECTURE.md",
+                                     "docs/EXPERIMENTS.md"])
     def test_benchmark_files_exist(self, doc):
         text = _read(doc)
         for match in re.findall(r"benchmarks/(test_bench_\w+\.py)", text):
@@ -29,13 +48,17 @@ class TestReferencedPathsExist:
         for match in re.findall(r"`(\w+\.py)` —", text):
             assert (ROOT / "examples" / match).exists(), f"README references missing {match}"
 
-    @pytest.mark.parametrize("doc", ["README.md", "docs/API.md"])
+    @pytest.mark.parametrize("doc", ["README.md", "docs/API.md",
+                                     "docs/ARCHITECTURE.md",
+                                     "docs/EXPERIMENTS.md"])
     def test_module_paths_import(self, doc):
         import importlib
 
         text = _read(doc)
         for match in set(re.findall(r"`(repro(?:\.\w+)+)`", text)):
             module_path = match
+            if any(part.startswith("_") for part in module_path.split(".")):
+                continue  # importing repro.__main__ would run the CLI
             try:
                 importlib.import_module(module_path)
             except ModuleNotFoundError:
@@ -107,6 +130,90 @@ class TestCliDocsCoverage:
             if flag not in text
         )
         assert not missing, f"{doc} does not mention CLI flag(s): {missing}"
+
+
+class TestArchitectureDocCoverage:
+    """docs/ARCHITECTURE.md must index the whole public module surface."""
+
+    def test_every_public_module_mentioned(self):
+        text = _read("docs/ARCHITECTURE.md")
+        missing = [m for m in _public_modules() if m not in text]
+        assert not missing, (
+            f"docs/ARCHITECTURE.md does not mention public module(s): {missing}"
+        )
+
+    def test_mentioned_modules_are_not_stale(self):
+        """Index rows must name modules that still exist (catches renames)."""
+        existing = set(_public_modules())
+        text = _read("docs/ARCHITECTURE.md")
+        index_rows = re.findall(r"^\| `(repro(?:\.\w+)+)` \|", text, re.MULTILINE)
+        assert index_rows, "docs/ARCHITECTURE.md module index is missing"
+        stale = [m for m in index_rows if m not in existing]
+        assert not stale, f"docs/ARCHITECTURE.md indexes removed module(s): {stale}"
+
+    def test_snapshot_invariants_documented(self):
+        """The fast-path contracts the tests pin must stay written down."""
+        text = _read("docs/ARCHITECTURE.md")
+        for phrase in ("What restore must undo", "Decode-cache invalidation",
+                       "region.data", "seed page"):
+            assert phrase in text, f"ARCHITECTURE.md lost the {phrase!r} invariant"
+
+
+class TestExperimentsGuideCoverage:
+    """docs/EXPERIMENTS.md must give a runnable command per experiment."""
+
+    @staticmethod
+    def _experiment_choices():
+        import argparse
+
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        subparsers = next(
+            action for action in parser._actions
+            if isinstance(action, argparse._SubParsersAction)
+        )
+        experiment = subparsers.choices["experiment"]
+        positional = next(
+            action for action in experiment._actions
+            if action.choices and not action.option_strings
+        )
+        return sorted(positional.choices)
+
+    def test_every_experiment_choice_has_a_command_line(self):
+        text = _read("docs/EXPERIMENTS.md")
+        missing = [
+            name for name in self._experiment_choices()
+            if not re.search(rf"python -m repro experiment {name}\b", text)
+        ]
+        assert not missing, (
+            f"docs/EXPERIMENTS.md lacks a `python -m repro experiment <name>` "
+            f"command line for: {missing}"
+        )
+
+    def test_runnable_blocks_present_and_extractable(self):
+        import sys
+
+        sys.path.insert(0, str(ROOT / "tests"))
+        try:
+            from extract_doc_blocks import extract_runnable_blocks
+        finally:
+            sys.path.pop(0)
+        blocks = extract_runnable_blocks(ROOT / "docs" / "EXPERIMENTS.md")
+        languages = {block.language for block in blocks}
+        assert "bash" in languages and "python" in languages, (
+            "docs/EXPERIMENTS.md must keep at least one runnable bash and one "
+            "runnable python block for the CI smoke job"
+        )
+
+    def test_golden_numbers_match_the_golden_tests(self):
+        """The doc quotes the exact constants test_golden_numbers.py pins."""
+        text = _read("docs/EXPERIMENTS.md")
+        golden = _read("tests/test_golden_numbers.py")
+        for constant in ("0.4252232142857143", "0.12009974888392858",
+                         "0.415924072265625", "0.40345982142857145"):
+            assert constant in text, f"docs/EXPERIMENTS.md lost golden {constant}"
+            assert constant in golden, f"golden test lost constant {constant}"
 
 
 class TestExperimentsClaimsMatchDrivers:
