@@ -7,7 +7,6 @@ values because ARM Thumb immediates and branch offsets are signed.
 
 from __future__ import annotations
 
-from itertools import combinations
 from typing import Iterator
 
 
@@ -59,19 +58,34 @@ def to_unsigned(value: int, width: int) -> int:
     return value & mask(width)
 
 
-def popcount(value: int) -> int:
-    """Number of set bits (Hamming weight)."""
-    return value.bit_count()
+if hasattr(int, "bit_count"):  # Python >= 3.10: one CPython opcode
+
+    def popcount(value: int) -> int:
+        """Number of set bits (Hamming weight)."""
+        return value.bit_count()
+
+    def hamming_distance(a: int, b: int) -> int:
+        """Number of differing bits between ``a`` and ``b``."""
+        return (a ^ b).bit_count()
+
+else:  # pragma: no cover - exercised only on pre-3.10 interpreters
+
+    def popcount(value: int) -> int:
+        """Number of set bits (Hamming weight)."""
+        count = 0
+        while value:
+            value &= value - 1  # clear the lowest set bit (Kernighan)
+            count += 1
+        return count
+
+    def hamming_distance(a: int, b: int) -> int:
+        """Number of differing bits between ``a`` and ``b``."""
+        return popcount(a ^ b)
 
 
 def hamming_weight(value: int) -> int:
     """Alias of :func:`popcount`, matching the paper's terminology."""
-    return value.bit_count()
-
-
-def hamming_distance(a: int, b: int) -> int:
-    """Number of differing bits between ``a`` and ``b``."""
-    return (a ^ b).bit_count()
+    return popcount(value)
 
 
 def rotate_right(value: int, amount: int, width: int = 32) -> int:
@@ -107,13 +121,29 @@ def iter_masks(width: int, k: int) -> Iterator[int]:
     """Yield every ``width``-bit mask with exactly ``k`` bits set.
 
     This enumerates the paper's :math:`\\binom{n}{k}` bit masks for a given
-    flip count ``k`` (Section IV). Masks are yielded in a deterministic
-    order (lexicographic by bit-position tuple).
+    flip count ``k`` (Section IV). Masks are yielded in **ascending numeric
+    order**, starting at ``(1 << k) - 1`` and ending at the mask whose ``k``
+    set bits occupy the top of the word — the order Gosper's hack produces,
+    and the contract ``tests/test_bits.py`` pins. (Campaign tallies are
+    order-independent Counters, so the order only matters to direct
+    consumers of this iterator.)
+
+    The enumeration itself is Gosper's hack: the next mask is derived from
+    the previous one with a handful of arithmetic ops instead of
+    materialising a bit-position tuple per mask.
     """
     if k < 0 or k > width:
         return
-    for positions in combinations(range(width), k):
-        yield from_bit_positions(positions)
+    if k == 0:
+        yield 0
+        return
+    limit = 1 << width
+    value = (1 << k) - 1
+    while value < limit:
+        yield value
+        low = value & -value  # lowest set bit
+        ripple = value + low  # move the lowest run's top bit up one
+        value = (((ripple ^ value) >> 2) // low) | ripple  # refill the bottom
 
 
 def iter_all_masks(width: int) -> Iterator[tuple[int, int]]:

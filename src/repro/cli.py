@@ -160,7 +160,8 @@ def cmd_experiment(args) -> int:
     try:
         if name == "fig2":
             result = experiments.run_figure2(
-                workers=workers, cache=args.cache_dir, progress=progress, **robust
+                workers=workers, cache=args.cache_dir, progress=progress,
+                tally=args.tally, **robust
             )
         elif name == "table1":
             result = experiments.run_table1(stride=args.stride, workers=workers,
@@ -256,6 +257,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--cache-dir", default=None, metavar="DIR",
                        help="persistent outcome-cache directory for fig2 "
                             "(default: no disk cache)")
+    p_exp.add_argument("--tally", choices=["algebra", "enumerate"],
+                       default="algebra",
+                       help="fig2 tallying strategy: closed-form mask algebra "
+                            "over unique corrupted words (default) or the full "
+                            "per-mask enumeration oracle")
     _add_robustness_flags(p_exp)
     _add_observability_flags(p_exp)
     p_exp.set_defaults(func=cmd_experiment)

@@ -24,7 +24,8 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Optional, Union
+from types import MappingProxyType
+from typing import Mapping, Optional, Union
 
 
 def default_cache_root() -> Path:
@@ -60,6 +61,34 @@ class OutcomeCache:
     def put(self, mnemonic: str, zero_is_invalid: bool, word: int, category: str) -> None:
         self._shard(mnemonic, zero_is_invalid)[word & 0xFFFF] = category
         self._dirty.add((mnemonic, zero_is_invalid))
+
+    def get_shard(
+        self, mnemonic: str, zero_is_invalid: bool
+    ) -> Mapping[int, str]:
+        """Read-only view of the whole ``(mnemonic, zero_is_invalid)`` shard.
+
+        Bulk counterpart to :meth:`get` for the mask-algebra path: one call
+        replaces up to 2^16 per-word lookups. Does **not** touch the
+        hit/miss counters — callers that consult the shard directly report
+        their own totals via :meth:`account`.
+        """
+        return MappingProxyType(self._shard(mnemonic, zero_is_invalid))
+
+    def put_shard(
+        self, mnemonic: str, zero_is_invalid: bool, entries: Mapping[int, str]
+    ) -> None:
+        """Merge ``entries`` (word → category) into the shard in one pass."""
+        if not entries:
+            return
+        shard = self._shard(mnemonic, zero_is_invalid)
+        for word, category in entries.items():
+            shard[word & 0xFFFF] = category
+        self._dirty.add((mnemonic, zero_is_invalid))
+
+    def account(self, hits: int = 0, misses: int = 0) -> None:
+        """Record bulk hit/miss totals for lookups done via :meth:`get_shard`."""
+        self.hits += hits
+        self.misses += misses
 
     def flush(self) -> None:
         """Write every dirty shard atomically (temp file + rename)."""

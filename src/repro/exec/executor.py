@@ -71,7 +71,10 @@ class ParallelExecutor:
     - ``workers`` — process count; 1 (default) runs in-process, 0 means
       one per CPU core.
     - ``chunk_size`` — specs handed to a worker per dispatch (larger
-      chunks amortise IPC for many small units).
+      chunks amortise IPC for many small units). ``None`` (default)
+      picks ``max(1, pending_specs // (workers * 4))`` at dispatch
+      time — about four chunks per worker, balancing IPC amortisation
+      against tail latency when unit costs are uneven.
     - ``progress`` — a :class:`ProgressReporter` fed one ``advance`` per
       completed unit.
     - ``retries`` — extra attempts granted to a failing unit (0 = none).
@@ -94,7 +97,7 @@ class ParallelExecutor:
     def __init__(
         self,
         workers: Optional[int] = 1,
-        chunk_size: int = 1,
+        chunk_size: Optional[int] = None,
         progress: Optional[ProgressReporter] = None,
         start_method: Optional[str] = None,
         retries: int = 0,
@@ -104,7 +107,7 @@ class ParallelExecutor:
         obs: Optional[Observer] = None,
     ):
         self.workers = resolve_workers(workers)
-        if chunk_size < 1:
+        if chunk_size is not None and chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
@@ -125,6 +128,17 @@ class ParallelExecutor:
     @property
     def parallel(self) -> bool:
         return self.workers > 1
+
+    def resolve_chunk_size(self, pending: int) -> int:
+        """The imap chunksize used for ``pending`` dispatchable specs.
+
+        An explicit ``chunk_size`` is used as-is; ``None`` resolves to
+        ``max(1, pending // (workers * 4))`` — roughly four chunks per
+        worker, so stragglers cost at most ~a quarter of a worker's share.
+        """
+        if self.chunk_size is not None:
+            return self.chunk_size
+        return max(1, pending // (self.workers * 4))
 
     def _preferred_start_method(self) -> Optional[str]:
         if self._start_method is not None:
@@ -299,7 +313,8 @@ class ParallelExecutor:
             with context.Pool(size) as pool:
                 ordered = [specs[index] for index in pending]
                 for index, result in zip(
-                    pending, pool.imap(fn, ordered, chunksize=self.chunk_size)
+                    pending,
+                    pool.imap(fn, ordered, chunksize=self.resolve_chunk_size(len(ordered))),
                 ):
                     record(index, result)
             return

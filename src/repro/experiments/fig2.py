@@ -60,6 +60,8 @@ def run_figure2(
     retries: int = 0,
     unit_timeout=None,
     obs=None,
+    tally: str = "algebra",
+    chunk_size: int | None = None,
 ) -> Figure2Result:
     """Regenerate Figure 2. Full sweep by default; pass ``k_values`` /
     ``conditions`` to subsample for quick runs.
@@ -71,6 +73,14 @@ def run_figure2(
     campaign resumable (panels checkpoint independently — the file name
     embeds the model), and ``retries``/``unit_timeout`` quarantine failing
     sweeps instead of aborting the figure.
+
+    ``tally`` selects the tallying strategy for every panel
+    (``"algebra"``, the closed-form default, or ``"enumerate"``, the mask
+    loop — see :func:`repro.glitchsim.sweep_instruction`); the panels are
+    bit-identical either way. With the algebra path and a shared cache the
+    AND/OR/XOR panels together emulate at most 2^16 unique words per
+    (branch, panel). ``chunk_size`` tunes executor dispatch batching
+    (``None`` = auto).
     """
     from repro.obs import coerce_observer
 
@@ -79,7 +89,8 @@ def run_figure2(
     common = dict(k_values=k_values, conditions=conditions,
                   workers=workers, cache=cache, progress=progress,
                   checkpoint_dir=checkpoint_dir, resume=resume,
-                  retries=retries, unit_timeout=unit_timeout, obs=obs)
+                  retries=retries, unit_timeout=unit_timeout, obs=obs,
+                  tally=tally, chunk_size=chunk_size)
     with obs.trace("fig2"):
         result.panels["and"] = _figure2_data(
             run_branch_campaign("and", **common),

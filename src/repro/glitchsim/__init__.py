@@ -12,10 +12,16 @@ the paper does: *Success*, *Bad Read*, *Invalid Instruction*, *Bad Fetch*,
 from repro.glitchsim.snippets import BranchSnippet, branch_snippet, all_branch_snippets
 from repro.glitchsim.harness import Outcome, SnippetHarness, OUTCOME_CATEGORIES
 from repro.glitchsim.campaign import (
+    TALLY_MODES,
     CampaignResult,
     InstructionSweep,
     run_branch_campaign,
     sweep_instruction,
+)
+from repro.glitchsim.maskalgebra import (
+    multiplicity,
+    reachable_words,
+    tally_from_word_outcomes,
 )
 from repro.glitchsim.results import FigureData, figure2, render_figure_ascii, to_csv
 from repro.glitchsim.instr_classes import (
@@ -33,8 +39,12 @@ __all__ = [
     "OUTCOME_CATEGORIES",
     "CampaignResult",
     "InstructionSweep",
+    "TALLY_MODES",
     "run_branch_campaign",
     "sweep_instruction",
+    "reachable_words",
+    "multiplicity",
+    "tally_from_word_outcomes",
     "FigureData",
     "figure2",
     "render_figure_ascii",

@@ -5,8 +5,13 @@ For an instruction of ``n`` bits the campaign enumerates every
 (AND / OR / XOR), executes the corrupted snippet, and tallies outcomes.
 
 The executed outcome depends only on the *resulting* corrupted word, so the
-harness caches per-word results; a full 16-bit sweep costs at most 2^16
-distinct executions even though it aggregates 2^16 masks per model.
+campaign never needs to enumerate masks at all: the default
+``tally="algebra"`` path (``repro.glitchsim.maskalgebra``) classifies only
+the *unique reachable corrupted words* — at most 2^16 per (mnemonic,
+panel), shared across all three flip models — and derives the per-``k``
+mask tallies in closed form. ``tally="enumerate"`` keeps the original
+65,536-iteration mask loop as the differential-testing oracle; the two
+produce bit-identical ``by_k`` Counters.
 """
 
 from __future__ import annotations
@@ -25,10 +30,15 @@ from repro.exec import (
     open_campaign_checkpoint,
 )
 from repro.glitchsim.harness import OUTCOME_CATEGORIES, SnippetHarness
+from repro.glitchsim.maskalgebra import reachable_words, tally_from_word_outcomes
 from repro.glitchsim.snippets import BranchSnippet, all_branch_snippets
-from repro.obs import Observer, coerce_observer, current
+from repro.obs import Observer, activate, coerce_observer, current
 
 INSTRUCTION_BITS = 16
+
+#: how per-k tallies are produced: closed-form algebra over unique words,
+#: or the original full mask enumeration (the differential oracle)
+TALLY_MODES = ("algebra", "enumerate")
 
 
 @dataclass
@@ -93,6 +103,7 @@ def sweep_instruction(
     k_values: tuple[int, ...] | None = None,
     cache: OutcomeCache | None = None,
     engine: str = "snapshot",
+    tally: str = "algebra",
 ) -> InstructionSweep:
     """Sweep every mask of every flip count ``k`` for one instruction.
 
@@ -101,7 +112,21 @@ def sweep_instruction(
     outcome store shared across models and runs (words the AND sweep already
     executed are free for XOR). ``engine`` picks the harness execution
     engine (``"snapshot"``/``"rebuild"``); both tally identically.
+
+    ``tally`` selects how the per-``k`` Counters are produced:
+
+    - ``"algebra"`` (default) classifies only the unique reachable
+      corrupted words (:func:`repro.glitchsim.maskalgebra.reachable_words`)
+      in one batched :meth:`SnippetHarness.run_many` pass and derives each
+      mask tally in closed form — bit-identical to enumeration, without
+      the :math:`\\binom{16}{k}` Python loop. Emits the ambient counters
+      ``algebra.words_emulated`` (fresh emulations this sweep) and
+      ``algebra.masks_derived`` (masks accounted for arithmetically).
+    - ``"enumerate"`` applies every mask and tallies outcomes one by one —
+      the differential-testing oracle.
     """
+    if tally not in TALLY_MODES:
+        raise ValueError(f"unknown tally mode {tally!r}; expected one of {TALLY_MODES}")
     harness = SnippetHarness(
         snippet, zero_is_invalid=zero_is_invalid, disk_cache=cache, engine=engine
     )
@@ -112,6 +137,24 @@ def sweep_instruction(
         zero_is_invalid=zero_is_invalid,
     )
     ks = k_values if k_values is not None else tuple(range(INSTRUCTION_BITS + 1))
+    if tally == "algebra":
+        words = reachable_words(snippet.target_word, model, INSTRUCTION_BITS, ks)
+        executed_before = harness.words_executed
+        outcomes = harness.run_many(words)
+        sweep.by_k = tally_from_word_outcomes(
+            snippet.target_word,
+            model,
+            {word: outcome.category for word, outcome in outcomes.items()},
+            ks,
+            INSTRUCTION_BITS,
+        )
+        obs = current()
+        obs.count("algebra.words_emulated", harness.words_executed - executed_before)
+        obs.count(
+            "algebra.masks_derived",
+            sum(sum(counter.values()) for counter in sweep.by_k.values()),
+        )
+        return sweep
     for k in ks:
         counter: Counter = Counter()
         for mask in iter_masks(INSTRUCTION_BITS, k):
@@ -132,6 +175,7 @@ class _SweepSpec:
     k_values: Optional[tuple[int, ...]]
     cache_root: Optional[str]
     engine: str = "snapshot"
+    tally: str = "algebra"
 
 
 def _sweep_unit(spec: _SweepSpec) -> InstructionSweep:
@@ -148,6 +192,7 @@ def _sweep_unit(spec: _SweepSpec) -> InstructionSweep:
             k_values=spec.k_values,
             cache=cache,
             engine=spec.engine,
+            tally=spec.tally,
         )
     finally:
         # per-word outcomes already computed survive even if the sweep raised
@@ -195,6 +240,8 @@ def run_branch_campaign(
     unit_timeout: float | None = None,
     obs: Observer | None = None,
     engine: str = "snapshot",
+    tally: str = "algebra",
+    chunk_size: int | None = None,
 ) -> CampaignResult:
     """Run the Figure 2 campaign for all (or selected) conditional branches.
 
@@ -217,9 +264,14 @@ def run_branch_campaign(
 
     ``engine`` selects the harness execution engine (``"snapshot"``
     replays one cached machine per branch, ``"rebuild"`` reconstructs it
-    per word). The engine is deliberately *not* part of the checkpoint
-    fingerprint: tallies are bit-identical across engines, so a resumed
-    campaign may switch engines freely.
+    per word). ``tally`` selects the tallying strategy (``"algebra"``
+    derives mask counts from unique-word outcomes, ``"enumerate"`` walks
+    every mask — see :func:`sweep_instruction`). Neither is part of the
+    checkpoint fingerprint: tallies are bit-identical across engines and
+    tally modes, so a resumed campaign may switch either freely.
+
+    ``chunk_size`` is handed to the :class:`ParallelExecutor` (``None`` =
+    auto: about four chunks per worker).
     """
     obs = coerce_observer(obs)
     snippets = all_branch_snippets()
@@ -231,7 +283,7 @@ def run_branch_campaign(
     ks = tuple(k_values) if k_values is not None else None
     by_mnemonic = {snippet.mnemonic: snippet for snippet in snippets}
     specs = [
-        _SweepSpec(snippet.mnemonic, model, zero_is_invalid, ks, cache_root, engine)
+        _SweepSpec(snippet.mnemonic, model, zero_is_invalid, ks, cache_root, engine, tally)
         for snippet in snippets
     ]
 
@@ -249,15 +301,18 @@ def run_branch_campaign(
         )
 
     def serial(spec: _SweepSpec) -> InstructionSweep:
-        # in-process: reuse the built snippets and the shared cache handle
-        return sweep_instruction(
-            by_mnemonic[spec.mnemonic], spec.model,
-            zero_is_invalid=spec.zero_is_invalid, k_values=spec.k_values, cache=cache,
-            engine=spec.engine,
-        )
+        # in-process: reuse the built snippets and the shared cache handle;
+        # activate the campaign observer so the ambient algebra counters
+        # land on it exactly as the worker-envelope path reports them
+        with activate(obs):
+            return sweep_instruction(
+                by_mnemonic[spec.mnemonic], spec.model,
+                zero_is_invalid=spec.zero_is_invalid, k_values=spec.k_values, cache=cache,
+                engine=spec.engine, tally=spec.tally,
+            )
 
     executor = ParallelExecutor(
-        workers=workers, progress=progress,
+        workers=workers, chunk_size=chunk_size, progress=progress,
         retries=retries, unit_timeout=unit_timeout, on_error="quarantine",
         obs=obs,
     )
@@ -297,4 +352,10 @@ def run_branch_campaign(
     )
 
 
-__all__ = ["InstructionSweep", "CampaignResult", "sweep_instruction", "run_branch_campaign"]
+__all__ = [
+    "InstructionSweep",
+    "CampaignResult",
+    "TALLY_MODES",
+    "sweep_instruction",
+    "run_branch_campaign",
+]

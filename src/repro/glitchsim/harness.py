@@ -146,6 +146,9 @@ class SnippetHarness:
         self.disk_cache = disk_cache
         self.engine = engine
         self._cache: dict[int, Outcome] = {}
+        # Executions that actually ran the emulator (mem/disk hits excluded);
+        # the mask-algebra path reads the delta for its words_emulated counter.
+        self.words_executed = 0
         self._halfwords = list(snippet.program.halfwords)
         self._flash_size = max(0x400, (len(snippet.program.code) + 0x3FF) & ~0x3FF)
         # Decode memo shared by every execution of this harness (pure by
@@ -178,9 +181,56 @@ class SnippetHarness:
             )
         return outcome
 
+    def run_many(self, words) -> dict[int, Outcome]:
+        """Classify a batch of corrupted words with bulk cache traffic.
+
+        Deduplicates and sorts the words ascending (consecutive words share
+        decode-cache and snapshot locality), resolves as many as possible
+        from the in-memory memo and then from **one**
+        :meth:`OutcomeCache.get_shard` lookup, executes only the remainder,
+        and writes the newly executed entries back with a single
+        :meth:`OutcomeCache.put_shard` merge. Disk hit/miss totals are
+        reported via :meth:`OutcomeCache.account` so campaign-level
+        accounting matches the per-word :meth:`run` path.
+        """
+        ordered = sorted({word & 0xFFFF for word in words})
+        results: dict[int, Outcome] = {}
+        pending: list[int] = []
+        for word in ordered:
+            cached = self._cache.get(word)
+            if cached is not None:
+                results[word] = cached
+            else:
+                pending.append(word)
+        if pending and self.disk_cache is not None:
+            shard = self.disk_cache.get_shard(self.snippet.mnemonic, self.zero_is_invalid)
+            still_pending: list[int] = []
+            for word in pending:
+                category = shard.get(word)
+                if category is None:
+                    still_pending.append(word)
+                else:
+                    outcome = Outcome(category)
+                    self._cache[word] = outcome
+                    results[word] = outcome
+            self.disk_cache.account(
+                hits=len(pending) - len(still_pending), misses=len(still_pending)
+            )
+            pending = still_pending
+        fresh: dict[int, str] = {}
+        for word in pending:
+            outcome = self._execute(word)
+            self._cache[word] = outcome
+            results[word] = outcome
+            fresh[word] = outcome.category
+        if fresh and self.disk_cache is not None:
+            self.disk_cache.put_shard(self.snippet.mnemonic, self.zero_is_invalid, fresh)
+        return results
+
     # ------------------------------------------------------------------
 
     def _execute(self, corrupted_word: int) -> Outcome:
+        self.words_executed += 1
         if self.engine == "snapshot":
             world = self._snapshot_world()
             if world is not None:

@@ -145,9 +145,18 @@ def _judge(kind: str, cpu: CPU) -> bool:
 
 
 def sweep_instruction_class(
-    instruction_class: str, model: str = "and", k_values: tuple[int, ...] | None = None
+    instruction_class: str,
+    model: str = "and",
+    k_values: tuple[int, ...] | None = None,
+    tally: str = "algebra",
 ) -> ClassSweepResult:
-    """Sweep every bit-flip mask over one class's target instruction."""
+    """Sweep every bit-flip mask over one class's target instruction.
+
+    ``tally="algebra"`` (default) classifies each unique reachable
+    corrupted word once and derives the mask counts in closed form via
+    :mod:`repro.glitchsim.maskalgebra`; ``tally="enumerate"`` walks every
+    mask (the differential oracle). Both produce identical tallies.
+    """
     try:
         source, judge_kind = _CLASS_CASES[instruction_class]
     except KeyError:
@@ -155,14 +164,33 @@ def sweep_instruction_class(
             f"unknown instruction class {instruction_class!r}; "
             f"expected one of {sorted(_CLASS_CASES)}"
         ) from None
+    if tally not in ("algebra", "enumerate"):
+        raise ValueError(f"unknown tally mode {tally!r}; expected 'algebra' or 'enumerate'")
     program = assemble(source, base=FLASH_BASE)
     target_index = (program.symbols["target"] - FLASH_BASE) // 2
     halfwords = program.halfwords
     original = halfwords[target_index]
 
     result = ClassSweepResult(instruction_class=instruction_class, model=model)
-    cache: dict[int, str] = {}
     ks = k_values if k_values is not None else tuple(range(17))
+    if tally == "algebra":
+        from repro.glitchsim.maskalgebra import reachable_words, tally_from_word_outcomes
+
+        word_buckets = {
+            word: _classify(halfwords, target_index, word, judge_kind)
+            for word in reachable_words(original, model, 16, ks)
+        }
+        for counter in tally_from_word_outcomes(original, model, word_buckets, ks, 16).values():
+            for bucket, count in counter.items():
+                result.attempts += count
+                if bucket == "effective":
+                    result.still_effective += count
+                elif bucket == "silent":
+                    result.silent_neutralizations += count
+                else:
+                    result.derailments += count
+        return result
+    cache: dict[int, str] = {}
     for k in ks:
         for mask in iter_masks(16, k):
             corrupted = apply_flip(original, mask, 16, model)

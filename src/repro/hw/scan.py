@@ -363,6 +363,7 @@ def run_single_glitch_scan(
     retries: int = 0,
     unit_timeout: Optional[float] = None,
     obs: Optional[Observer] = None,
+    chunk_size: Optional[int] = None,
 ) -> SingleGlitchScan:
     """Table I: scan every (width, offset) for each glitched clock cycle.
 
@@ -389,7 +390,7 @@ def run_single_glitch_scan(
     descriptor = guard_descriptor(guard)
     obs = coerce_observer(obs)
     executor = ParallelExecutor(
-        workers=workers, progress=progress,
+        workers=workers, chunk_size=chunk_size, progress=progress,
         retries=retries, unit_timeout=unit_timeout, on_error="quarantine",
         obs=obs,
     )
@@ -449,6 +450,7 @@ def run_multi_glitch_scan(
     retries: int = 0,
     unit_timeout: Optional[float] = None,
     obs: Optional[Observer] = None,
+    chunk_size: Optional[int] = None,
 ) -> MultiGlitchScan:
     """Table II: the same glitch fired after each of two triggers."""
     from repro.firmware.loops import build_guard_firmware
@@ -459,7 +461,7 @@ def run_multi_glitch_scan(
     glitcher = ClockGlitcher(firmware, fault_model=fault_model, expected_triggers=2)
     obs = coerce_observer(obs)
     executor = ParallelExecutor(
-        workers=workers, progress=progress,
+        workers=workers, chunk_size=chunk_size, progress=progress,
         retries=retries, unit_timeout=unit_timeout, on_error="quarantine",
         obs=obs,
     )
@@ -507,6 +509,7 @@ def run_long_glitch_scan(
     retries: int = 0,
     unit_timeout: Optional[float] = None,
     obs: Optional[Observer] = None,
+    chunk_size: Optional[int] = None,
 ) -> LongGlitchScan:
     """Table III: one glitch spanning cycles 0..last over two adjacent loops."""
     from repro.firmware.loops import build_guard_firmware
@@ -517,7 +520,7 @@ def run_long_glitch_scan(
     glitcher = ClockGlitcher(firmware, fault_model=fault_model)
     obs = coerce_observer(obs)
     executor = ParallelExecutor(
-        workers=workers, progress=progress,
+        workers=workers, chunk_size=chunk_size, progress=progress,
         retries=retries, unit_timeout=unit_timeout, on_error="quarantine",
         obs=obs,
     )
@@ -656,6 +659,7 @@ def run_defense_scan(
     retries: int = 0,
     unit_timeout: Optional[float] = None,
     obs: Optional[Observer] = None,
+    chunk_size: Optional[int] = None,
 ) -> DefenseScanResult:
     """Attack a (possibly defended) firmware image with one Table VI attack.
 
@@ -675,7 +679,7 @@ def run_defense_scan(
     detect = detect_symbol if detect_symbol and detect_symbol in image.symbols else None
     obs = coerce_observer(obs)
     executor = ParallelExecutor(
-        workers=workers, progress=progress,
+        workers=workers, chunk_size=chunk_size, progress=progress,
         retries=retries, unit_timeout=unit_timeout, on_error="quarantine",
         obs=obs,
     )

@@ -75,6 +75,12 @@ class TestHamming:
         assert bits.hamming_distance(0b1010, 0b0101) == 4
         assert bits.hamming_distance(7, 7) == 0
 
+    @given(st.integers(0, 2**64 - 1))
+    def test_popcount_matches_reference(self, value):
+        # pins the int.bit_count() fast path against an independent count
+        assert bits.popcount(value) == bin(value).count("1")
+        assert bits.hamming_weight(value) == bits.popcount(value)
+
     @given(st.integers(0, 2**32 - 1), st.integers(0, 2**32 - 1))
     def test_distance_symmetry(self, a, b):
         assert bits.hamming_distance(a, b) == bits.hamming_distance(b, a)
@@ -118,6 +124,24 @@ class TestMaskEnumeration:
     def test_out_of_range_k_empty(self):
         assert list(bits.iter_masks(4, 5)) == []
         assert list(bits.iter_masks(4, -1)) == []
+
+    @pytest.mark.parametrize("width,k", [(16, 3), (8, 5), (6, 0), (5, 5), (16, 1)])
+    def test_gosper_order_matches_combinations_reference(self, width, k):
+        # the documented contract: ascending numeric order, identical to
+        # the sorted bit-position-combination enumeration it replaced
+        from itertools import combinations
+
+        reference = sorted(
+            sum(1 << position for position in combo)
+            for combo in combinations(range(width), k)
+        )
+        assert list(bits.iter_masks(width, k)) == reference
+
+    def test_yield_order_is_ascending(self):
+        masks = list(bits.iter_masks(16, 4))
+        assert masks == sorted(masks)
+        assert masks[0] == 0b1111  # k bits at the bottom first
+        assert masks[-1] == 0b1111 << 12  # k bits at the top last
 
     def test_iter_all_masks_total(self):
         all_masks = list(bits.iter_all_masks(8))

@@ -93,6 +93,20 @@ class TestParallelExecutor:
         with pytest.raises(ValueError):
             ParallelExecutor(workers=1, chunk_size=0)
 
+    def test_auto_chunk_size_heuristic(self):
+        # chunk_size=None (the default) resolves to ~4 chunks per worker
+        executor = ParallelExecutor(workers=4)
+        assert executor.chunk_size is None
+        assert executor.resolve_chunk_size(100) == 100 // (4 * 4)
+        assert executor.resolve_chunk_size(3) == 1  # never below 1
+        explicit = ParallelExecutor(workers=4, chunk_size=2)
+        assert explicit.resolve_chunk_size(100) == 2
+
+    def test_parallel_auto_chunked_matches_serial(self):
+        serial = ParallelExecutor(workers=1).map(_square, range(20))
+        auto = ParallelExecutor(workers=2).map(_square, range(20))
+        assert auto == serial
+
     def test_progress_fed_per_unit(self):
         reporter = ProgressReporter()
         executor = ParallelExecutor(workers=1, progress=reporter)
@@ -384,6 +398,35 @@ class TestOutcomeCache:
         cache = OutcomeCache(tmp_path)
         assert coerce_cache(cache) is cache
         assert coerce_cache(str(tmp_path)).root == tmp_path
+
+    def test_shard_bulk_roundtrip(self, tmp_path):
+        cache = OutcomeCache(tmp_path)
+        cache.put_shard("beq", False, {1: "success", 0x1FFFF: "no_effect"})
+        cache.flush()
+        again = OutcomeCache(tmp_path)
+        shard = again.get_shard("beq", False)
+        # words are masked to 16 bits on the way in, like put()
+        assert dict(shard) == {1: "success", 0xFFFF: "no_effect"}
+        # the view is read-only; mutation goes through put/put_shard
+        with pytest.raises(TypeError):
+            shard[2] = "success"
+        # bulk lookups do not touch the per-call counters...
+        assert (again.hits, again.misses) == (0, 0)
+        # ...callers report totals explicitly instead
+        again.account(hits=2, misses=1)
+        assert (again.hits, again.misses) == (2, 1)
+
+    def test_put_shard_empty_is_noop(self, tmp_path):
+        cache = OutcomeCache(tmp_path)
+        cache.put_shard("beq", False, {})
+        cache.flush()
+        assert not (tmp_path / "beq.json").exists()
+
+    def test_put_shard_merges_with_existing_entries(self, tmp_path):
+        cache = OutcomeCache(tmp_path)
+        cache.put("beq", False, 1, "success")
+        cache.put_shard("beq", False, {2: "no_effect"})
+        assert dict(cache.get_shard("beq", False)) == {1: "success", 2: "no_effect"}
 
 
 class TestHarnessDiskCache:

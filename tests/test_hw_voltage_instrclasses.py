@@ -163,6 +163,27 @@ class TestInstructionClassSweeps:
         result = sweep_instruction_class("alu", k_values=(1, 2))
         assert result.attempts == 16 + 120
 
+    @pytest.mark.parametrize("model", ["and", "or", "xor"])
+    def test_algebra_equals_enumerate(self, model):
+        kwargs = dict(model=model, k_values=(0, 1, 2, 16))
+        algebra = sweep_instruction_class("compare", tally="algebra", **kwargs)
+        oracle = sweep_instruction_class("compare", tally="enumerate", **kwargs)
+        assert (
+            algebra.attempts,
+            algebra.still_effective,
+            algebra.silent_neutralizations,
+            algebra.derailments,
+        ) == (
+            oracle.attempts,
+            oracle.still_effective,
+            oracle.silent_neutralizations,
+            oracle.derailments,
+        )
+
+    def test_unknown_tally_rejected(self):
+        with pytest.raises(ValueError, match="tally"):
+            sweep_instruction_class("alu", tally="magic")
+
     @given(st.sampled_from(["load", "compare", "alu"]))
     @settings(max_examples=3, deadline=None)
     def test_or_model_also_classifies(self, name):
