@@ -161,7 +161,7 @@ def cmd_experiment(args) -> int:
         if name == "fig2":
             result = experiments.run_figure2(
                 workers=workers, cache=args.cache_dir, progress=progress,
-                tally=args.tally, **robust
+                engine=args.engine, tally=args.tally, **robust
             )
         elif name == "table1":
             result = experiments.run_table1(stride=args.stride, workers=workers,
@@ -257,6 +257,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--cache-dir", default=None, metavar="DIR",
                        help="persistent outcome-cache directory for fig2 "
                             "(default: no disk cache)")
+    p_exp.add_argument("--engine", choices=["snapshot", "rebuild", "vector"],
+                       default="snapshot",
+                       help="fig2 execution engine: scalar snapshot replay "
+                            "(default), per-word world rebuild (oracle), or "
+                            "the NumPy lock-step vector backend")
     p_exp.add_argument("--tally", choices=["algebra", "enumerate"],
                        default="algebra",
                        help="fig2 tallying strategy: closed-form mask algebra "

@@ -1,0 +1,1055 @@
+"""Vectorized lock-step batch engine: one NumPy lane per corrupted word.
+
+The Figure 2 workload is "same program, one corrupted halfword, tens of
+thousands of variants": every lane of a :meth:`SnippetHarness.run_many`
+batch starts from the *same* post-prefix machine snapshot and differs only
+in the 16-bit word overlaid on the target flash slot.  That is exactly the
+shape that vectorizes — so this module holds the architectural state of
+every lane as struct-of-arrays (registers ``(16, N)``, NZCV flags, a
+halted bit, a terminal status) and steps all live lanes in lock-step:
+
+- **fetch** reads the shared flash image with a per-lane overlay at the
+  target slot (both for the fetched halfword and for a BL-suffix
+  lookahead at ``target ± 2``, and byte-wise for data loads that read the
+  slot), so the base image is never mutated;
+- **decode** is a 65,536-row operand table built lazily *through the
+  scalar decoder* (:func:`repro.isa.decoder.decode`) and shared
+  process-wide per ``zero_is_invalid`` setting — each unique halfword is
+  decoded exactly once, and the per-harness decode cache is consulted and
+  seeded so the scalar replay engine sees the same memo;
+- **execute** groups live lanes by opcode and runs one vectorized handler
+  per group, mirroring :mod:`repro.emu.cpu` / :mod:`repro.emu.alu`
+  bit-for-bit (including the LSR/ASR ``#0 == 32`` quirk, shift-by-zero
+  carry passthrough, and ``AddWithCarry`` flag algebra);
+- **memory** is a copy-on-write RAM plane: row 0 is the shared
+  post-prefix RAM image and a lane is given a private row only right
+  before its first successful store, so a 65k-lane batch allocates a few
+  MB rather than lanes × RAM_SIZE;
+- **divergence** is handled by retirement: lanes that halt, fault, hit a
+  marker stop, or exhaust the shared step budget leave the active set and
+  keep their terminal status, so classification happens per lane while
+  stepping stays dense.
+
+The engine is *deliberately* a re-implementation of the scalar semantics:
+``engine="snapshot"`` remains the differential oracle (the test suite
+sweeps the full 2^16 word space against it), the same way
+``tally="enumerate"`` backs ``tally="algebra"``.  Lanes whose fetched
+halfword decodes to a mnemonic listed in ``fallback_mnemonics`` (or, in a
+defensive future case, one with no vector handler) retire with
+``ST_FALLBACK`` and are re-executed by the caller on the scalar engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.bits import bits, sign_extend
+from repro.errors import InvalidInstruction
+from repro.isa.conditions import Flags
+from repro.isa.decoder import decode
+from repro.isa.instruction import Instruction
+
+M32 = 0xFFFFFFFF
+_TWO31 = 1 << 31
+_TWO32 = 1 << 32
+
+# ----------------------------------------------------------------------
+# terminal lane statuses
+# ----------------------------------------------------------------------
+
+ST_RUNNING = 0    # transient: lane is still stepping
+ST_HALTED = 1     # bkpt/wfi/wfe — classify from final registers
+ST_STOPPED = 2    # reached a marker stop with ≥2 budget steps left
+ST_LIMIT = 3      # ran out of step budget without halting
+ST_INVALID = 4    # fetched word decoded as InvalidInstruction
+ST_BAD_FETCH = 5  # unfetchable PC, or bx/blx into ARM state
+ST_BAD_READ = 6   # load/store fault (unmapped / unaligned / read-only)
+ST_FAILED = 7     # unhandled svc (EmulationFault in the scalar engine)
+ST_FALLBACK = 8   # lane touched an op the caller wants scalar-executed
+
+#: scalar Outcome category per terminal status (STOPPED/HALTED need registers)
+STATUS_CATEGORIES = {
+    ST_LIMIT: "failed",
+    ST_INVALID: "invalid_instruction",
+    ST_BAD_FETCH: "bad_fetch",
+    ST_BAD_READ: "bad_read",
+    ST_FAILED: "failed",
+}
+
+# ----------------------------------------------------------------------
+# operand-table opcodes (one vector handler each)
+# ----------------------------------------------------------------------
+
+OP_INVALID = 0
+OP_SHIFT_IMM = 1    # aux: 0 lsl / 1 lsr / 2 asr; imm pre-normalized (#0 → 32)
+OP_SHIFT_REG = 2    # aux: 0 lsl / 1 lsr / 2 asr / 3 ror
+OP_ADDS = 3         # rs = lhs reg; rhs = reg ro if ro >= 0 else imm
+OP_SUBS = 4
+OP_MOVS_IMM = 5
+OP_CMP_IMM = 6
+OP_CMP_REG = 7      # rd/rs may be high registers (format 5)
+OP_CMN = 8
+OP_LOGIC = 9        # aux: 0 and / 1 eor / 2 orr / 3 bic
+OP_TST = 10
+OP_ADC = 11
+OP_SBC = 12
+OP_NEG = 13
+OP_MUL = 14
+OP_MVN = 15
+OP_HI_ADD = 16
+OP_HI_MOV = 17
+OP_BX = 18          # aux: 1 = blx
+OP_LOAD = 19        # aux: 0 ldr / 1 ldrh / 2 ldrb / 3 ldrsh / 4 ldrsb
+OP_STORE = 20       # aux: 0 str / 1 strh / 2 strb
+OP_ADR = 21
+OP_ADD_SP_IMM = 22
+OP_ADJ_SP = 23      # imm signed (negative = sub sp)
+OP_PUSH = 24
+OP_POP = 25
+OP_STMIA = 26
+OP_LDMIA = 27
+OP_BCOND = 28
+OP_B = 29
+OP_BL_PREFIX = 30   # imm = sign-extended offset_high << 12
+OP_SVC = 31
+OP_HALT = 32        # bkpt / wfi / wfe
+OP_NOP = 33         # nop / yield / sev / cps
+OP_EXTEND = 34      # aux: 0 sxth / 1 sxtb / 2 uxth / 3 uxtb
+OP_REV = 35         # aux: 0 rev / 1 rev16 / 2 revsh
+
+_LOAD_AUX = {"ldr": 0, "ldrh": 1, "ldrb": 2, "ldrsh": 3, "ldrsb": 4}
+_LOAD_WIDTH = (4, 2, 1, 2, 1)
+_STORE_AUX = {"str": 0, "strh": 1, "strb": 2}
+_STORE_WIDTH = (4, 2, 1)
+_SHIFT_AUX = {"lsls": 0, "lsrs": 1, "asrs": 2, "rors": 3}
+_LOGIC_AUX = {"ands": 0, "eors": 1, "orrs": 2, "bics": 3}
+_EXTEND_AUX = {"sxth": 0, "sxtb": 1, "uxth": 2, "uxtb": 3}
+_REV_AUX = {"rev": 0, "rev16": 1, "revsh": 2}
+
+
+class _OperandTable:
+    """Lazily-filled decoded-operand columns for all 65,536 halfwords."""
+
+    def __init__(self, zero_is_invalid: bool):
+        n = 1 << 16
+        self.zero_is_invalid = zero_is_invalid
+        self.filled = np.zeros(n, dtype=bool)
+        self.op = np.zeros(n, dtype=np.uint8)
+        self.aux = np.zeros(n, dtype=np.uint8)
+        self.rd = np.full(n, -1, dtype=np.int8)
+        self.rs = np.full(n, -1, dtype=np.int8)
+        self.base = np.full(n, -1, dtype=np.int8)
+        self.ro = np.full(n, -1, dtype=np.int8)
+        self.imm = np.zeros(n, dtype=np.int64)
+        self.cond = np.full(n, -1, dtype=np.int8)
+        self.reg_list = np.zeros(n, dtype=np.uint16)
+        #: decoded mnemonic per row (None = invalid) — drives fallback sets
+        self.mnemonic: list = [None] * n
+
+    def ensure(self, halfwords: Iterable[int], decode_cache: Optional[dict] = None) -> None:
+        """Decode (once, via the scalar decoder) any still-missing rows.
+
+        ``decode_cache`` is the per-harness decode memo: rows already
+        memoised there (including memoised :class:`InvalidInstruction`)
+        are reused, and fresh decodes are written back, so the scalar
+        replay engine and the vector engine share one decode per word.
+        BL *prefixes* are next-halfword-dependent in the scalar cache
+        (tuple keys) and are therefore materialised directly here from
+        the encoding, leaving the tuple-keyed entries alone.
+
+        The hardened-ISA table differs from the base table only at
+        0x0000 (the one word ``zero_is_invalid`` affects), so any row the
+        base table has already decoded is adopted by bulk column copy
+        instead of re-decoded.
+        """
+        halfwords = list(halfwords)
+        filled = self.filled
+        if self.zero_is_invalid:
+            base = _TABLES.get(False)
+            if base is not None:
+                adopt = np.asarray(
+                    [hw for hw in halfwords if hw and base.filled[hw] and not filled[hw]],
+                    dtype=np.int64,
+                )
+                if adopt.size:
+                    for column in (
+                        "op", "aux", "rd", "rs", "base", "ro",
+                        "imm", "cond", "reg_list",
+                    ):
+                        getattr(self, column)[adopt] = getattr(base, column)[adopt]
+                    for hw in adopt.tolist():
+                        self.mnemonic[hw] = base.mnemonic[hw]
+                    filled[adopt] = True
+        for hw in halfwords:
+            hw = int(hw)
+            if filled[hw]:
+                continue
+            if (hw >> 11) == 0b11110:
+                # BL prefix: the row stores offset_high; the suffix (and
+                # hence validity) is resolved per lane at execute time.
+                self._set_row(hw, "bl", OP_BL_PREFIX, imm=sign_extend(bits(hw, 10, 0), 11) << 12)
+                continue
+            instr: Optional[Instruction] = None
+            hit = decode_cache.get(hw) if decode_cache is not None else None
+            if hit is None:
+                try:
+                    instr = decode(hw, None, zero_is_invalid=self.zero_is_invalid)
+                except InvalidInstruction as exc:
+                    if decode_cache is not None:
+                        decode_cache[hw] = exc
+                else:
+                    if decode_cache is not None:
+                        decode_cache[hw] = instr
+            elif not isinstance(hit, InvalidInstruction):
+                instr = hit
+            if instr is None:
+                self.filled[hw] = True  # op stays OP_INVALID
+                continue
+            self._fill_from_instruction(hw, instr)
+
+    # -- row construction ------------------------------------------------
+
+    def _set_row(
+        self, hw: int, mnemonic: str, op: int, aux: int = 0,
+        rd: int = -1, rs: int = -1, base: int = -1, ro: int = -1,
+        imm: int = 0, cond: int = -1, reg_list: int = 0,
+    ) -> None:
+        self.op[hw] = op
+        self.aux[hw] = aux
+        self.rd[hw] = rd
+        self.rs[hw] = rs
+        self.base[hw] = base
+        self.ro[hw] = ro
+        self.imm[hw] = imm
+        self.cond[hw] = cond
+        self.reg_list[hw] = reg_list
+        self.mnemonic[hw] = mnemonic
+        self.filled[hw] = True
+
+    def _fill_from_instruction(self, hw: int, instr: Instruction) -> None:
+        m = instr.mnemonic
+        none = -1
+
+        def reg(value):
+            return none if value is None else value
+
+        if m in ("lsls", "lsrs", "asrs") and instr.fmt == 1:
+            amount = instr.imm
+            if m in ("lsrs", "asrs") and amount == 0:
+                amount = 32  # encoding quirk: #0 means shift-by-32
+            self._set_row(hw, m, OP_SHIFT_IMM, aux=_SHIFT_AUX[m],
+                          rd=instr.rd, rs=instr.rs, imm=amount)
+        elif m in ("lsls", "lsrs", "asrs", "rors"):  # format 4 register shifts
+            self._set_row(hw, m, OP_SHIFT_REG, aux=_SHIFT_AUX[m],
+                          rd=instr.rd, rs=instr.rs)
+        elif m in ("adds", "subs"):
+            # normalise: the left-hand register always sits in the rs column
+            lhs = instr.rs if instr.fmt == 2 else instr.rd
+            self._set_row(hw, m, OP_ADDS if m == "adds" else OP_SUBS,
+                          rd=instr.rd, rs=lhs, ro=reg(instr.ro),
+                          imm=instr.imm if instr.ro is None else 0)
+        elif m == "movs":
+            self._set_row(hw, m, OP_MOVS_IMM, rd=instr.rd, imm=instr.imm)
+        elif m == "cmp":
+            if instr.rs is None:
+                self._set_row(hw, m, OP_CMP_IMM, rd=instr.rd, imm=instr.imm)
+            else:
+                self._set_row(hw, m, OP_CMP_REG, rd=instr.rd, rs=instr.rs)
+        elif m == "cmn":
+            self._set_row(hw, m, OP_CMN, rd=instr.rd, rs=instr.rs)
+        elif m in _LOGIC_AUX:
+            self._set_row(hw, m, OP_LOGIC, aux=_LOGIC_AUX[m], rd=instr.rd, rs=instr.rs)
+        elif m == "tst":
+            self._set_row(hw, m, OP_TST, rd=instr.rd, rs=instr.rs)
+        elif m == "adcs":
+            self._set_row(hw, m, OP_ADC, rd=instr.rd, rs=instr.rs)
+        elif m == "sbcs":
+            self._set_row(hw, m, OP_SBC, rd=instr.rd, rs=instr.rs)
+        elif m == "negs":
+            self._set_row(hw, m, OP_NEG, rd=instr.rd, rs=instr.rs)
+        elif m == "muls":
+            self._set_row(hw, m, OP_MUL, rd=instr.rd, rs=instr.rs)
+        elif m == "mvns":
+            self._set_row(hw, m, OP_MVN, rd=instr.rd, rs=instr.rs)
+        elif m == "add" and instr.fmt == 5:
+            self._set_row(hw, m, OP_HI_ADD, rd=instr.rd, rs=instr.rs)
+        elif m == "mov" and instr.fmt == 5:
+            self._set_row(hw, m, OP_HI_MOV, rd=instr.rd, rs=instr.rs)
+        elif m in ("bx", "blx"):
+            self._set_row(hw, m, OP_BX, aux=1 if m == "blx" else 0, rs=instr.rs)
+        elif m in _LOAD_AUX:
+            self._set_row(hw, m, OP_LOAD, aux=_LOAD_AUX[m], rd=instr.rd,
+                          base=reg(instr.base), ro=reg(instr.ro), imm=instr.imm or 0)
+        elif m in _STORE_AUX:
+            self._set_row(hw, m, OP_STORE, aux=_STORE_AUX[m], rd=instr.rd,
+                          base=reg(instr.base), ro=reg(instr.ro), imm=instr.imm or 0)
+        elif m == "adr":
+            self._set_row(hw, m, OP_ADR, rd=instr.rd, imm=instr.imm)
+        elif m == "add_sp_imm":
+            self._set_row(hw, m, OP_ADD_SP_IMM, rd=instr.rd, imm=instr.imm)
+        elif m in ("add_sp", "sub_sp"):
+            self._set_row(hw, m, OP_ADJ_SP, imm=instr.imm if m == "add_sp" else -instr.imm)
+        elif m in ("push", "pop"):
+            mask = 0
+            for r in instr.reg_list:
+                mask |= 1 << r
+            self._set_row(hw, m, OP_PUSH if m == "push" else OP_POP, reg_list=mask)
+        elif m in ("stmia", "ldmia"):
+            mask = 0
+            for r in instr.reg_list:
+                mask |= 1 << r
+            self._set_row(hw, m, OP_STMIA if m == "stmia" else OP_LDMIA,
+                          base=instr.base, reg_list=mask)
+        elif m.startswith("b") and instr.fmt == 16:
+            self._set_row(hw, m, OP_BCOND, cond=instr.cond, imm=instr.imm)
+        elif m == "b":
+            self._set_row(hw, m, OP_B, imm=instr.imm)
+        elif m == "svc":
+            self._set_row(hw, m, OP_SVC, imm=instr.imm)
+        elif m in ("bkpt", "wfi", "wfe"):
+            self._set_row(hw, m, OP_HALT)
+        elif m in ("nop", "yield", "sev", "cps"):
+            self._set_row(hw, m, OP_NOP)
+        elif m in _EXTEND_AUX:
+            self._set_row(hw, m, OP_EXTEND, aux=_EXTEND_AUX[m], rd=instr.rd, rs=instr.rs)
+        elif m in _REV_AUX:
+            self._set_row(hw, m, OP_REV, aux=_REV_AUX[m], rd=instr.rd, rs=instr.rs)
+        else:  # pragma: no cover - decoder emits only the mnemonics above
+            # unknown mnemonic: flag the lane back to the scalar engine
+            self._set_row(hw, m, OP_INVALID)
+            self.mnemonic[hw] = m
+            self.op[hw] = OP_INVALID
+
+
+_TABLES: dict[bool, _OperandTable] = {}
+
+
+def operand_table(zero_is_invalid: bool) -> _OperandTable:
+    """The process-wide operand table for one ``zero_is_invalid`` setting."""
+    table = _TABLES.get(zero_is_invalid)
+    if table is None:
+        table = _TABLES[zero_is_invalid] = _OperandTable(zero_is_invalid)
+    return table
+
+
+# ----------------------------------------------------------------------
+# per-batch result
+# ----------------------------------------------------------------------
+
+@dataclass
+class VectorRun:
+    """Final per-lane state of one :meth:`VectorEngine.run` batch."""
+
+    words: np.ndarray       # the corrupted words, lane order == input order
+    status: np.ndarray      # terminal ST_* per lane (never ST_RUNNING)
+    stop_pc: np.ndarray     # for ST_STOPPED lanes: the marker address reached
+    regs: np.ndarray        # (16, N) final architectural registers
+    lane_row: np.ndarray    # RAM plane row per lane (0 = shared pristine row)
+    ram: np.ndarray         # (rows, ram_size) copy-on-write RAM plane
+    ram_base: int
+
+    def read_ram_u32(self, address: int) -> np.ndarray:
+        """Little-endian u32 at ``address`` as seen by each lane."""
+        off = address - self.ram_base
+        rows = self.lane_row
+        value = self.ram[rows, off].astype(np.int64)
+        for i in range(1, 4):
+            value |= self.ram[rows, off + i].astype(np.int64) << (8 * i)
+        return value
+
+    def classify_branch(
+        self,
+        *,
+        success_address: int,
+        success_register: int,
+        success_marker: int,
+        normal_register: int,
+        normal_marker: int,
+    ) -> list:
+        """Per-lane Figure 2 outcome categories (``None`` = scalar fallback).
+
+        Mirrors :meth:`SnippetHarness._classify_replay`: a marker-stop lane
+        is a success iff it stopped at the fall-through block (or already
+        holds the success marker); a halted lane classifies by markers.
+        """
+        status = self.status
+        r_success = self.regs[success_register]
+        r_normal = self.regs[normal_register]
+        stopped = status == ST_STOPPED
+        halted = status == ST_HALTED
+        success = (stopped & ((self.stop_pc == success_address) | (r_success == success_marker))) | (
+            halted & (r_success == success_marker)
+        )
+        no_effect = (stopped | (halted & (r_normal == normal_marker))) & ~success
+        codes = np.select(
+            [
+                success,
+                no_effect,
+                status == ST_INVALID,
+                status == ST_BAD_FETCH,
+                status == ST_BAD_READ,
+                halted | (status == ST_LIMIT) | (status == ST_FAILED),
+            ],
+            [0, 1, 2, 3, 4, 5],
+            default=6,
+        )
+        names = ("success", "no_effect", "invalid_instruction", "bad_fetch", "bad_read", "failed")
+        return [names[code] if code < 6 else None for code in codes.tolist()]
+
+
+# ----------------------------------------------------------------------
+# the engine
+# ----------------------------------------------------------------------
+
+class VectorEngine:
+    """Lock-step executor for one replay point (flash image + snapshot state).
+
+    One engine is built per harness from its post-prefix snapshot; every
+    :meth:`run` call executes a fresh batch of corrupted words against it
+    without mutating the shared state.
+    """
+
+    def __init__(
+        self,
+        *,
+        flash_base: int,
+        flash_bytes: bytes,
+        target_address: int,
+        ram_base: int,
+        ram_bytes: bytes,
+        init_regs: Sequence[int],
+        init_flags: Flags,
+        budget: int,
+        zero_is_invalid: bool,
+        marker_stops: Sequence[int] = (),
+        decode_cache: Optional[dict] = None,
+        fallback_mnemonics: Iterable[str] = (),
+    ):
+        if len(flash_bytes) % 2:
+            raise ValueError("flash image must be an even number of bytes")
+        self.table = operand_table(zero_is_invalid)
+        self.decode_cache = decode_cache
+        self.flash_base = flash_base
+        self.flash_end = flash_base + len(flash_bytes)
+        self.flash8 = np.frombuffer(flash_bytes, dtype=np.uint8).astype(np.int64)
+        self.flash16 = np.frombuffer(flash_bytes, dtype="<u2").astype(np.int64)
+        self.target_address = target_address
+        self.ram_base = ram_base
+        self.ram_size = len(ram_bytes)
+        self.ram_end = ram_base + self.ram_size
+        self.base_ram = np.frombuffer(ram_bytes, dtype=np.uint8).copy()
+        self.init_regs = tuple(int(r) & M32 for r in init_regs)
+        self.init_flags = init_flags
+        self.budget = budget
+        self.stops = tuple(int(s) for s in marker_stops)
+        self.fallback_mnemonics = frozenset(fallback_mnemonics)
+        # per-halfword fallback verdicts, resolved lazily as rows fill in
+        self._fb_mask = np.zeros(1 << 16, dtype=bool)
+        self._fb_known = np.zeros(1 << 16, dtype=bool)
+
+    # ------------------------------------------------------------------
+
+    def run(self, word_batch) -> VectorRun:
+        """Execute every corrupted word as one lane; returns terminal states."""
+        tbl = self.table
+        fb_base, fb_end = self.flash_base, self.flash_end
+        rb, re_ = self.ram_base, self.ram_end
+        ta = self.target_address
+        flash8, flash16 = self.flash8, self.flash16
+
+        words = np.asarray(list(word_batch), dtype=np.int64) & 0xFFFF
+        n = words.size
+        regs = np.empty((16, n), dtype=np.int64)
+        for i, value in enumerate(self.init_regs):
+            regs[i] = value
+        fn = np.full(n, self.init_flags.n, dtype=bool)
+        fz = np.full(n, self.init_flags.z, dtype=bool)
+        fc = np.full(n, self.init_flags.c, dtype=bool)
+        fv = np.full(n, self.init_flags.v, dtype=bool)
+        halted = np.zeros(n, dtype=bool)
+        status = np.zeros(n, dtype=np.int8)
+        stop_pc = np.zeros(n, dtype=np.int64)
+        lane_row = np.zeros(n, dtype=np.int64)
+        ram = self.base_ram[np.newaxis, :].copy()
+        active = np.arange(n)
+
+        # -- lane-state helpers (close over the arrays above) ------------
+
+        def privatize(lanes: np.ndarray) -> None:
+            """Give each storing lane a private RAM row (copy of row 0)."""
+            nonlocal ram
+            fresh = lane_row[lanes] == 0
+            if fresh.any():
+                new_lanes = lanes[fresh]
+                start = ram.shape[0]
+                ram = np.concatenate([ram, np.tile(ram[0], (new_lanes.size, 1))])
+                lane_row[new_lanes] = start + np.arange(new_lanes.size)
+
+        def rread(reg: np.ndarray, lanes: np.ndarray, addr: np.ndarray) -> np.ndarray:
+            """read_reg: the PC reads as instruction address + 4."""
+            values = regs[reg, lanes]
+            is_pc = reg == 15
+            if is_pc.any():
+                values = np.where(is_pc, (addr + 4) & M32, values)
+            return values
+
+        def rwrite(reg: np.ndarray, lanes: np.ndarray, values: np.ndarray) -> None:
+            """write_reg: the PC setter clears bit 0."""
+            values = values & M32
+            values = np.where(reg == 15, values & ~1, values)
+            regs[reg, lanes] = values
+
+        def set_nz(lanes: np.ndarray, result: np.ndarray) -> None:
+            fn[lanes] = (result & 0x80000000) != 0
+            fz[lanes] = result == 0
+
+        def set_nzc(lanes: np.ndarray, result: np.ndarray, carry: np.ndarray) -> None:
+            set_nz(lanes, result)
+            fc[lanes] = carry
+
+        def set_nzcv(lanes, result, carry, overflow) -> None:
+            set_nzc(lanes, result, carry)
+            fv[lanes] = overflow
+
+        def vadd(a, b, carry_in):
+            """ARM AddWithCarry on int64 words already masked to 32 bits."""
+            ci = carry_in.astype(np.int64) if isinstance(carry_in, np.ndarray) else int(carry_in)
+            unsigned_sum = a + b + ci
+            result = unsigned_sum & M32
+            carry = unsigned_sum > M32
+            signed_a = np.where(a & 0x80000000, a - _TWO32, a)
+            signed_b = np.where(b & 0x80000000, b - _TWO32, b)
+            signed_sum = signed_a + signed_b + ci
+            overflow = (signed_sum < -_TWO31) | (signed_sum >= _TWO31)
+            return result, carry, overflow
+
+        def vsub(a, b):
+            return vadd(a, (~b) & M32, True)
+
+        def vlsl(value, amount, carry_in):
+            shift = np.minimum(amount, 31)
+            result = np.where(
+                amount == 0, value,
+                np.where(amount < 32, (value << shift) & M32, 0),
+            )
+            carry_shift = np.clip(32 - amount, 0, 63)
+            carry = np.where(
+                amount == 0, carry_in,
+                np.where(amount < 32, (value >> carry_shift) & 1 != 0,
+                         np.where(amount == 32, (value & 1) != 0, False)),
+            )
+            return result, carry
+
+        def vlsr(value, amount, carry_in):
+            shift = np.minimum(amount, 63)
+            result = np.where(
+                amount == 0, value,
+                np.where(amount < 32, value >> shift, 0),
+            )
+            carry_shift = np.clip(amount - 1, 0, 63)
+            carry = np.where(
+                amount == 0, carry_in,
+                np.where(amount < 32, (value >> carry_shift) & 1 != 0,
+                         np.where(amount == 32, (value >> 31) & 1 != 0, False)),
+            )
+            return result, carry
+
+        def vasr(value, amount, carry_in):
+            sign = (value >> 31) & 1
+            signed = np.where(sign == 1, value - _TWO32, value)
+            shift = np.minimum(amount, 63)
+            result = np.where(
+                amount == 0, value,
+                np.where(amount < 32, (signed >> shift) & M32,
+                         np.where(sign == 1, M32, 0)),
+            )
+            carry_shift = np.clip(amount - 1, 0, 63)
+            carry = np.where(
+                amount == 0, carry_in,
+                np.where(amount < 32, (value >> carry_shift) & 1 != 0, sign == 1),
+            )
+            return result, carry
+
+        def vror(value, amount, carry_in):
+            shift = amount % 32
+            safe = np.clip(shift, 0, 31)
+            rotated = ((value >> safe) | (value << (32 - safe))) & M32
+            result = np.where(amount == 0, value, np.where(shift == 0, value, rotated))
+            carry = np.where(
+                amount == 0, carry_in,
+                np.where(shift == 0, (value >> 31) & 1 != 0, (rotated >> 31) & 1 != 0),
+            )
+            return result, carry
+
+        def vcond(cond: np.ndarray, lanes: np.ndarray) -> np.ndarray:
+            n_, z_ = fn[lanes], fz[lanes]
+            c_, v_ = fc[lanes], fv[lanes]
+            out = np.zeros(lanes.size, dtype=bool)
+            exprs = {
+                0: lambda: z_, 1: lambda: ~z_,
+                2: lambda: c_, 3: lambda: ~c_,
+                4: lambda: n_, 5: lambda: ~n_,
+                6: lambda: v_, 7: lambda: ~v_,
+                8: lambda: c_ & ~z_, 9: lambda: ~c_ | z_,
+                10: lambda: n_ == v_, 11: lambda: n_ != v_,
+                12: lambda: ~z_ & (n_ == v_), 13: lambda: z_ | (n_ != v_),
+            }
+            for number in np.unique(cond).tolist():
+                mask = cond == number
+                out[mask] = exprs[number]()[mask]
+            return out
+
+        # -- memory helpers ---------------------------------------------
+
+        def slot_readable(target: np.ndarray, length: int, align: int) -> tuple:
+            """(readable-without-fault, lies-in-flash) per slot."""
+            in_flash = (target >= fb_base) & (target + length <= fb_end)
+            in_ram = (target >= rb) & (target + length <= re_)
+            ok = in_flash | in_ram
+            if align > 1:
+                ok &= target % align == 0
+            return ok, in_flash
+
+        def gather(lanes, target, length, in_flash):
+            """Little-endian load with the per-lane corrupted-slot overlay.
+
+            Caller guarantees validity where the value is consumed; indexes
+            are clipped so invalid lanes read garbage instead of faulting.
+            """
+            flash_off = np.clip(target - fb_base, 0, flash8.size - length)
+            ram_off = np.clip(target - rb, 0, self.ram_size - length)
+            rows = lane_row[lanes]
+            lane_words = words[lanes]
+            value = np.zeros(lanes.size, dtype=np.int64)
+            for i in range(length):
+                byte = np.where(in_flash, flash8[flash_off + i],
+                                ram[rows, ram_off + i].astype(np.int64))
+                byte_addr = target + i
+                byte = np.where(byte_addr == ta, lane_words & 0xFF, byte)
+                byte = np.where(byte_addr == ta + 1, (lane_words >> 8) & 0xFF, byte)
+                value |= byte << (8 * i)
+            return value
+
+        def scatter(lanes, target, value, length) -> None:
+            """Store to already-privatized lanes; caller pre-validated."""
+            rows = lane_row[lanes]
+            off = target - rb
+            for i in range(length):
+                ram[rows, off + i] = (value >> (8 * i)) & 0xFF
+
+        # -- the lock-step loop -------------------------------------------
+
+        budget = self.budget
+        check_stops = bool(self.stops)
+        for step_index in range(budget):
+            if active.size == 0:
+                break
+            # 1. halted lanes retire (checked before stepping, like CPU.run)
+            is_halted = halted[active]
+            if is_halted.any():
+                status[active[is_halted]] = ST_HALTED
+                active = active[~is_halted]
+                if active.size == 0:
+                    break
+            # 2. marker stops short-circuit only with ≥2 budget steps left,
+            #    keeping step accounting identical to the scalar engines
+            if check_stops and budget - step_index >= 2:
+                pc = regs[15, active]
+                at_stop = np.zeros(active.size, dtype=bool)
+                for stop in self.stops:
+                    at_stop |= pc == stop
+                if at_stop.any():
+                    idx = active[at_stop]
+                    status[idx] = ST_STOPPED
+                    stop_pc[idx] = regs[15, idx]
+                    active = active[~at_stop]
+                    if active.size == 0:
+                        break
+            # 3. fetch (with the per-lane corrupted-word overlay at target)
+            addr = regs[15, active]
+            fetch_ok = ((addr & 1) == 0) & (addr >= fb_base) & (addr + 2 <= fb_end)
+            if not fetch_ok.all():
+                status[active[~fetch_ok]] = ST_BAD_FETCH
+                active = active[fetch_ok]
+                addr = addr[fetch_ok]
+                if active.size == 0:
+                    break
+            hw = flash16[(addr - fb_base) >> 1]
+            at_target = addr == ta
+            if at_target.any():
+                hw = np.where(at_target, words[active], hw)
+            # 4. decode via the shared operand table (scalar decoder inside)
+            unique_hw = np.unique(hw)
+            missing = unique_hw[~tbl.filled[unique_hw]]
+            if missing.size:
+                tbl.ensure(missing.tolist(), self.decode_cache)
+            if self.fallback_mnemonics:
+                unknown = unique_hw[~self._fb_known[unique_hw]]
+                for value in unknown.tolist():
+                    self._fb_mask[value] = tbl.mnemonic[value] in self.fallback_mnemonics
+                    self._fb_known[value] = True
+                is_fb = self._fb_mask[hw]
+                if is_fb.any():
+                    status[active[is_fb]] = ST_FALLBACK
+                    keep = ~is_fb
+                    active, addr, hw = active[keep], addr[keep], hw[keep]
+                    if active.size == 0:
+                        break
+            ops = tbl.op[hw]
+            is_invalid = ops == OP_INVALID
+            if is_invalid.any():
+                status[active[is_invalid]] = ST_INVALID
+                keep = ~is_invalid
+                active, addr, hw, ops = active[keep], addr[keep], hw[keep], ops[keep]
+                if active.size == 0:
+                    break
+            # 5. BL prefixes need the suffix halfword (overlay applies there too)
+            suffix = np.zeros(active.size, dtype=np.int64)
+            is_bl = ops == OP_BL_PREFIX
+            if is_bl.any():
+                next_addr = addr + 2
+                next_ok = is_bl & (next_addr + 2 <= fb_end)
+                idx = np.nonzero(next_ok)[0]
+                suffix[idx] = flash16[(next_addr[idx] - fb_base) >> 1]
+                overlay = next_ok & (next_addr == ta)
+                if overlay.any():
+                    suffix = np.where(overlay, words[active], suffix)
+                good = next_ok & ((suffix >> 11) == 0b11111)
+                bad_bl = is_bl & ~good
+                if bad_bl.any():
+                    status[active[bad_bl]] = ST_INVALID
+                    keep = ~bad_bl
+                    active, addr, hw = active[keep], addr[keep], hw[keep]
+                    ops, suffix = ops[keep], suffix[keep]
+                    if active.size == 0:
+                        break
+            # 6. advance the PC past the halfword (branches overwrite it;
+            #    BL computes its link/target from addr, so +2 vs +4 is moot)
+            regs[15, active] = (addr + 2) & M32
+            # 7. execute, grouped by opcode
+            for op in np.unique(ops).tolist():
+                sel = np.nonzero(ops == op)[0]
+                l = active[sel]
+                a = addr[sel]
+                h = hw[sel]
+                rd, rs = tbl.rd[h], tbl.rs[h]
+                imm = tbl.imm[h]
+
+                if op == OP_SHIFT_IMM or op == OP_SHIFT_REG:
+                    aux = tbl.aux[h]
+                    if op == OP_SHIFT_IMM:
+                        amount = imm
+                        value = rread(rs, l, a)
+                    else:
+                        amount = rread(rs, l, a) & 0xFF
+                        value = rread(rd, l, a)
+                    result = np.zeros(l.size, dtype=np.int64)
+                    carry = np.zeros(l.size, dtype=bool)
+                    shifters = (vlsl, vlsr, vasr, vror)
+                    for kind in np.unique(aux).tolist():
+                        mask = aux == kind
+                        res_k, carry_k = shifters[kind](value[mask], amount[mask], fc[l[mask]])
+                        result[mask] = res_k
+                        carry[mask] = carry_k
+                    rwrite(rd, l, result)
+                    set_nzc(l, result, carry)
+                elif op == OP_ADDS or op == OP_SUBS:
+                    ro = tbl.ro[h]
+                    lhs = rread(rs, l, a)
+                    rhs = np.where(ro >= 0, regs[np.maximum(ro, 0), l], imm)
+                    if op == OP_ADDS:
+                        result, carry, overflow = vadd(lhs, rhs, False)
+                    else:
+                        result, carry, overflow = vsub(lhs, rhs)
+                    rwrite(rd, l, result)
+                    set_nzcv(l, result, carry, overflow)
+                elif op == OP_MOVS_IMM:
+                    rwrite(rd, l, imm)
+                    set_nz(l, imm)
+                elif op == OP_CMP_IMM:
+                    result, carry, overflow = vsub(rread(rd, l, a), imm)
+                    set_nzcv(l, result, carry, overflow)
+                elif op == OP_CMP_REG:
+                    result, carry, overflow = vsub(rread(rd, l, a), rread(rs, l, a))
+                    set_nzcv(l, result, carry, overflow)
+                elif op == OP_CMN:
+                    result, carry, overflow = vadd(rread(rd, l, a), rread(rs, l, a), False)
+                    set_nzcv(l, result, carry, overflow)
+                elif op == OP_LOGIC:
+                    aux = tbl.aux[h]
+                    lhs = rread(rd, l, a)
+                    rhs = rread(rs, l, a)
+                    result = np.select(
+                        [aux == 0, aux == 1, aux == 2],
+                        [lhs & rhs, lhs ^ rhs, lhs | rhs],
+                        default=lhs & ~rhs & M32,
+                    )
+                    rwrite(rd, l, result)
+                    set_nz(l, result)
+                elif op == OP_TST:
+                    set_nz(l, rread(rd, l, a) & rread(rs, l, a))
+                elif op == OP_ADC:
+                    result, carry, overflow = vadd(rread(rd, l, a), rread(rs, l, a), fc[l])
+                    rwrite(rd, l, result)
+                    set_nzcv(l, result, carry, overflow)
+                elif op == OP_SBC:
+                    result, carry, overflow = vadd(
+                        rread(rd, l, a), (~rread(rs, l, a)) & M32, fc[l]
+                    )
+                    rwrite(rd, l, result)
+                    set_nzcv(l, result, carry, overflow)
+                elif op == OP_NEG:
+                    value = rread(rs, l, a)
+                    result, carry, overflow = vsub(np.zeros_like(value), value)
+                    rwrite(rd, l, result)
+                    set_nzcv(l, result, carry, overflow)
+                elif op == OP_MUL:
+                    result = (rread(rd, l, a) * rread(rs, l, a)) & M32
+                    rwrite(rd, l, result)
+                    set_nz(l, result)
+                elif op == OP_MVN:
+                    result = (~rread(rs, l, a)) & M32
+                    rwrite(rd, l, result)
+                    set_nz(l, result)
+                elif op == OP_HI_ADD:
+                    rwrite(rd, l, (rread(rd, l, a) + rread(rs, l, a)) & M32)
+                elif op == OP_HI_MOV:
+                    rwrite(rd, l, rread(rs, l, a))
+                elif op == OP_BX:
+                    target = rread(rs, l, a)
+                    thumb = (target & 1) == 1
+                    if not thumb.all():
+                        status[l[~thumb]] = ST_BAD_FETCH
+                    ok_l = l[thumb]
+                    if ok_l.size:
+                        aux = tbl.aux[h][thumb]
+                        is_blx = aux == 1
+                        if is_blx.any():
+                            regs[14, ok_l[is_blx]] = (a[thumb][is_blx] + 2) | 1
+                        regs[15, ok_l] = target[thumb] & ~1 & M32
+                elif op == OP_LOAD or op == OP_STORE:
+                    aux = tbl.aux[h]
+                    base = tbl.base[h]
+                    ro = tbl.ro[h]
+                    base_value = np.where(
+                        base == 15, (a + 4) & ~3, regs[np.maximum(base, 0), l]
+                    )
+                    offset = np.where(ro >= 0, regs[np.maximum(ro, 0), l], imm)
+                    target = (base_value + offset) & M32
+                    widths = _LOAD_WIDTH if op == OP_LOAD else _STORE_WIDTH
+                    for kind in np.unique(aux).tolist():
+                        mask = aux == kind
+                        lanes_k = l[mask]
+                        target_k = target[mask]
+                        width = widths[kind]
+                        if op == OP_LOAD:
+                            ok, in_flash = slot_readable(target_k, width, width)
+                            if not ok.all():
+                                status[lanes_k[~ok]] = ST_BAD_READ
+                            value = gather(lanes_k, target_k, width, in_flash)
+                            if kind == 3:  # ldrsh
+                                value = np.where(value & 0x8000, value - 0x10000, value)
+                            elif kind == 4:  # ldrsb
+                                value = np.where(value & 0x80, value - 0x100, value)
+                            good = np.nonzero(mask)[0][ok]
+                            rwrite(rd[good], l[good], value[ok])
+                        else:
+                            aligned = target_k % width == 0 if width > 1 else np.ones(
+                                lanes_k.size, dtype=bool
+                            )
+                            ok = aligned & (target_k >= rb) & (target_k + width <= re_)
+                            if not ok.all():
+                                status[lanes_k[~ok]] = ST_BAD_READ
+                            store_lanes = lanes_k[ok]
+                            if store_lanes.size:
+                                privatize(store_lanes)
+                                good = np.nonzero(mask)[0][ok]
+                                scatter(store_lanes, target_k[ok],
+                                        rread(rd[good], l[good], a[good]), width)
+                elif op == OP_ADR:
+                    rwrite(rd, l, ((a + 4) & ~3) + imm)
+                elif op == OP_ADD_SP_IMM:
+                    rwrite(rd, l, (regs[13, l] + imm) & M32)
+                elif op == OP_ADJ_SP:
+                    regs[13, l] = (regs[13, l] + imm) & M32
+                elif op == OP_PUSH:
+                    reg_list = tbl.reg_list[h].astype(np.int64)
+                    count = np.bitwise_count(reg_list).astype(np.int64)
+                    sp = regs[13, l]
+                    new_sp = (sp - 4 * count) & M32
+                    ok = (new_sp % 4 == 0) & (new_sp >= rb) & (new_sp + 4 * count <= re_)
+                    if not ok.all():
+                        status[l[~ok]] = ST_BAD_READ
+                    push_lanes = l[ok]
+                    if push_lanes.size:
+                        privatize(push_lanes)
+                        base_sp = new_sp[ok]
+                        masks = reg_list[ok]
+                        for reg in range(16):
+                            has = (masks >> reg) & 1 == 1
+                            if not has.any():
+                                continue
+                            rank = np.bitwise_count(masks & ((1 << reg) - 1)).astype(np.int64)
+                            scatter(push_lanes[has], (base_sp + 4 * rank)[has],
+                                    regs[reg, push_lanes[has]], 4)
+                        regs[13, push_lanes] = base_sp
+                elif op == OP_POP or op == OP_LDMIA:
+                    reg_list = tbl.reg_list[h].astype(np.int64)
+                    count = np.bitwise_count(reg_list).astype(np.int64)
+                    if op == OP_POP:
+                        base_addr = regs[13, l]
+                    else:
+                        base_addr = regs[np.maximum(tbl.base[h], 0), l]
+                    # every slot must be loadable; check them all up front
+                    # (the scalar engine faults at the first bad one — same
+                    # terminal category, and partial effects are invisible)
+                    ok = np.ones(l.size, dtype=bool)
+                    max_count = int(count.max()) if count.size else 0
+                    for rank in range(max_count):
+                        in_range = rank < count
+                        slot = base_addr + 4 * rank
+                        slot_ok, _ = slot_readable(slot, 4, 4)
+                        ok &= ~in_range | slot_ok
+                    if not ok.all():
+                        status[l[~ok]] = ST_BAD_READ
+                    good = np.nonzero(ok)[0]
+                    if good.size:
+                        lanes_g = l[good]
+                        base_g = base_addr[good]
+                        masks = reg_list[good]
+                        count_g = count[good]
+                        end = (base_g + 4 * count_g) & M32
+                        if op == OP_POP:
+                            regs[13, lanes_g] = end
+                        for reg in range(16):
+                            has = (masks >> reg) & 1 == 1
+                            if not has.any():
+                                continue
+                            rank = np.bitwise_count(masks & ((1 << reg) - 1)).astype(np.int64)
+                            slot = (base_g + 4 * rank)[has]
+                            lanes_r = lanes_g[has]
+                            _, in_flash = slot_readable(slot, 4, 4)
+                            value = gather(lanes_r, slot, 4, in_flash)
+                            if reg == 15:
+                                value = value & ~1
+                            regs[reg, lanes_r] = value & M32
+                        if op == OP_LDMIA:
+                            base_reg = tbl.base[h][good]
+                            writeback = (masks >> base_reg) & 1 == 0
+                            if writeback.any():
+                                regs[base_reg[writeback], lanes_g[writeback]] = end[writeback]
+                elif op == OP_STMIA:
+                    reg_list = tbl.reg_list[h].astype(np.int64)
+                    count = np.bitwise_count(reg_list).astype(np.int64)
+                    base_reg = tbl.base[h]
+                    base_addr = regs[np.maximum(base_reg, 0), l]
+                    ok = (base_addr % 4 == 0) & (base_addr >= rb) & (
+                        base_addr + 4 * count <= re_
+                    )
+                    if not ok.all():
+                        status[l[~ok]] = ST_BAD_READ
+                    good = np.nonzero(ok)[0]
+                    if good.size:
+                        lanes_g = l[good]
+                        privatize(lanes_g)
+                        base_g = base_addr[good]
+                        masks = reg_list[good]
+                        for reg in range(16):
+                            has = (masks >> reg) & 1 == 1
+                            if not has.any():
+                                continue
+                            rank = np.bitwise_count(masks & ((1 << reg) - 1)).astype(np.int64)
+                            scatter(lanes_g[has], (base_g + 4 * rank)[has],
+                                    regs[reg, lanes_g[has]], 4)
+                        # writeback always happens (base-in-list stored the
+                        # original value because stores gathered it first)
+                        regs[base_reg[good], lanes_g] = (base_g + 4 * count[good]) & M32
+                elif op == OP_BCOND:
+                    taken = vcond(tbl.cond[h], l)
+                    if taken.any():
+                        regs[15, l[taken]] = (a[taken] + 4 + imm[taken]) & M32 & ~1
+                elif op == OP_B:
+                    regs[15, l] = (a + 4 + imm) & M32 & ~1
+                elif op == OP_BL_PREFIX:
+                    low = (suffix[sel] & 0x7FF) << 1
+                    regs[14, l] = (a + 4) | 1
+                    regs[15, l] = (a + 4 + imm + low) & M32 & ~1
+                elif op == OP_SVC:
+                    status[l] = ST_FAILED
+                elif op == OP_HALT:
+                    halted[l] = True
+                elif op == OP_NOP:
+                    pass
+                elif op == OP_EXTEND:
+                    aux = tbl.aux[h]
+                    value = rread(rs, l, a)
+                    half = value & 0xFFFF
+                    byte = value & 0xFF
+                    result = np.select(
+                        [aux == 0, aux == 1, aux == 2],
+                        [
+                            np.where(half & 0x8000, half - 0x10000, half),
+                            np.where(byte & 0x80, byte - 0x100, byte),
+                            half,
+                        ],
+                        default=byte,
+                    )
+                    rwrite(rd, l, result)
+                elif op == OP_REV:
+                    aux = tbl.aux[h]
+                    value = rread(rs, l, a)
+                    b0, b1 = value & 0xFF, (value >> 8) & 0xFF
+                    b2, b3 = (value >> 16) & 0xFF, (value >> 24) & 0xFF
+                    swapped_half = b1 | (b0 << 8)
+                    result = np.select(
+                        [aux == 0, aux == 1],
+                        [
+                            (b0 << 24) | (b1 << 16) | (b2 << 8) | b3,
+                            swapped_half | (b3 << 16) | (b2 << 24),
+                        ],
+                        default=np.where(
+                            swapped_half & 0x8000, swapped_half - 0x10000, swapped_half
+                        ),
+                    )
+                    rwrite(rd, l, result)
+                else:  # pragma: no cover - every table opcode is handled above
+                    status[l] = ST_FALLBACK
+            active = active[status[active] == ST_RUNNING]
+
+        # budget exhausted: halted lanes classify, the rest hit the limit
+        # (a lane parked on a stop address with zero budget is a limit too,
+        # matching the scalar resume-with-empty-budget path)
+        remaining = np.nonzero(status == ST_RUNNING)[0]
+        if remaining.size:
+            ended_halted = halted[remaining]
+            status[remaining[ended_halted]] = ST_HALTED
+            status[remaining[~ended_halted]] = ST_LIMIT
+
+        return VectorRun(
+            words=words,
+            status=status,
+            stop_pc=stop_pc,
+            regs=regs,
+            lane_row=lane_row,
+            ram=ram,
+            ram_base=rb,
+        )
+
+
+__all__ = [
+    "VectorEngine",
+    "VectorRun",
+    "operand_table",
+    "STATUS_CATEGORIES",
+    "ST_HALTED",
+    "ST_STOPPED",
+    "ST_LIMIT",
+    "ST_INVALID",
+    "ST_BAD_FETCH",
+    "ST_BAD_READ",
+    "ST_FAILED",
+    "ST_FALLBACK",
+]

@@ -47,6 +47,11 @@ class OutcomeCache:
         self._dirty: set[tuple[str, bool]] = set()
         self.hits = 0
         self.misses = 0
+        # Words resolved from a harness's in-memory memo before any disk
+        # lookup happened. Invisible to hits/misses by design (no shard was
+        # consulted), but campaign accounting still wants the denominator:
+        # hits + misses + memo_hits == words requested.
+        self.memo_hits = 0
 
     # ------------------------------------------------------------------
 
@@ -85,10 +90,16 @@ class OutcomeCache:
             shard[word & 0xFFFF] = category
         self._dirty.add((mnemonic, zero_is_invalid))
 
-    def account(self, hits: int = 0, misses: int = 0) -> None:
-        """Record bulk hit/miss totals for lookups done via :meth:`get_shard`."""
+    def account(self, hits: int = 0, misses: int = 0, memo_hits: int = 0) -> None:
+        """Record bulk totals for lookups done outside :meth:`get`.
+
+        ``hits``/``misses`` cover shard lookups done via :meth:`get_shard`;
+        ``memo_hits`` covers words a harness resolved from its in-memory
+        memo without consulting the disk layer at all.
+        """
         self.hits += hits
         self.misses += misses
+        self.memo_hits += memo_hits
 
     def flush(self) -> None:
         """Write every dirty shard atomically (temp file + rename)."""

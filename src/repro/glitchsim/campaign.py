@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+from operator import attrgetter
 from typing import Optional
 
 from repro.bits import apply_flip, iter_masks
@@ -111,7 +112,8 @@ def sweep_instruction(
     the full ``0..16`` range the paper used. ``cache`` adds a persistent
     outcome store shared across models and runs (words the AND sweep already
     executed are free for XOR). ``engine`` picks the harness execution
-    engine (``"snapshot"``/``"rebuild"``); both tally identically.
+    engine (``"snapshot"``/``"rebuild"``/``"vector"``); all tally
+    identically.
 
     ``tally`` selects how the per-``k`` Counters are produced:
 
@@ -141,12 +143,11 @@ def sweep_instruction(
         words = reachable_words(snippet.target_word, model, INSTRUCTION_BITS, ks)
         executed_before = harness.words_executed
         outcomes = harness.run_many(words)
+        categories = dict(
+            zip(outcomes.keys(), map(attrgetter("category"), outcomes.values()))
+        )
         sweep.by_k = tally_from_word_outcomes(
-            snippet.target_word,
-            model,
-            {word: outcome.category for word, outcome in outcomes.items()},
-            ks,
-            INSTRUCTION_BITS,
+            snippet.target_word, model, categories, ks, INSTRUCTION_BITS
         )
         obs = current()
         obs.count("algebra.words_emulated", harness.words_executed - executed_before)
@@ -203,6 +204,7 @@ def _sweep_unit(spec: _SweepSpec) -> InstructionSweep:
             obs = current()
             obs.count("cache.hits", cache.hits)
             obs.count("cache.misses", cache.misses)
+            obs.count("cache.memo_hits", cache.memo_hits)
 
 
 def _encode_sweep(sweep: InstructionSweep) -> dict:
@@ -264,7 +266,8 @@ def run_branch_campaign(
 
     ``engine`` selects the harness execution engine (``"snapshot"``
     replays one cached machine per branch, ``"rebuild"`` reconstructs it
-    per word). ``tally`` selects the tallying strategy (``"algebra"``
+    per word, ``"vector"`` runs whole batches lock-step on the NumPy
+    backend). ``tally`` selects the tallying strategy (``"algebra"``
     derives mask counts from unique-word outcomes, ``"enumerate"`` walks
     every mask — see :func:`sweep_instruction`). Neither is part of the
     checkpoint fingerprint: tallies are bit-identical across engines and
@@ -322,6 +325,7 @@ def run_branch_campaign(
     # touches the shared handle; workers report via their envelopes.)
     cache_hits0 = cache.hits if cache is not None else 0
     cache_misses0 = cache.misses if cache is not None else 0
+    cache_memo0 = cache.memo_hits if cache is not None else 0
     try:
         with obs.trace(f"campaign.branch[{model}]", model=model,
                        zero_is_invalid=zero_is_invalid, units=len(specs)):
@@ -342,6 +346,7 @@ def run_branch_campaign(
             cache.flush()
             obs.count("cache.hits", cache.hits - cache_hits0)
             obs.count("cache.misses", cache.misses - cache_misses0)
+            obs.count("cache.memo_hits", cache.memo_hits - cache_memo0)
         if checkpoint is not None:
             checkpoint.close()
     return CampaignResult(

@@ -13,7 +13,7 @@ Categories, matching Section IV verbatim:
 - ``failed`` — any unrecognised error (including non-terminating runs).
 - ``no_effect`` — the modification had no effect on the execution.
 
-Two execution engines produce bit-identical outcomes:
+Three execution engines produce identical outcome categories:
 
 - ``"snapshot"`` (default) builds the address space once, runs the
   flag-setup prefix up to (not including) the target instruction, takes a
@@ -23,6 +23,14 @@ Two execution engines produce bit-identical outcomes:
   shared per-harness decode cache memoises ``decode()`` by halfword value.
 - ``"rebuild"`` reconstructs ``Memory``/``CPU`` from scratch per word —
   the original slow path, kept as the differential-testing oracle.
+- ``"vector"`` executes whole :meth:`SnippetHarness.run_many` cache-miss
+  batches lock-step on the NumPy backend (:mod:`repro.emu.vector`): one
+  lane per corrupted word, sharing the snapshot engine's replay point and
+  decode cache.  Single-word :meth:`SnippetHarness.run` calls and lanes
+  the vector ISA subset can't model fall back to the snapshot replay, so
+  ``"snapshot"`` doubles as both the fallback and the differential oracle
+  for the vector engine.  Vector outcomes carry empty detail strings
+  (like disk-cache hits); the documented contract is category identity.
 """
 
 from __future__ import annotations
@@ -64,7 +72,7 @@ OUTCOME_CATEGORIES = (
 
 _STEP_LIMIT = 64
 
-ENGINES = ("snapshot", "rebuild")
+ENGINES = ("snapshot", "rebuild", "vector")
 
 
 @dataclass
@@ -110,6 +118,9 @@ _OUTCOME_NO_EFFECT = Outcome("no_effect")
 _OUTCOME_LIMIT = Outcome("failed", f"did not halt within {_STEP_LIMIT} steps")
 _OUTCOME_NO_MARKER = Outcome("failed", "halted without reaching either marker")
 
+# Detail-free interned outcomes for vector-engine lanes and disk hits.
+_OUTCOMES_BY_CATEGORY = {category: Outcome(category) for category in OUTCOME_CATEGORIES}
+
 
 class SnippetHarness:
     """Executes a snippet with its target halfword replaced by a corrupted word.
@@ -126,10 +137,18 @@ class SnippetHarness:
 
     ``engine`` selects how cache misses execute: ``"snapshot"`` (default)
     replays against a cached machine snapshot, ``"rebuild"`` reconstructs
-    the world per word.  The two are bit-identical by construction (the
-    snippet's setup prefix never reads or fetches the target slot, and the
-    replay resumes with exactly the leftover step budget); if the prefix
-    cannot be validated the harness silently falls back to ``"rebuild"``.
+    the world per word, and ``"vector"`` runs whole :meth:`run_many`
+    batches lock-step on the NumPy backend with per-lane fallback to the
+    snapshot replay.  All three produce identical outcome categories by
+    construction (the snippet's setup prefix never reads or fetches the
+    target slot, and every engine resumes with exactly the leftover step
+    budget); if the prefix cannot be validated the harness silently falls
+    back to ``"rebuild"``.
+
+    ``vector_fallback_mnemonics`` forces lanes whose corrupted word decodes
+    to one of the named mnemonics back onto the scalar snapshot engine —
+    the escape hatch for (hypothetical) vector-handler gaps, and the knob
+    the differential tests use to exercise the fallback path.
     """
 
     def __init__(
@@ -138,6 +157,7 @@ class SnippetHarness:
         zero_is_invalid: bool = False,
         disk_cache=None,
         engine: str = "snapshot",
+        vector_fallback_mnemonics=(),
     ):
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
@@ -145,6 +165,7 @@ class SnippetHarness:
         self.zero_is_invalid = zero_is_invalid
         self.disk_cache = disk_cache
         self.engine = engine
+        self.vector_fallback_mnemonics = frozenset(vector_fallback_mnemonics)
         self._cache: dict[int, Outcome] = {}
         # Executions that actually ran the emulator (mem/disk hits excluded);
         # the mask-algebra path reads the delta for its words_emulated counter.
@@ -157,12 +178,15 @@ class SnippetHarness:
         # None = not built yet; False = prefix validation failed, use rebuild.
         self._world: Optional[_SnapshotWorld] = None
         self._world_unavailable = False
+        self._vector = None  # lazily-built repro.emu.vector.VectorEngine
 
     def run(self, corrupted_word: int) -> Outcome:
         """Classify the execution with ``corrupted_word`` in the target slot."""
         corrupted_word &= 0xFFFF
         cached = self._cache.get(corrupted_word)
         if cached is not None:
+            if self.disk_cache is not None:
+                self.disk_cache.account(memo_hits=1)
             return cached
         if self.disk_cache is not None:
             category = self.disk_cache.get(
@@ -189,53 +213,164 @@ class SnippetHarness:
         from the in-memory memo and then from **one**
         :meth:`OutcomeCache.get_shard` lookup, executes only the remainder,
         and writes the newly executed entries back with a single
-        :meth:`OutcomeCache.put_shard` merge. Disk hit/miss totals are
+        :meth:`OutcomeCache.put_shard` merge. Disk hit/miss/memo totals are
         reported via :meth:`OutcomeCache.account` so campaign-level
-        accounting matches the per-word :meth:`run` path.
+        accounting matches the per-word :meth:`run` path exactly (words
+        that alias after the 16-bit mask, and duplicates, count as memo
+        hits — that is what a serial :meth:`run` loop would record).
+
+        The result dict is keyed by the caller's original words verbatim
+        (masking to 16 bits is an internal detail, as in :meth:`run`), and
+        freshly executed entries are flushed to the disk cache even when
+        an execution raises partway through the batch, so a crash or a
+        campaign ``unit_timeout`` kill never discards paid-for work.
         """
+        words = list(words)
         ordered = sorted({word & 0xFFFF for word in words})
         results: dict[int, Outcome] = {}
-        pending: list[int] = []
-        for word in ordered:
-            cached = self._cache.get(word)
-            if cached is not None:
-                results[word] = cached
-            else:
-                pending.append(word)
-        if pending and self.disk_cache is not None:
-            shard = self.disk_cache.get_shard(self.snippet.mnemonic, self.zero_is_invalid)
-            still_pending: list[int] = []
-            for word in pending:
-                category = shard.get(word)
-                if category is None:
-                    still_pending.append(word)
+        memo_resolved = 0
+        if self._cache:
+            pending = []
+            for word in ordered:
+                cached = self._cache.get(word)
+                if cached is not None:
+                    results[word] = cached
+                    memo_resolved += 1
                 else:
-                    outcome = Outcome(category)
-                    self._cache[word] = outcome
-                    results[word] = outcome
+                    pending.append(word)
+        else:
+            pending = ordered
+        if self.disk_cache is not None:
+            disk_hits = 0
+            if pending:
+                shard = self.disk_cache.get_shard(
+                    self.snippet.mnemonic, self.zero_is_invalid
+                )
+                still_pending: list[int] = []
+                for word in pending:
+                    category = shard.get(word)
+                    if category is None:
+                        still_pending.append(word)
+                    else:
+                        outcome = _OUTCOMES_BY_CATEGORY[category]
+                        self._cache[word] = outcome
+                        results[word] = outcome
+                disk_hits = len(pending) - len(still_pending)
+                pending = still_pending
             self.disk_cache.account(
-                hits=len(pending) - len(still_pending), misses=len(still_pending)
+                hits=disk_hits,
+                misses=len(pending),
+                memo_hits=(len(words) - len(ordered)) + memo_resolved,
             )
-            pending = still_pending
         fresh: dict[int, str] = {}
-        for word in pending:
-            outcome = self._execute(word)
-            self._cache[word] = outcome
-            results[word] = outcome
-            fresh[word] = outcome.category
-        if fresh and self.disk_cache is not None:
-            self.disk_cache.put_shard(self.snippet.mnemonic, self.zero_is_invalid, fresh)
-        return results
+        try:
+            if pending and self.engine == "vector":
+                pending = self._execute_vector_batch(pending, results, fresh)
+            for word in pending:
+                outcome = self._execute(word)
+                self._cache[word] = outcome
+                results[word] = outcome
+                fresh[word] = outcome.category
+        finally:
+            if fresh and self.disk_cache is not None:
+                self.disk_cache.put_shard(
+                    self.snippet.mnemonic, self.zero_is_invalid, fresh
+                )
+        if words == ordered:  # already unique, sorted, and 16-bit
+            return results
+        return {word: results[word & 0xFFFF] for word in words}
 
     # ------------------------------------------------------------------
 
     def _execute(self, corrupted_word: int) -> Outcome:
+        # The vector engine only runs whole batches; single words (and
+        # fallback lanes) execute on the scalar snapshot replay.
         self.words_executed += 1
-        if self.engine == "snapshot":
+        if self.engine != "rebuild":
             world = self._snapshot_world()
             if world is not None:
                 return self._execute_replay(world, corrupted_word)
         return self._execute_rebuild(corrupted_word)
+
+    def _vector_engine(self, world: _SnapshotWorld):
+        """Build (once) the NumPy lock-step engine from the replay point."""
+        if self._vector is None:
+            from repro.emu.vector import VectorEngine
+
+            # Prior scalar replays may have left a corrupted word poked into
+            # the flash backing store and a dirty RAM journal — reset both
+            # to the pristine post-prefix snapshot before copying them out.
+            if world.memory._journal:
+                world.memory.restore(world.memory_snapshot)
+            flash = bytearray(world.flash_data)
+            pristine = self._halfwords[self.snippet.target_index]
+            flash[world.slot_offset] = pristine & 0xFF
+            flash[world.slot_offset + 1] = pristine >> 8
+            ram_region = world.memory.region_at(RAM_BASE)
+            snap = world.cpu_snapshot
+            self._vector = VectorEngine(
+                flash_base=FLASH_BASE,
+                flash_bytes=bytes(flash),
+                target_address=self.snippet.target_address,
+                ram_base=RAM_BASE,
+                ram_bytes=bytes(ram_region.data),
+                init_regs=snap.regs,
+                init_flags=snap.flags,
+                budget=world.budget,
+                zero_is_invalid=self.zero_is_invalid,
+                marker_stops=sorted(world.marker_stops),
+                decode_cache=self._decode_cache,
+                fallback_mnemonics=self.vector_fallback_mnemonics,
+            )
+        return self._vector
+
+    def _execute_vector_batch(
+        self, pending: list, results: dict, fresh: dict
+    ) -> list:
+        """Run a cache-miss batch lock-step; returns the scalar-fallback words.
+
+        Lanes the vector engine classifies land in ``results``/``fresh``
+        directly; lanes it punts on (``vector_fallback_mnemonics``) are
+        returned for the caller's per-word scalar loop.
+        """
+        world = self._snapshot_world()
+        if world is None:
+            return pending  # no replay point — the scalar loop handles it
+        engine = self._vector_engine(world)
+        batch = engine.run(pending)
+        categories = batch.classify_branch(
+            success_address=world.success_address,
+            success_register=SUCCESS_REGISTER,
+            success_marker=SUCCESS_MARKER,
+            normal_register=NORMAL_REGISTER,
+            normal_marker=NORMAL_MARKER,
+        )
+        fallback = [
+            word for word, category in zip(pending, categories) if category is None
+        ]
+        if fallback:
+            for word, category in zip(pending, categories):
+                if category is None:
+                    continue
+                outcome = _OUTCOMES_BY_CATEGORY[category]
+                self._cache[word] = outcome
+                results[word] = outcome
+                fresh[word] = category
+        else:  # common case: every lane classified — bulk C-level updates
+            classified = dict(
+                zip(pending, map(_OUTCOMES_BY_CATEGORY.__getitem__, categories))
+            )
+            self._cache.update(classified)
+            results.update(classified)
+            fresh.update(zip(pending, categories))
+        self.words_executed += len(pending) - len(fallback)
+        from repro.obs import current
+
+        obs = current()
+        obs.count("vector.batches", 1)
+        obs.count("vector.lanes", len(pending))
+        obs.count("vector.fallbacks", len(fallback))
+        return fallback
 
     def _build_world(self, decode_cache: Optional[dict] = None) -> tuple[Memory, CPU]:
         memory = Memory()

@@ -148,6 +148,7 @@ def sweep_instruction_class(
     instruction_class: str,
     model: str = "and",
     k_values: tuple[int, ...] | None = None,
+    engine: str = "snapshot",
     tally: str = "algebra",
 ) -> ClassSweepResult:
     """Sweep every bit-flip mask over one class's target instruction.
@@ -156,6 +157,11 @@ def sweep_instruction_class(
     corrupted word once and derives the mask counts in closed form via
     :mod:`repro.glitchsim.maskalgebra`; ``tally="enumerate"`` walks every
     mask (the differential oracle). Both produce identical tallies.
+
+    ``engine="vector"`` classifies the unique words of an algebra sweep as
+    one lock-step batch on the NumPy backend (:mod:`repro.emu.vector`);
+    the scalar engines (and any lane the vector path can't model) use the
+    per-word world rebuild. Tallies are identical for any engine.
     """
     try:
         source, judge_kind = _CLASS_CASES[instruction_class]
@@ -166,6 +172,10 @@ def sweep_instruction_class(
         ) from None
     if tally not in ("algebra", "enumerate"):
         raise ValueError(f"unknown tally mode {tally!r}; expected 'algebra' or 'enumerate'")
+    from repro.glitchsim.harness import ENGINES
+
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
     program = assemble(source, base=FLASH_BASE)
     target_index = (program.symbols["target"] - FLASH_BASE) // 2
     halfwords = program.halfwords
@@ -176,10 +186,15 @@ def sweep_instruction_class(
     if tally == "algebra":
         from repro.glitchsim.maskalgebra import reachable_words, tally_from_word_outcomes
 
-        word_buckets = {
-            word: _classify(halfwords, target_index, word, judge_kind)
-            for word in reachable_words(original, model, 16, ks)
-        }
+        words = list(reachable_words(original, model, 16, ks))
+        word_buckets = None
+        if engine == "vector":
+            word_buckets = _classify_vector(halfwords, target_index, words, judge_kind)
+        if word_buckets is None:
+            word_buckets = {
+                word: _classify(halfwords, target_index, word, judge_kind)
+                for word in words
+            }
         for counter in tally_from_word_outcomes(original, model, word_buckets, ks, 16).values():
             for bucket, count in counter.items():
                 result.attempts += count
@@ -206,6 +221,66 @@ def sweep_instruction_class(
             else:
                 result.derailments += 1
     return result
+
+
+def _classify_vector(
+    halfwords: list[int], index: int, words: list[int], judge_kind: str
+) -> dict[int, str] | None:
+    """Batch-classify every unique corrupted word as one lock-step run.
+
+    The setup prefix never fetches or reads the target slot, so it runs
+    once on the scalar CPU up to the target instruction; the NumPy engine
+    resumes every lane from that state with the leftover step budget —
+    exactly the continuous ``cpu.run(64)`` the rebuild path performs.
+    Returns ``None`` when no valid replay point exists (prefix faulted or
+    never reached the target), which sends the sweep down the scalar path.
+    """
+    from repro.bits import halfwords_to_bytes
+    from repro.emu.vector import ST_FALLBACK, ST_HALTED, VectorEngine
+
+    target_address = FLASH_BASE + 2 * index
+    memory = Memory()
+    memory.map("flash", FLASH_BASE, 0x400, writable=False, executable=True)
+    memory.map("ram", RAM_BASE, RAM_SIZE)
+    memory.load(FLASH_BASE, halfwords_to_bytes(halfwords))
+    cpu = CPU(memory)
+    cpu.pc = FLASH_BASE
+    cpu.sp = RAM_BASE + RAM_SIZE
+    try:
+        prefix = cpu.run(64, stop_addresses=(target_address,))
+    except EmulationFault:
+        return None
+    if prefix.reason != "stop_addr":
+        return None
+    engine = VectorEngine(
+        flash_base=FLASH_BASE,
+        flash_bytes=bytes(memory.region_at(FLASH_BASE).data),
+        target_address=target_address,
+        ram_base=RAM_BASE,
+        ram_bytes=bytes(memory.region_at(RAM_BASE).data),
+        init_regs=cpu.regs,
+        init_flags=cpu.flags,
+        budget=64 - prefix.steps,
+        zero_is_invalid=False,
+    )
+    batch = engine.run(words)
+    if judge_kind == "store":
+        job_done = batch.read_ram_u32(0x2000_0800) == 0xCAFE0042
+    elif judge_kind == "compare":
+        job_done = batch.regs[3] == 1
+    else:
+        expected = {"load": 0xCAFE0042, "alu": 42, "move": 0x5A}[judge_kind]
+        job_done = batch.regs[2] == expected
+    buckets: dict[int, str] = {}
+    status = batch.status
+    for i, word in enumerate(words):
+        if status[i] == ST_FALLBACK:
+            buckets[word] = _classify(halfwords, index, word, judge_kind)
+        elif status[i] == ST_HALTED:
+            buckets[word] = "effective" if job_done[i] else "silent"
+        else:
+            buckets[word] = "derailed"
+    return buckets
 
 
 def _classify(halfwords: list[int], index: int, corrupted: int, judge_kind: str) -> str:

@@ -42,6 +42,8 @@ from collections import Counter
 from math import comb
 from typing import Iterable, Mapping, Optional
 
+import numpy as np
+
 from repro.bits import FLIP_MODELS, hamming_distance, iter_masks, mask, popcount
 
 MODELS = tuple(sorted(FLIP_MODELS))  # ("and", "or", "xor")
@@ -112,7 +114,7 @@ def reachable_words(
             word | sub for sub in _submasks(zeros) if popcount(sub) in allowed
         )
     # xor: distance-k shells; the full range is simply every word
-    if full:
+    if full or set(range(width + 1)).issubset(ks):
         return list(range(1 << width))
     words: list[int] = []
     for k in sorted({k for k in ks if 0 <= k <= width}):
@@ -175,37 +177,41 @@ def tally_from_word_outcomes(
     p = popcount(target)
 
     # Group the reachable words by their determined-bit count j; the per-k
-    # tallies are then linear combinations of these group Counters.
+    # tallies are then linear combinations of these group Counters. The
+    # grouping is a single vectorized pass: word keys and interned category
+    # codes become arrays, popcounts/reachability are array ops, and one
+    # ``np.unique`` yields every (j, category) group count exactly.
+    free = {"and": width - p, "or": p, "xor": 0}[model]
     per_j: dict[int, Counter] = {}
-    if model == "and":
-        inverse = ~target & mask(width)
-        for word, category in word_outcomes.items():
-            if word & inverse:
-                continue  # not a submask of the target: unreachable
-            j = p - popcount(word)
-            counter = per_j.get(j)
+    n = len(word_outcomes)
+    if n:
+        keys = np.fromiter(word_outcomes.keys(), dtype=np.uint64, count=n)
+        code_of: dict[str, int] = {}
+        codes = np.fromiter(
+            (code_of.setdefault(c, len(code_of)) for c in word_outcomes.values()),
+            dtype=np.int64,
+            count=n,
+        )
+        names = list(code_of)
+        if model == "and":
+            valid = (keys & np.uint64(~target & mask(width))) == 0
+            j = p - np.bitwise_count(keys).astype(np.int64)
+        elif model == "or":
+            valid = (np.uint64(target) & ~keys) == 0
+            j = np.bitwise_count(keys).astype(np.int64) - p
+        else:  # xor: j is the Hamming distance and the multiplicity is 1
+            valid = np.ones(n, dtype=bool)
+            j = np.bitwise_count(
+                (keys & np.uint64(mask(width))) ^ np.uint64(target)
+            ).astype(np.int64)
+        ncat = len(names)
+        groups, counts = np.unique(j[valid] * ncat + codes[valid], return_counts=True)
+        for value, count in zip(groups.tolist(), counts.tolist()):
+            group_j = value // ncat  # floor division keeps negative j intact
+            counter = per_j.get(group_j)
             if counter is None:
-                counter = per_j[j] = Counter()
-            counter[category] += 1
-        free = width - p
-    elif model == "or":
-        for word, category in word_outcomes.items():
-            if target & ~word:
-                continue  # missing a target bit: unreachable
-            j = popcount(word) - p
-            counter = per_j.get(j)
-            if counter is None:
-                counter = per_j[j] = Counter()
-            counter[category] += 1
-        free = p
-    else:  # xor: j is the Hamming distance and the multiplicity is 1
-        for word, category in word_outcomes.items():
-            j = hamming_distance(word & mask(width), target)
-            counter = per_j.get(j)
-            if counter is None:
-                counter = per_j[j] = Counter()
-            counter[category] += 1
-        free = 0
+                counter = per_j[group_j] = Counter()
+            counter[names[value - group_j * ncat]] += count
 
     by_k: dict[int, Counter] = {}
     for k in ks:

@@ -241,6 +241,7 @@ class TestCampaignObservability:
             )
         assert obs.counters["cache.hits"] == cache.hits
         assert obs.counters["cache.misses"] == cache.misses
+        assert obs.counters.get("cache.memo_hits", 0) == cache.memo_hits
         assert cache.misses > 0
         assert obs.counters.get("exec.retries", 0) == 0
         assert obs.counters.get("exec.quarantined", 0) == len(result.failed_units) == 0
@@ -309,6 +310,48 @@ class TestCampaignObservability:
         baseline = run_branch_campaign("and", **SLICE)
         observed = run_branch_campaign("and", obs=Observer(), **SLICE)
         assert repr(baseline.sweeps) == repr(observed.sweeps)
+
+
+class TestMemoHitAccounting:
+    """Serial `run()` loops and batched `run_many` report identical
+    hit/miss/memo totals — memo hits used to be invisible to accounting."""
+
+    WORDS = [1, 2, 3, 1, 2, 70000]  # dups + a word that aliases after masking
+
+    @staticmethod
+    def _harness(tmp_path, tag):
+        from repro.glitchsim.harness import SnippetHarness
+        from repro.glitchsim.snippets import branch_snippet
+
+        cache = OutcomeCache(tmp_path / tag)
+        return SnippetHarness(branch_snippet("eq"), disk_cache=cache), cache
+
+    def _totals(self, cache):
+        return (cache.hits, cache.misses, cache.memo_hits)
+
+    def test_serial_equals_batched_cold_and_warm(self, tmp_path):
+        serial, serial_cache = self._harness(tmp_path, "serial")
+        for word in self.WORDS:
+            serial.run(word)
+        batched, batched_cache = self._harness(tmp_path, "batched")
+        batched.run_many(self.WORDS)
+        assert self._totals(serial_cache) == self._totals(batched_cache) == (0, 4, 2)
+        serial_cache.flush()
+        batched_cache.flush()
+
+        # warm disk, fresh harnesses: every unique word is now a shard hit
+        serial2, serial2_cache = self._harness(tmp_path, "serial")
+        for word in self.WORDS:
+            serial2.run(word)
+        batched2, batched2_cache = self._harness(tmp_path, "batched")
+        batched2.run_many(self.WORDS)
+        assert self._totals(serial2_cache) == self._totals(batched2_cache) == (4, 0, 2)
+
+    def test_memo_hits_surface_in_render_report(self):
+        obs = Observer()
+        obs.count("cache.memo_hits", 2)
+        obs.close()
+        assert "cache.memo_hits" in render_report(obs.events)
 
 
 # ----------------------------------------------------------------------
