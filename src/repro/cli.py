@@ -121,6 +121,7 @@ def cmd_attack(args) -> int:
         result = run_defense_scan(
             hardened.image, args.attack,
             scenario=args.source, defense=config.describe(), stride=args.stride,
+            fault_model=args.fault_model, profile=args.profile,
             workers=args.workers, progress=_progress_reporter(args),
             checkpoint_dir=args.checkpoint_dir, resume=args.resume,
             retries=args.retries, unit_timeout=args.unit_timeout,
@@ -157,6 +158,7 @@ def cmd_experiment(args) -> int:
     obs = _observer_from_args(args, f"experiment-{name}")
     robust = dict(checkpoint_dir=args.checkpoint_dir, resume=args.resume,
                   retries=args.retries, unit_timeout=args.unit_timeout, obs=obs)
+    model = dict(fault_model=args.fault_model, profile=args.profile)
     try:
         if name == "fig2":
             result = experiments.run_figure2(
@@ -165,25 +167,26 @@ def cmd_experiment(args) -> int:
             )
         elif name == "table1":
             result = experiments.run_table1(stride=args.stride, workers=workers,
-                                            progress=progress, **robust)
+                                            progress=progress, **model, **robust)
         elif name == "table2":
             result = experiments.run_table2(stride=args.stride, workers=workers,
-                                            progress=progress, **robust)
+                                            progress=progress, **model, **robust)
         elif name == "table3":
             result = experiments.run_table3(stride=args.stride, workers=workers,
-                                            progress=progress, **robust)
+                                            progress=progress, **model, **robust)
         elif name == "table4":
             result = experiments.run_table4()
         elif name == "table5":
             result = experiments.run_table5()
         elif name == "table6":
             result = experiments.run_table6(stride=args.stride, workers=workers,
-                                            progress=progress, **robust)
+                                            progress=progress, **model, **robust)
         elif name == "table7":
             result = experiments.run_table7()
         elif name == "search":
             result = experiments.run_search(checkpoint_dir=args.checkpoint_dir,
-                                            resume=args.resume, obs=obs)
+                                            resume=args.resume, obs=obs,
+                                            **model)
         else:  # pragma: no cover - argparse restricts choices
             raise ValueError(name)
     finally:
@@ -235,6 +238,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_attack.add_argument("--attack", choices=["single", "long", "windowed"],
                           default="single")
     p_attack.add_argument("--stride", type=int, default=4)
+    _add_fault_model_flags(p_attack)
     p_attack.add_argument("--workers", type=int, default=1,
                           help="worker processes for the scan (0 = all cores)")
     p_attack.add_argument("--progress", action="store_true",
@@ -249,6 +253,7 @@ def build_parser() -> argparse.ArgumentParser:
         "table6", "table7", "search",
     ])
     p_exp.add_argument("--stride", type=int, default=4)
+    _add_fault_model_flags(p_exp)
     p_exp.add_argument("--workers", type=int, default=1,
                        help="worker processes for campaign/scan experiments "
                             "(0 = all cores; table4/5/7 and search are serial)")
@@ -278,6 +283,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.set_defaults(func=cmd_report)
 
     return parser
+
+
+def _add_fault_model_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--fault-model",
+                        choices=["clock", "voltage", "em", "skip", "replay"],
+                        default=None,
+                        help="injection phenomenology for hw-scan campaigns "
+                             "(repro.hw.models registry; default: the paper's "
+                             "clock-glitch model)")
+    parser.add_argument("--profile", default=None, metavar="NAME",
+                        help="named calibration profile (seed/amplitude/band "
+                             "bundle) from repro.hw.models.PROFILES, e.g. "
+                             "em-probe-4mm; implies its fault model")
 
 
 def _add_robustness_flags(parser: argparse.ArgumentParser) -> None:

@@ -49,10 +49,11 @@ class SearchExperiment:
 def run_search(
     guards: tuple[str, ...] = ("a", "a_ne_const", "not_a"),
     coarse_stride: int = 4,
-    fault_model: FaultModel | None = None,
+    fault_model: FaultModel | str | None = None,
     checkpoint_dir=None,
     resume: bool = False,
     obs=None,
+    profile=None,
 ) -> SearchExperiment:
     from repro.obs import coerce_observer
 
@@ -63,6 +64,7 @@ def run_search(
             search = ParameterSearch(
                 guard, coarse_stride=coarse_stride, fault_model=fault_model,
                 checkpoint_dir=checkpoint_dir, resume=resume, obs=obs,
+                profile=profile,
             )
             try:
                 experiment.results[guard] = search.run()

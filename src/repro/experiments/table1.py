@@ -19,36 +19,42 @@ PAPER_TOTALS = {
 
 @dataclass
 class Table1Result:
+    #: the first (or only) model's scans — the historical single-model shape
     scans: dict[str, SingleGlitchScan] = field(default_factory=dict)
+    #: per-model axis: model label → guard → scan
+    by_model: dict[str, dict[str, SingleGlitchScan]] = field(default_factory=dict)
 
     def render(self) -> str:
         parts = []
-        for guard, scan in self.scans.items():
-            descriptor = guard_descriptor(guard)
-            rows = []
-            for row in scan.rows:
-                top = ", ".join(
-                    f"{value:#x}×{count}"
-                    for value, count in row.register_values.most_common(4)
+        models = self.by_model or {"clock": self.scans}
+        for label, scans in models.items():
+            model_note = f" [{label} model]" if len(models) > 1 else ""
+            for guard, scan in scans.items():
+                descriptor = guard_descriptor(guard)
+                rows = []
+                for row in scan.rows:
+                    top = ", ".join(
+                        f"{value:#x}×{count}"
+                        for value, count in row.register_values.most_common(4)
+                    )
+                    rows.append([row.cycle, row.instruction, row.successes, top])
+                reference = PAPER_TOTALS[guard]
+                title = (
+                    f"Table I ({descriptor.description}){model_note} — "
+                    f"total {scan.total_successes}/{scan.total_attempts} "
+                    f"({scan.success_rate * 100:.3f}%), "
+                    f"{scan.unique_register_values} unique register values "
+                    f"[paper: {reference['successes']} succ, "
+                    f"{reference['rate'] * 100:.3f}%, {reference['unique_registers']} unique]"
                 )
-                rows.append([row.cycle, row.instruction, row.successes, top])
-            reference = PAPER_TOTALS[guard]
-            title = (
-                f"Table I ({descriptor.description}) — "
-                f"total {scan.total_successes}/{scan.total_attempts} "
-                f"({scan.success_rate * 100:.3f}%), "
-                f"{scan.unique_register_values} unique register values "
-                f"[paper: {reference['successes']} succ, "
-                f"{reference['rate'] * 100:.3f}%, {reference['unique_registers']} unique]"
-            )
-            parts.append(
-                render_table(
-                    title,
-                    ["Cycle", "Instruction", "Successes", f"R{descriptor.comparator_register} (top)"],
-                    rows,
+                parts.append(
+                    render_table(
+                        title,
+                        ["Cycle", "Instruction", "Successes", f"R{descriptor.comparator_register} (top)"],
+                        rows,
+                    )
                 )
-            )
-            parts.append("")
+                parts.append("")
         return "\n".join(parts)
 
     def ordering_matches_paper(self) -> bool:
@@ -60,7 +66,7 @@ class Table1Result:
 def run_table1(
     stride: int = 1,
     cycles=range(8),
-    fault_model: FaultModel | None = None,
+    fault_model: FaultModel | str | None = None,
     workers: int = 1,
     progress=None,
     checkpoint_dir=None,
@@ -68,19 +74,37 @@ def run_table1(
     retries: int = 0,
     unit_timeout=None,
     obs=None,
+    profile=None,
+    fault_models=None,
 ) -> Table1Result:
+    """Run Table I, optionally once per fault model.
+
+    ``fault_model``/``profile`` select a single model (name, instance, or
+    calibration profile); ``fault_models`` (an iterable of names or
+    instances) opens the per-model axis and fills ``result.by_model``.
+    The default is the paper's clock model, bit-identical to before the
+    registry existed.
+    """
+    from repro.hw.models import model_checkpoint_dir as _model_checkpoint_dir
+    from repro.hw.models import resolve_model_axis
     from repro.obs import coerce_observer
 
+    axis = resolve_model_axis(fault_model, fault_models, profile)
     obs = coerce_observer(obs)
     result = Table1Result()
     with obs.trace("table1", stride=stride):
-        for guard in GUARD_KINDS:
-            result.scans[guard] = run_single_glitch_scan(
-                guard, cycles=cycles, stride=stride, fault_model=fault_model,
-                workers=workers, progress=progress,
-                checkpoint_dir=checkpoint_dir, resume=resume,
-                retries=retries, unit_timeout=unit_timeout, obs=obs,
-            )
+        for label, model in axis:
+            scans: dict[str, SingleGlitchScan] = {}
+            for guard in GUARD_KINDS:
+                scans[guard] = run_single_glitch_scan(
+                    guard, cycles=cycles, stride=stride, fault_model=model,
+                    workers=workers, progress=progress,
+                    checkpoint_dir=_model_checkpoint_dir(checkpoint_dir, label, axis),
+                    resume=resume,
+                    retries=retries, unit_timeout=unit_timeout, obs=obs,
+                )
+            result.by_model[label] = scans
+    result.scans = next(iter(result.by_model.values()))
     return result
 
 

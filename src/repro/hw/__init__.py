@@ -8,6 +8,10 @@ with a simulated equivalent:
   into the clock cycle; Figure 1) and the scan grids.
 - :mod:`repro.hw.faults` — the fault-physics model mapping (width, offset,
   pipeline state) to corruption effects, deterministic per parameter point.
+- :mod:`repro.hw.em` — the EMFI (precise instruction replacement) and
+  skip/replay fault models from the related work.
+- :mod:`repro.hw.models` — the pluggable fault-model registry
+  (``FAULT_MODELS``) and named ``CalibrationProfile`` bench calibrations.
 - :mod:`repro.hw.pipeline` — 3-stage fetch/decode/execute pipeline with
   Cortex-M0 cycle timings, built over :mod:`repro.emu`.
 - :mod:`repro.hw.mcu` — the board: flash, SRAM, GPIO trigger, seed flash
@@ -19,7 +23,18 @@ with a simulated equivalent:
 """
 
 from repro.hw.clock import GlitchParams, WIDTH_RANGE, OFFSET_RANGE, iter_width_offset_grid
-from repro.hw.faults import FaultEffect, FaultModel
+from repro.hw.faults import EFFECT_KINDS, FaultEffect, FaultModel, PipelineView
+from repro.hw.em import EMFaultModel, SkipReplayModel
+from repro.hw.models import (
+    CalibrationProfile,
+    FAULT_MODELS,
+    PROFILES,
+    model_label,
+    register_fault_model,
+    register_profile,
+    resolve_fault_model,
+    resolve_model_axis,
+)
 from repro.hw.mcu import Board, FLASH_BASE, SRAM_BASE, GPIO_BASE
 from repro.hw.pipeline import PipelinedCPU
 from repro.hw.glitcher import AttemptResult, ClockGlitcher
@@ -39,8 +54,20 @@ __all__ = [
     "WIDTH_RANGE",
     "OFFSET_RANGE",
     "iter_width_offset_grid",
+    "EFFECT_KINDS",
     "FaultEffect",
     "FaultModel",
+    "PipelineView",
+    "EMFaultModel",
+    "SkipReplayModel",
+    "CalibrationProfile",
+    "FAULT_MODELS",
+    "PROFILES",
+    "model_label",
+    "register_fault_model",
+    "register_profile",
+    "resolve_fault_model",
+    "resolve_model_axis",
     "Board",
     "FLASH_BASE",
     "SRAM_BASE",

@@ -1,0 +1,142 @@
+"""Electromagnetic fault injection, and the skip/replay abstractions.
+
+Moro et al. (PAPERS.md) characterize EMFI against a 32-bit MCU very
+differently from the timing-violation picture behind clock and voltage
+glitching: the pulse couples into the flash/prefetch path, so "the fault
+model is a precise instruction replacement" — the fetched or latched
+encoding is corrupted with a *narrow*, *bidirectional* bit flip while the
+execute stage is barely touched.  :class:`EMFaultModel` re-weights the
+shared phenomenology machinery accordingly:
+
+- realization lands overwhelmingly on the fetch bus / decode latch;
+- flips are XOR-dominant (set and clear both occur, unlike the 1→0
+  bias of clock glitches);
+- masks stay 1-2 bits wide even for long pulses — an EM pulse corrupts
+  one encoding precisely rather than starving the bus for many cycles.
+
+:class:`SkipReplayModel` is the higher-level abstraction both Moro et al.
+and Lu use when reasoning about countermeasures: a faulted instruction
+either does not execute at all (*skip*, modeled as a NOP replacement) or
+the previous instruction executes again in its place (*replay*, the
+prefetch buffer serving stale content).  It realizes every bite as a
+single deterministic ``skip``/``replay`` effect, which
+:mod:`repro.hw.pipeline` applies at instruction completion.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import GlitchConfigError
+from repro.hw.clock import GlitchParams
+from repro.hw.faults import FaultEffect, FaultModel, PipelineView
+
+
+class EMFaultModel(FaultModel):
+    """Moro-et-al.-style EMFI: precise instruction replacement in the front end."""
+
+    def __init__(self, seed: int = 0xE1EC_7120, **kwargs):
+        defaults = dict(
+            fault_amplitude=0.90,
+            crash_amplitude=0.30,   # pulses rarely brown the core out
+            width_center=12.0,      # pulse-power knob on the shared grid
+            width_sigma=11.0,
+            offset_center=8.0,
+            offset_sigma=12.0,
+            follow_up_attenuation=0.30,  # coil recharge hurts rapid pairs
+        )
+        defaults.update(kwargs)
+        super().__init__(seed=seed, **defaults)
+
+    def _pick_kind(
+        self, params: GlitchParams, rel_cycle: int, view: PipelineView, occurrence: int
+    ) -> Optional[str]:
+        weights: list[tuple[str, float]] = []
+        if view.has_fetch:
+            weights.append(("fetch", 0.78))
+        if view.has_decode:
+            weights.append(("decode", 0.16))
+        # the execute stage is nearly immune — tiny residual couplings only
+        if view.executing_class == "load":
+            weights.append(("load_data", 0.03))
+        elif view.executing_class == "compare":
+            weights.append(("cmp_transient", 0.04))
+        elif view.executing_class == "store":
+            weights.append(("store_data", 0.03))
+        elif view.executing_class == "branch":
+            weights.append(("branch_decision", 0.02))
+        elif view.executing_class == "alu":
+            weights.append(("writeback", 0.01))
+        names = tuple(name for name, _ in weights)
+        probabilities = tuple(weight for _, weight in weights)
+        return self._pick("kind", names, probabilities, params, rel_cycle, occurrence)
+
+    def _pick_mode(self, params: GlitchParams, rel_cycle: int, occurrence: int) -> str:
+        # bidirectional: EM pulses set and clear bits alike
+        return self._pick(
+            "mode", ("xor", "and", "or"), (0.56, 0.22, 0.22), params, rel_cycle, occurrence
+        )
+
+    def _mask(self, params: GlitchParams, rel_cycle: int, occurrence: int, bits: int) -> int:
+        # precise replacement: 1-2 flipped bits, independent of pulse length
+        count_roll = self._uniform("bits", params.width, params.offset, rel_cycle, occurrence)
+        count = 1 if count_roll < 0.75 else 2
+        mask = 0
+        for index in range(count):
+            position = int(
+                self._uniform("pos", params.width, params.offset, rel_cycle, occurrence, index)
+                * bits
+            ) % bits
+            mask |= 1 << position
+        return mask
+
+
+class SkipReplayModel(FaultModel):
+    """Deterministic instruction-skip / instruction-replay fault abstraction.
+
+    Every bite realizes as exactly one effect — ``skip`` (the executing
+    instruction never commits) or ``replay`` (the previously retired
+    instruction executes again in its place) — with no mask randomness,
+    so the same (seed, params, cycle) always yields the same corruption.
+    """
+
+    EFFECTS = ("skip", "replay")
+
+    def __init__(self, effect: str = "skip", seed: int = 0x5EED_517E, **kwargs):
+        if effect not in self.EFFECTS:
+            raise GlitchConfigError(
+                f"SkipReplayModel effect must be one of {self.EFFECTS}, got {effect!r}"
+            )
+        defaults = dict(
+            fault_amplitude=0.90,
+            crash_amplitude=0.25,
+            follow_up_attenuation=0.60,
+        )
+        defaults.update(kwargs)
+        super().__init__(seed=seed, **defaults)
+        self.effect = effect
+
+    def effect_at(
+        self,
+        params: GlitchParams,
+        rel_cycle: int,
+        view: PipelineView,
+        occurrence: int,
+        window_index: int = 0,
+        absolute_cycle: Optional[int] = None,
+    ) -> Optional[FaultEffect]:
+        decision = self.occurrence_decision(params, rel_cycle)
+        if decision is None:
+            return None
+        if decision == "crash":
+            return FaultEffect(kind="reset", rel_cycle=rel_cycle)
+        if window_index > 0:
+            follow = self._uniform(
+                "follow", params.width, params.offset, rel_cycle, window_index, occurrence
+            )
+            if follow >= self.follow_up_attenuation:
+                return None
+        return FaultEffect(kind=self.effect, rel_cycle=rel_cycle)
+
+
+__all__ = ["EMFaultModel", "SkipReplayModel"]

@@ -46,6 +46,8 @@ EFFECT_KINDS = (
     "store_data",  # corrupt the data written by a store
     "writeback",   # corrupt an ALU result being written back
     "branch_decision",  # flip a conditional branch's taken/not-taken decision
+    "skip",        # squash the executing instruction (issues but never commits)
+    "replay",      # re-execute the previously retired instruction instead
     "reset",       # the glitch crashed the core (brown-out / lockup)
 )
 
@@ -100,6 +102,14 @@ class FaultModel:
         #: "there are numerous physical limitations to generating multiple
         #: glitches in rapid succession" (§V-C)
         self.follow_up_attenuation = follow_up_attenuation
+
+    def begin_run(self) -> None:
+        """Reset per-run state before an attempt starts.
+
+        The clock model is stateless, so this is a no-op; stateful models
+        (the voltage model's recharge capacitor) override it so that any
+        driver — glitcher, scan, or direct use — starts each run clean.
+        """
 
     # ------------------------------------------------------------------
     # susceptibility field
@@ -158,6 +168,11 @@ class FaultModel:
             if follow >= self.follow_up_attenuation:
                 return None
         kind = self._pick_kind(params, rel_cycle, view, occurrence)
+        if kind is None:
+            # Nothing corruptible is visible at this cycle (a stalled
+            # pipeline view with no latches and an unmatched executing
+            # class): the glitch fires into dead air.
+            return None
         if kind == "load_data":
             # "zero" models a failed load writing 0 (§V-D's long-glitch
             # hypothesis); "wrong_reg" models §V-A's observation that "the
@@ -221,7 +236,7 @@ class FaultModel:
 
     def _pick_kind(
         self, params: GlitchParams, rel_cycle: int, view: PipelineView, occurrence: int
-    ) -> str:
+    ) -> Optional[str]:
         weights: list[tuple[str, float]] = []
         if view.has_fetch:
             weights.append(("fetch", 0.45))
@@ -284,7 +299,9 @@ class FaultModel:
         params: GlitchParams,
         rel_cycle: int,
         occurrence: int,
-    ) -> str:
+    ) -> Optional[str]:
+        if not names:
+            return None
         total = sum(weights)
         roll = self._uniform(label, params.width, params.offset, rel_cycle, occurrence) * total
         cumulative = 0.0

@@ -116,15 +116,20 @@ class ClockGlitcher:
     def __init__(
         self,
         firmware: AssembledProgram,
-        fault_model: Optional[FaultModel] = None,
+        fault_model=None,
         win_symbol: str = "win",
         detect_symbol: Optional[str] = None,
         expected_triggers: int = 1,
         zero_is_invalid: bool = False,
         replay: bool = True,
+        profile=None,
     ):
+        from repro.hw.models import resolve_fault_model
+
         self.board = Board(firmware, zero_is_invalid=zero_is_invalid)
-        self.fault_model = fault_model or FaultModel()
+        # fault_model accepts an instance or a registered name; profile a
+        # named CalibrationProfile (repro.hw.models)
+        self.fault_model = resolve_fault_model(fault_model, profile) or FaultModel()
         self.firmware = firmware
         self.expected_triggers = expected_triggers
         self.win_address = firmware.symbols.get(win_symbol)
@@ -196,6 +201,9 @@ class ClockGlitcher:
         self, params: Optional[GlitchParams], max_cycles: int = BOOT_BUDGET
     ) -> AttemptResult:
         board = self.board
+        # a no-op for stateless models; resets e.g. the voltage model's
+        # recharge capacitor so every attempt starts a fresh run
+        self.fault_model.begin_run()
         baseline = self._usable_baseline()
         if baseline is not None:
             # Baseline replay: rewind memory (copy-on-write journal) and

@@ -82,6 +82,9 @@ class PipelineState:
         The board's bus-residue hint (feeds the fault model's
         ``bus_residue`` substitution), carried so replays corrupt loads
         with the same residual value a fresh run would.
+    last_retired_raw : tuple or None
+        Raw halfwords of the most recently retired instruction — the
+        victim a ``replay`` fault re-executes.
     """
 
     cpu: CPUSnapshot
@@ -94,6 +97,7 @@ class PipelineState:
     stopped_at: Optional[int]
     milestones: tuple[tuple[int, int], ...]
     last_bus_address: Optional[int]
+    last_retired_raw: Optional[tuple[int, ...]] = None
 
 
 class PipelinedCPU:
@@ -114,6 +118,8 @@ class PipelinedCPU:
         #: addresses whose issue is recorded (cycle, address) without stopping
         self.milestone_addresses: frozenset[int] = frozenset()
         self.milestones: list[tuple[int, int]] = []
+        #: raw halfwords of the last retired instruction (replay-fault victim)
+        self._last_retired_raw: Optional[tuple[int, ...]] = None
         #: called as trace_hook(cycle, address, raw) when an instruction
         #: occupies the execute stage (each cycle it occupies it)
         self.trace_hook: Optional[Callable[[int, int, tuple[int, ...]], None]] = None
@@ -212,6 +218,7 @@ class PipelinedCPU:
             stopped_at=self.stopped_at,
             milestones=tuple(self.milestones),
             last_bus_address=getattr(self.cpu, "last_bus_address", None),
+            last_retired_raw=self._last_retired_raw,
         )
 
     def restore_state(self, state: PipelineState) -> None:
@@ -243,6 +250,7 @@ class PipelinedCPU:
         self.retired = state.retired
         self.stopped_at = state.stopped_at
         self.milestones = list(state.milestones)
+        self._last_retired_raw = state.last_retired_raw
 
     # ------------------------------------------------------------------
     # stages
@@ -274,7 +282,8 @@ class PipelinedCPU:
         if slot is None:
             return False
         if effect is not None and effect.kind in (
-            "load_data", "store_data", "writeback", "branch_decision", "cmp_transient"
+            "load_data", "store_data", "writeback", "branch_decision",
+            "cmp_transient", "skip", "replay",
         ):
             slot.pending_effects.append(effect)
         slot.cycles_left -= 1
@@ -305,22 +314,39 @@ class PipelinedCPU:
 
     def _complete(self, slot: _Slot) -> None:
         """Architecturally execute the slot, applying any pending corruptions."""
-        instr = self._decode_slot(slot)
+        skip = any(effect.kind == "skip" for effect in slot.pending_effects)
+        replay = any(effect.kind == "replay" for effect in slot.pending_effects)
+        victim_raw = slot.raw
+        if replay and not skip and self._last_retired_raw is not None:
+            # Re-issue the previously retired instruction in place of this
+            # one; control falls through past the displaced instruction.
+            victim_raw = self._last_retired_raw
+        elif skip or replay:
+            # Skip (or a replay with no retired predecessor): the
+            # instruction issues but its architectural effects never
+            # commit — the canonical "instruction skip" abstraction.
+            self.cpu.pc = slot.address + 2 * len(slot.raw)
+            self.retired += 1
+            return
+        instr = self._decode_raw(victim_raw)
         instr = self._apply_pre_effects(slot, instr)
         address = slot.address
-        fallthrough = address + instr.size
+        # A replayed victim may differ in size from the displaced slot, so
+        # fall through past the *displaced* instruction, not the victim.
+        fallthrough = address + (2 * len(slot.raw) if replay else instr.size)
         self._pre_regs = list(self.cpu.regs) if slot.pending_effects else None
         self.cpu.pc = fallthrough
         self.cpu.execute(instr, address)
         self.retired += 1
+        self._last_retired_raw = victim_raw
         self._apply_post_effects(slot, instr)
         if self.cpu.pc != fallthrough:
             self._flush(self.cpu.pc)
 
-    def _decode_slot(self, slot: _Slot) -> Instruction:
-        if len(slot.raw) == 2:
-            return decode(slot.raw[0], slot.raw[1], zero_is_invalid=self.cpu.zero_is_invalid)
-        return decode(slot.raw[0], zero_is_invalid=self.cpu.zero_is_invalid)
+    def _decode_raw(self, raw: tuple[int, ...]) -> Instruction:
+        if len(raw) == 2:
+            return decode(raw[0], raw[1], zero_is_invalid=self.cpu.zero_is_invalid)
+        return decode(raw[0], zero_is_invalid=self.cpu.zero_is_invalid)
 
     def _apply_pre_effects(self, slot: _Slot, instr: Instruction) -> Instruction:
         from dataclasses import replace

@@ -30,6 +30,7 @@ from repro.exec import (
 from repro.hw.clock import GRID_POINTS, GlitchParams, OFFSET_RANGE, WIDTH_RANGE
 from repro.hw.faults import FaultModel
 from repro.hw.glitcher import AttemptResult, ClockGlitcher
+from repro.hw.models import model_label, resolve_fault_model
 from repro.isa.disassembler import disassemble_one
 from repro.obs import Observer, coerce_observer
 
@@ -327,6 +328,7 @@ def _scan_checkpoint(
         "cycles": list(cycles),
         "stride": stride,
         "fault_seed": fault_model.seed if fault_model is not None else None,
+        "fault_model": model_label(fault_model),
     }
     return open_campaign_checkpoint(
         checkpoint_dir, f"scan-{kind}-{guard}", meta, resume=resume
@@ -353,7 +355,7 @@ def _guard_row_unit(spec: _GuardRowSpec):
 def run_single_glitch_scan(
     guard: str,
     cycles: Iterable[int] = range(8),
-    fault_model: Optional[FaultModel] = None,
+    fault_model=None,
     stride: int = 1,
     glitcher: Optional[ClockGlitcher] = None,
     workers: int = 1,
@@ -364,13 +366,18 @@ def run_single_glitch_scan(
     unit_timeout: Optional[float] = None,
     obs: Optional[Observer] = None,
     chunk_size: Optional[int] = None,
+    profile=None,
 ) -> SingleGlitchScan:
     """Table I: scan every (width, offset) for each glitched clock cycle.
 
+    ``fault_model`` accepts a :class:`FaultModel` instance or a registered
+    model name; ``profile`` a named calibration from
+    :data:`repro.hw.models.PROFILES` (see :func:`resolve_fault_model`).
+
     ``workers`` distributes the per-cycle rows over processes. A pre-built
     ``glitcher`` carries its own fault model, so combining it with
-    ``fault_model`` (or with ``workers > 1`` — a live board cannot be
-    shipped to worker processes) raises ``ValueError``.
+    ``fault_model``/``profile`` (or with ``workers > 1`` — a live board
+    cannot be shipped to worker processes) raises ``ValueError``.
 
     ``checkpoint_dir``/``resume`` persist completed rows (keyed by cycle)
     so an interrupted scan restarts only its missing cycles; ``retries``/
@@ -379,12 +386,13 @@ def run_single_glitch_scan(
     """
     from repro.firmware.loops import build_guard_firmware, guard_descriptor
 
-    if glitcher is not None and fault_model is not None:
+    if glitcher is not None and (fault_model is not None or profile is not None):
         raise ValueError(
-            "pass either a pre-built glitcher or a fault_model, not both: the "
-            "glitcher was already constructed with its own fault model, so the "
-            "fault_model argument would be silently ignored"
+            "pass either a pre-built glitcher or a fault_model/profile, not "
+            "both: the glitcher was already constructed with its own fault "
+            "model, so the fault_model argument would be silently ignored"
         )
+    fault_model = resolve_fault_model(fault_model, profile)
     _validate_stride(stride)
     cycles = list(cycles)
     descriptor = guard_descriptor(guard)
@@ -441,7 +449,7 @@ def run_single_glitch_scan(
 def run_multi_glitch_scan(
     guard: str,
     cycles: Iterable[int] = range(8),
-    fault_model: Optional[FaultModel] = None,
+    fault_model=None,
     stride: int = 1,
     workers: int = 1,
     progress: Optional[ProgressReporter] = None,
@@ -451,10 +459,12 @@ def run_multi_glitch_scan(
     unit_timeout: Optional[float] = None,
     obs: Optional[Observer] = None,
     chunk_size: Optional[int] = None,
+    profile=None,
 ) -> MultiGlitchScan:
     """Table II: the same glitch fired after each of two triggers."""
     from repro.firmware.loops import build_guard_firmware
 
+    fault_model = resolve_fault_model(fault_model, profile)
     _validate_stride(stride)
     cycles = list(cycles)
     firmware = build_guard_firmware(guard, "double")
@@ -500,7 +510,7 @@ def run_multi_glitch_scan(
 def run_long_glitch_scan(
     guard: str,
     last_cycles: Iterable[int] = range(10, 21),
-    fault_model: Optional[FaultModel] = None,
+    fault_model=None,
     stride: int = 1,
     workers: int = 1,
     progress: Optional[ProgressReporter] = None,
@@ -510,10 +520,12 @@ def run_long_glitch_scan(
     unit_timeout: Optional[float] = None,
     obs: Optional[Observer] = None,
     chunk_size: Optional[int] = None,
+    profile=None,
 ) -> LongGlitchScan:
     """Table III: one glitch spanning cycles 0..last over two adjacent loops."""
     from repro.firmware.loops import build_guard_firmware
 
+    fault_model = resolve_fault_model(fault_model, profile)
     _validate_stride(stride)
     last_cycles = list(last_cycles)
     firmware = build_guard_firmware(guard, "contiguous")
@@ -649,7 +661,7 @@ def run_defense_scan(
     attack: str,
     scenario: str = "",
     defense: str = "",
-    fault_model: Optional[FaultModel] = None,
+    fault_model=None,
     stride: int = 1,
     detect_symbol: Optional[str] = "gr_detected",
     workers: int = 1,
@@ -660,6 +672,7 @@ def run_defense_scan(
     unit_timeout: Optional[float] = None,
     obs: Optional[Observer] = None,
     chunk_size: Optional[int] = None,
+    profile=None,
 ) -> DefenseScanResult:
     """Attack a (possibly defended) firmware image with one Table VI attack.
 
@@ -675,6 +688,7 @@ def run_defense_scan(
         shape = ATTACK_SHAPES[attack]
     except KeyError:
         raise ValueError(f"unknown attack {attack!r}; expected one of {sorted(ATTACK_SHAPES)}")
+    fault_model = resolve_fault_model(fault_model, profile)
     _validate_stride(stride)
     detect = detect_symbol if detect_symbol and detect_symbol in image.symbols else None
     obs = coerce_observer(obs)
@@ -693,6 +707,7 @@ def run_defense_scan(
             "stride": stride,
             "detect": detect,
             "fault_seed": fault_model.seed if fault_model is not None else None,
+            "fault_model": model_label(fault_model),
         }
         checkpoint = open_campaign_checkpoint(
             checkpoint_dir, f"defense-{attack}", meta, resume=resume

@@ -55,16 +55,19 @@ class ParameterSearch:
     def __init__(
         self,
         guard: str,
-        fault_model: Optional[FaultModel] = None,
+        fault_model=None,
         coarse_stride: int = 4,
         scan_cycles: int = 10,
         checkpoint_dir: Optional[str] = None,
         resume: bool = False,
         obs: Optional[Observer] = None,
+        profile=None,
     ):
         from repro.firmware.loops import build_guard_firmware
+        from repro.hw.models import model_label, resolve_fault_model
 
         self.guard = guard
+        fault_model = resolve_fault_model(fault_model, profile)
         firmware = build_guard_firmware(guard, "single")
         self.glitcher = ClockGlitcher(firmware, fault_model=fault_model)
         self.coarse_stride = coarse_stride
@@ -85,6 +88,7 @@ class ParameterSearch:
                 "coarse_stride": coarse_stride,
                 "scan_cycles": scan_cycles,
                 "fault_seed": fault_model.seed if fault_model is not None else None,
+                "fault_model": model_label(fault_model),
             }
             self._checkpoint = open_campaign_checkpoint(
                 checkpoint_dir, f"search-{guard}", meta, resume=resume,

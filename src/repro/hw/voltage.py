@@ -86,6 +86,10 @@ class VoltageFaultModel(FaultModel):
     def reset_recharge(self) -> None:
         self._last_bite_cycle = None
 
+    def begin_run(self) -> None:
+        """A fresh run starts with the injection capacitor fully charged."""
+        self.reset_recharge()
+
     def effect_at(
         self,
         params: GlitchParams,
@@ -97,7 +101,13 @@ class VoltageFaultModel(FaultModel):
     ) -> Optional[FaultEffect]:
         """Like the base model, but a bite discharges the injection capacitor:
         nothing bites again for ``recharge_cycles``."""
-        marker = absolute_cycle if absolute_cycle is not None else occurrence
+        # The dead time is measured in *cycles*. Prefer the board clock;
+        # without one, ``rel_cycle`` is still in cycle units (the glitcher
+        # always passes ``absolute_cycle``; direct callers may not).
+        # Comparing the *occurrence count* against the cycle budget — the
+        # old fallback — wrongly capped every such caller at one bite per
+        # ~48 realized effects regardless of elapsed time.
+        marker = absolute_cycle if absolute_cycle is not None else rel_cycle
         if (
             self._last_bite_cycle is not None
             and marker - self._last_bite_cycle < self.recharge_cycles
@@ -110,12 +120,22 @@ class VoltageFaultModel(FaultModel):
 
 
 class VoltageGlitcher:
-    """ChipWhisperer-crowbar-style controller over the shared board machinery."""
+    """ChipWhisperer-crowbar-style controller over the shared board machinery.
 
-    def __init__(self, firmware, **glitcher_kwargs):
+    ``fault_model`` accepts a pre-built model or a registered model name,
+    and ``profile`` a :data:`repro.hw.models.PROFILES` calibration name;
+    by default a fresh :class:`VoltageFaultModel` is used.  (The old
+    constructor hard-coded the default and raised ``TypeError`` when a
+    caller passed ``fault_model`` through ``**glitcher_kwargs``.)
+    """
+
+    def __init__(self, firmware, fault_model=None, profile=None, **glitcher_kwargs):
         from repro.hw.glitcher import ClockGlitcher
+        from repro.hw.models import resolve_fault_model
 
-        self.fault_model = VoltageFaultModel()
+        self.fault_model = (
+            resolve_fault_model(fault_model, profile) or VoltageFaultModel()
+        )
         self._inner = ClockGlitcher(
             firmware, fault_model=self.fault_model, **glitcher_kwargs
         )
@@ -126,7 +146,7 @@ class VoltageGlitcher:
 
     def run_attempt(self, params: VoltageGlitchParams):
         """Fire one voltage glitch and classify the outcome."""
-        self.fault_model.reset_recharge()
+        self.fault_model.begin_run()
         return self._inner.run_attempt(params.as_clock_params())
 
     def run_unglitched(self, max_cycles: int = 10_000):

@@ -1,0 +1,67 @@
+"""Clock-model bit-identity through the fault-model-zoo refactor.
+
+The registry, the ``resolve_fault_model`` indirection, and the two new
+``EFFECT_KINDS`` entries must not perturb a single clock-model draw: the
+blake2b label streams are keyed by strings, not indices, and ``None``
+still resolves to the historical default. These tallies were measured on
+the pre-refactor tree; any drift means the refactor changed the physics.
+
+Slow (full stride-2/stride-4 campaigns) — run with ``-m slow``.
+"""
+
+import pytest
+
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+
+pytestmark = pytest.mark.slow
+
+#: guard → (attempts, successes) at stride 2, measured pre-refactor
+TABLE1_STRIDE2 = {
+    "not_a": (20000, 130),
+    "a": (20000, 33),
+    "a_ne_const": (20000, 48),
+}
+
+#: guard → (attempts, partial, full) at stride 4, measured pre-refactor
+TABLE2_STRIDE4 = {
+    "not_a": (5000, 32, 4),
+    "a": (5000, 13, 2),
+    "a_ne_const": (5000, 14, 1),
+}
+
+#: guard → (attempts, successes) at stride 4, measured pre-refactor
+TABLE3_STRIDE4 = {
+    "not_a": (6875, 37),
+    "a": (6875, 8),
+    "a_ne_const": (6875, 15),
+}
+
+
+def test_table1_clock_rates_unchanged():
+    """Explicit ``fault_model="clock"`` matches the historical default."""
+    result = run_table1(stride=2, fault_model="clock")
+    tallies = {
+        guard: (scan.total_attempts, scan.total_successes)
+        for guard, scan in result.scans.items()
+    }
+    assert tallies == TABLE1_STRIDE2
+
+
+def test_table2_clock_rates_unchanged():
+    result = run_table2(stride=4)
+    tallies = {
+        guard: (scan.total_attempts, scan.total_partial, scan.total_full)
+        for guard, scan in result.scans.items()
+    }
+    assert tallies == TABLE2_STRIDE4
+
+
+def test_table3_clock_rates_unchanged():
+    result = run_table3(stride=4)
+    tallies = {
+        guard: (scan.total_attempts, scan.total_successes)
+        for guard, scan in result.scans.items()
+    }
+    assert tallies == TABLE3_STRIDE4
