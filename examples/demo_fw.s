@@ -1,0 +1,49 @@
+; demo_fw.s — conditional-guard demo firmware for whole-image campaigns.
+;
+; A miniature secure-boot flow with six glitchable guards: a checksum
+; loop, an authentication comparison, a privilege gate, a retry-limit
+; loop, an underflow check, and a bounds check.  Assemble and campaign:
+;
+;   repro assemble examples/demo_fw.s -o demo_fw.hex
+;   repro discover demo_fw.hex
+;   repro campaign --image demo_fw.hex --top 5
+;
+; The MAGIC constant is chosen so neither of its literal-pool halfwords
+; lands in 0xD000-0xDDFF — the conditional-branch encoding range — which
+; keeps linear site discovery exact (no pool word aliases as code).
+
+.equ MAGIC, 0x1A2B3C4D
+
+_start:
+    movs r0, #0
+    movs r1, #4
+sum_loop:                   ; checksum accumulation
+    adds r0, r0, #1
+    cmp r0, r1
+    bne sum_loop            ; site 1: loop guard (backward bne)
+    ldr r2, =MAGIC
+    ldr r3, =MAGIC
+    cmp r2, r3
+    bne reject              ; site 2: authentication check (forward bne)
+    movs r4, #1
+    b gate
+reject:
+    movs r4, #0
+gate:
+    cmp r4, #1
+    beq allow               ; site 3: privilege gate (forward beq)
+fail:
+    movs r5, #0
+    b park
+allow:
+    movs r5, #7
+retry_loop:
+    subs r5, r5, #1
+    bgt retry_loop          ; site 4: retry limit (backward bgt)
+    cmp r5, #0
+    blt fail                ; site 5: underflow check (backward blt)
+    cmp r0, r1
+    bhs park                ; site 6: bounds check (forward bcs)
+    movs r6, #1
+park:
+    bkpt #0

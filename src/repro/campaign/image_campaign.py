@@ -1,0 +1,420 @@
+"""Whole-image exhaustive glitch campaigns with exploitability ranking.
+
+Follows ARMORY's shape: point the tool at an arbitrary firmware image,
+sweep every discovered branch site under every flip model, and rank the
+sites by *exploitability* — the fraction of reachable masks whose outcome
+is ``success`` (the guarded branch was suppressed).
+
+The machinery is the Figure 2 campaign's, re-aimed: one work unit is one
+``(site, flip model)`` sweep executed by a
+:class:`repro.campaign.harness.SiteHarness` (mask algebra over unique
+reachable words by default, full enumeration as the differential oracle),
+fanned out by :class:`repro.exec.ParallelExecutor`, cached in per-site
+:class:`repro.exec.OutcomeCache` shards shared across models and re-runs,
+and checkpointed per flip model in a subdirectory of ``checkpoint_dir``
+(keyed by site, so an interrupted whole-image campaign resumes with only
+its missing sites).
+
+Obs counters: ``sites.discovered`` (from :func:`discover_sites`) and
+``sites.campaigned`` (one per merged site×model sweep) — identical for
+any worker count and across interrupted/resumed runs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from operator import attrgetter
+from typing import Optional
+
+from repro.exec import (
+    FailedUnit,
+    OutcomeCache,
+    ParallelExecutor,
+    ProgressReporter,
+    coerce_cache,
+    open_campaign_checkpoint,
+)
+from repro.firmware.image import FirmwareImage
+from repro.glitchsim.campaign import INSTRUCTION_BITS, TALLY_MODES
+from repro.glitchsim.harness import OUTCOME_CATEGORIES
+from repro.glitchsim.maskalgebra import reachable_words, tally_from_word_outcomes
+from repro.bits import apply_flip, iter_masks
+from repro.experiments.render import render_table
+from repro.obs import Observer, activate, coerce_observer, current
+
+from repro.campaign.harness import SiteHarness
+from repro.campaign.sites import BranchSite, discover_sites
+
+#: default flip models swept per site, in campaign order
+DEFAULT_MODELS = ("and", "or", "xor")
+
+
+@dataclass
+class SiteSweep:
+    """Aggregated outcomes for one branch site under one flip model."""
+
+    site: BranchSite
+    model: str
+    zero_is_invalid: bool = False
+    #: per flip-count k: Counter of outcome categories
+    by_k: dict[int, Counter] = field(default_factory=dict)
+
+    @property
+    def totals(self) -> Counter:
+        total: Counter = Counter()
+        for counter in self.by_k.values():
+            total.update(counter)
+        return total
+
+    def success_rate(self, k: int | None = None) -> float:
+        """Fraction of masks classified *success* (overall, or for one ``k``)."""
+        counter = self.totals if k is None else self.by_k.get(k, Counter())
+        attempts = sum(counter.values())
+        if attempts == 0:
+            return 0.0
+        return counter.get("success", 0) / attempts
+
+    def category_fractions(self) -> dict[str, float]:
+        totals = self.totals
+        attempts = sum(totals.values())
+        if attempts == 0:
+            return {category: 0.0 for category in OUTCOME_CATEGORIES}
+        return {category: totals.get(category, 0) / attempts
+                for category in OUTCOME_CATEGORIES}
+
+
+@dataclass(frozen=True)
+class RankedSite:
+    """One row of the exploitability ranking."""
+
+    site: BranchSite
+    rates: dict  # flip model -> overall success fraction
+    overall: float  # mean across the campaigned flip models
+
+
+@dataclass
+class ImageCampaignResult:
+    """Every site of one image swept under every requested flip model."""
+
+    source: str
+    digest: str
+    zero_is_invalid: bool
+    models: tuple[str, ...]
+    sites: list[BranchSite]
+    #: flip model -> SiteSweeps in site-address order
+    sweeps: dict[str, list[SiteSweep]]
+    failed_units: list[FailedUnit] = field(default_factory=list)
+
+    def sweep_for(self, site_id: str, model: str) -> SiteSweep:
+        for sweep in self.sweeps[model]:
+            if sweep.site.site_id == site_id:
+                return sweep
+        raise KeyError((site_id, model))
+
+    def ranking(self) -> list[RankedSite]:
+        """Sites ordered most-exploitable first (ties broken by address)."""
+        by_site: dict[str, dict[str, float]] = {}
+        for model in self.models:
+            for sweep in self.sweeps[model]:
+                by_site.setdefault(sweep.site.site_id, {})[model] = sweep.success_rate()
+        ranked = []
+        for site in self.sites:
+            rates = by_site.get(site.site_id, {})
+            if not rates:
+                continue  # every model's sweep for this site was quarantined
+            overall = sum(rates.values()) / len(rates)
+            ranked.append(RankedSite(site=site, rates=rates, overall=overall))
+        ranked.sort(key=lambda r: (-r.overall, r.site.address))
+        return ranked
+
+    def render(self, top: int | None = None) -> str:
+        """The ranked-site table (``top`` limits to the N most exploitable)."""
+        ranked = self.ranking()
+        shown = ranked if top is None else ranked[:top]
+        headers = ["#", "address", "instr", "taken", "guard"]
+        headers += [f"{model} succ" for model in self.models]
+        headers += ["overall"]
+        rows = []
+        for rank, entry in enumerate(shown, start=1):
+            site = entry.site
+            row = [
+                str(rank),
+                f"{site.address:#010x}",
+                f"{site.mnemonic} {site.taken - site.fallthrough - 2:+d}",
+                f"{site.taken:#010x}",
+                site.compare or "-",
+            ]
+            row += [f"{entry.rates.get(model, 0.0) * 100:.3f}%" for model in self.models]
+            row += [f"{entry.overall * 100:.3f}%"]
+            rows.append(row)
+        title = (f"Exploitability ranking — {self.source} "
+                 f"({len(self.sites)} sites, models: {', '.join(self.models)})")
+        table = render_table(title, headers, rows)
+        if top is not None and top < len(ranked):
+            table += f"\n... {len(ranked) - top} more site(s) not shown"
+        return table
+
+
+def sweep_site(
+    image: FirmwareImage,
+    site: BranchSite,
+    model: str,
+    zero_is_invalid: bool = False,
+    k_values: tuple[int, ...] | None = None,
+    cache: OutcomeCache | None = None,
+    engine: str = "snapshot",
+    tally: str = "algebra",
+) -> SiteSweep:
+    """Sweep every mask of every flip count ``k`` for one branch site.
+
+    The exact analogue of :func:`repro.glitchsim.campaign.sweep_instruction`
+    with a :class:`SiteHarness` in place of the snippet harness; emits the
+    same ambient ``algebra.words_emulated``/``algebra.masks_derived``
+    counters on the algebra path.
+    """
+    if tally not in TALLY_MODES:
+        raise ValueError(f"unknown tally mode {tally!r}; expected one of {TALLY_MODES}")
+    harness = SiteHarness(
+        image, site, zero_is_invalid=zero_is_invalid, disk_cache=cache, engine=engine
+    )
+    sweep = SiteSweep(site=site, model=model, zero_is_invalid=zero_is_invalid)
+    ks = k_values if k_values is not None else tuple(range(INSTRUCTION_BITS + 1))
+    if tally == "algebra":
+        words = reachable_words(site.word, model, INSTRUCTION_BITS, ks)
+        executed_before = harness.words_executed
+        outcomes = harness.run_many(words)
+        categories = dict(
+            zip(outcomes.keys(), map(attrgetter("category"), outcomes.values()))
+        )
+        sweep.by_k = tally_from_word_outcomes(
+            site.word, model, categories, ks, INSTRUCTION_BITS
+        )
+        obs = current()
+        obs.count("algebra.words_emulated", harness.words_executed - executed_before)
+        obs.count(
+            "algebra.masks_derived",
+            sum(sum(counter.values()) for counter in sweep.by_k.values()),
+        )
+        return sweep
+    for k in ks:
+        counter: Counter = Counter()
+        for mask in iter_masks(INSTRUCTION_BITS, k):
+            corrupted = apply_flip(site.word, mask, INSTRUCTION_BITS, model)
+            outcome = harness.run(corrupted)
+            counter[outcome.category] += 1
+        sweep.by_k[k] = counter
+    return sweep
+
+
+@dataclass(frozen=True)
+class _SiteSpec:
+    """Picklable work unit: one site's full sweep under one flip model."""
+
+    image_base: int
+    image_data: bytes
+    image_entry: int
+    site: BranchSite
+    model: str
+    zero_is_invalid: bool
+    k_values: Optional[tuple[int, ...]]
+    cache_root: Optional[str]
+    engine: str = "snapshot"
+    tally: str = "algebra"
+
+
+def _site_unit(spec: _SiteSpec) -> SiteSweep:
+    """Worker entry point: rebuild the image (and cache handle) in-process."""
+    image = FirmwareImage(base=spec.image_base, data=spec.image_data,
+                          entry=spec.image_entry)
+    cache = OutcomeCache(spec.cache_root) if spec.cache_root is not None else None
+    try:
+        return sweep_site(
+            image,
+            spec.site,
+            spec.model,
+            zero_is_invalid=spec.zero_is_invalid,
+            k_values=spec.k_values,
+            cache=cache,
+            engine=spec.engine,
+            tally=spec.tally,
+        )
+    finally:
+        # per-word outcomes already computed survive even if the sweep raised
+        if cache is not None:
+            cache.flush()
+            obs = current()
+            obs.count("cache.hits", cache.hits)
+            obs.count("cache.misses", cache.misses)
+            obs.count("cache.memo_hits", cache.memo_hits)
+
+
+def _encode_site_sweep(sweep: SiteSweep) -> dict:
+    """JSON-able checkpoint payload for one completed site sweep."""
+    site = sweep.site
+    return {
+        "site": {
+            "address": site.address,
+            "word": site.word,
+            "mnemonic": site.mnemonic,
+            "cond": site.cond,
+            "fallthrough": site.fallthrough,
+            "taken": site.taken,
+            "compare": site.compare,
+            "compare_address": site.compare_address,
+            "window": list(site.window),
+        },
+        "model": sweep.model,
+        "zero_is_invalid": sweep.zero_is_invalid,
+        "by_k": {str(k): dict(counter) for k, counter in sweep.by_k.items()},
+    }
+
+
+def _decode_site_sweep(payload: dict) -> SiteSweep:
+    raw = dict(payload["site"])
+    raw["window"] = tuple(raw["window"])
+    return SiteSweep(
+        site=BranchSite(**raw),
+        model=payload["model"],
+        zero_is_invalid=payload["zero_is_invalid"],
+        by_k={int(k): Counter(counts) for k, counts in payload["by_k"].items()},
+    )
+
+
+def run_image_campaign(
+    image: FirmwareImage,
+    models: tuple[str, ...] = DEFAULT_MODELS,
+    sites: list[BranchSite] | None = None,
+    strategy: str = "linear",
+    zero_is_invalid: bool = False,
+    k_values: tuple[int, ...] | None = None,
+    workers: int = 1,
+    cache: OutcomeCache | str | None = None,
+    progress: ProgressReporter | None = None,
+    checkpoint_dir: str | None = None,
+    resume: bool = False,
+    retries: int = 0,
+    unit_timeout: float | None = None,
+    obs: Observer | None = None,
+    engine: str = "snapshot",
+    tally: str = "algebra",
+    chunk_size: int | None = None,
+) -> ImageCampaignResult:
+    """Sweep every branch site of ``image`` under every flip model.
+
+    ``sites`` short-circuits discovery (e.g. to campaign a hand-picked
+    subset); otherwise :func:`discover_sites` runs with ``strategy``.
+
+    Fan-out, caching, checkpoint/resume, retries, timeouts, and
+    observability all follow :func:`repro.glitchsim.campaign.run_branch_campaign`;
+    the checkpoint lives in a per-model subdirectory of ``checkpoint_dir``
+    keyed by site, with the image digest, model, and site list in the
+    fingerprint, so resuming a differently-shaped campaign is a typed
+    :class:`repro.exec.CheckpointMismatch` instead of silent corruption.
+    ``engine``/``tally`` are deliberately absent from the fingerprint:
+    tallies are bit-identical across engines and tally modes, so a resumed
+    campaign may switch either freely.
+    """
+    obs = coerce_observer(obs)
+    if sites is None:
+        with activate(obs):
+            sites = discover_sites(image, strategy=strategy,
+                                   zero_is_invalid=zero_is_invalid)
+    cache = coerce_cache(cache)
+    cache_root = str(cache.root) if cache is not None else None
+    ks = tuple(k_values) if k_values is not None else None
+    by_id = {site.site_id: site for site in sites}
+
+    executor = ParallelExecutor(
+        workers=workers, chunk_size=chunk_size, progress=progress,
+        retries=retries, unit_timeout=unit_timeout, on_error="quarantine",
+        obs=obs,
+    )
+
+    def serial(spec: _SiteSpec) -> SiteSweep:
+        # in-process: reuse the shared cache handle; activate the campaign
+        # observer so ambient counters land exactly as worker envelopes do
+        with activate(obs):
+            return sweep_site(
+                image, by_id[spec.site.site_id], spec.model,
+                zero_is_invalid=spec.zero_is_invalid, k_values=spec.k_values,
+                cache=cache, engine=spec.engine, tally=spec.tally,
+            )
+
+    cache_hits0 = cache.hits if cache is not None else 0
+    cache_misses0 = cache.misses if cache is not None else 0
+    cache_memo0 = cache.memo_hits if cache is not None else 0
+    sweeps: dict[str, list[SiteSweep]] = {}
+    failed_units: list[FailedUnit] = []
+    try:
+        with obs.trace(f"campaign.image[{image.digest}]", source=image.source,
+                       models=list(models), sites=len(sites),
+                       zero_is_invalid=zero_is_invalid):
+            for model in models:
+                specs = [
+                    _SiteSpec(image.base, image.data, image.entry, site, model,
+                              zero_is_invalid, ks, cache_root, engine, tally)
+                    for site in sites
+                ]
+                checkpoint = None
+                if checkpoint_dir is not None or resume:
+                    import os
+
+                    meta = {
+                        "campaign": "image",
+                        "digest": image.digest,
+                        "model": model,
+                        "zero_is_invalid": zero_is_invalid,
+                        "k_values": list(ks) if ks is not None else None,
+                        "sites": sorted(by_id),
+                    }
+                    subdir = (os.path.join(checkpoint_dir, model)
+                              if checkpoint_dir is not None else None)
+                    checkpoint = open_campaign_checkpoint(
+                        subdir, f"image-{image.digest}", meta, resume=resume
+                    )
+                try:
+                    model_sweeps = executor.map(
+                        _site_unit,
+                        specs,
+                        serial_fn=serial,
+                        attempts_of=lambda sweep: sum(sweep.totals.values()),
+                        categories_of=lambda sweep: dict(sweep.totals),
+                        checkpoint=checkpoint,
+                        key_of=lambda spec: spec.site.site_id,
+                        encode=_encode_site_sweep,
+                        decode=_decode_site_sweep,
+                    )
+                finally:
+                    if checkpoint is not None:
+                        checkpoint.close()
+                merged = [sweep for sweep in model_sweeps if sweep is not None]
+                obs.count("sites.campaigned", len(merged))
+                sweeps[model] = merged
+                failed_units.extend(executor.failed_units)
+    finally:
+        # SIGINT / worker crash must not discard dirty shards
+        if cache is not None:
+            cache.flush()
+            obs.count("cache.hits", cache.hits - cache_hits0)
+            obs.count("cache.misses", cache.misses - cache_misses0)
+            obs.count("cache.memo_hits", cache.memo_hits - cache_memo0)
+    return ImageCampaignResult(
+        source=image.source,
+        digest=image.digest,
+        zero_is_invalid=zero_is_invalid,
+        models=tuple(models),
+        sites=list(sites),
+        sweeps=sweeps,
+        failed_units=failed_units,
+    )
+
+
+__all__ = [
+    "DEFAULT_MODELS",
+    "SiteSweep",
+    "RankedSite",
+    "ImageCampaignResult",
+    "sweep_site",
+    "run_image_campaign",
+]

@@ -1,0 +1,202 @@
+"""Automatic branch-site discovery over a whole firmware image.
+
+A *site* is one conditional branch an attacker could glitch: its address,
+condition, both outgoing edges (fall-through and taken), the guard
+comparison feeding it (when one immediately precedes it), and a rendered
+window of surrounding instructions for reports.  Discovery is pure
+decoding — no emulation — so it scales to the 10²–10³ sites per image the
+ARMORY-style whole-image campaigns target.
+
+Two strategies:
+
+- ``"linear"`` (default) decodes the image front to back, resynchronising
+  one halfword after anything that does not decode.  Exhaustive, but data
+  embedded in the image (literal pools) can alias as code — a pool
+  constant whose halfword lands in ``0xD000–0xDDFF`` *is* a conditional
+  branch encoding.
+- ``"entry"`` walks the static control-flow graph from the image's entry
+  point, following both edges of every branch and stopping at indirect or
+  halting flow (``bx``, ``pop {…, pc}``, ``bkpt``, ``svc``, ``wfi``,
+  ``wfe``).  It never decodes unreachable bytes, so literal pools are
+  skipped — at the cost of missing code only reachable indirectly.
+
+Every discovery emits the ambient obs counter ``sites.discovered``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import InvalidInstruction
+from repro.firmware.image import FirmwareImage
+from repro.isa.decoder import decode
+from repro.isa.instruction import Instruction
+from repro.obs import current
+
+DISCOVERY_STRATEGIES = ("linear", "entry")
+
+#: mnemonics after which straight-line decoding cannot continue
+_FLOW_BREAKS = ("bx", "blx", "bkpt", "svc", "wfi", "wfe")
+
+
+@dataclass(frozen=True)
+class BranchSite:
+    """One glitchable conditional branch inside a firmware image."""
+
+    address: int
+    word: int  # the pristine 16-bit encoding — the campaign's target word
+    mnemonic: str  # e.g. "bne"
+    cond: int  # condition number 0..13
+    fallthrough: int  # address + 2: where a glitched (not-taken) branch lands
+    taken: int  # address + 4 + imm: the architectural target
+    compare: Optional[str] = None  # rendered guard comparison, if adjacent
+    compare_address: Optional[int] = None
+    window: tuple[str, ...] = ()  # rendered context lines around the site
+
+    @property
+    def site_id(self) -> str:
+        """Stable checkpoint/report key — unique per image."""
+        return f"{self.address:#010x}"
+
+    def describe(self) -> str:
+        guard = f"  [{self.compare}]" if self.compare else ""
+        return (f"{self.address:#010x}: {self.mnemonic} -> {self.taken:#010x} "
+                f"(fall-through {self.fallthrough:#010x}){guard}")
+
+
+def discover_sites(
+    image: FirmwareImage,
+    strategy: str = "linear",
+    zero_is_invalid: bool = False,
+    context: int = 2,
+) -> list[BranchSite]:
+    """Find every conditional branch in ``image``, sorted by address.
+
+    ``context`` is the number of halfword slots rendered on each side of a
+    site into :attr:`BranchSite.window`.
+    """
+    if strategy not in DISCOVERY_STRATEGIES:
+        raise ValueError(
+            f"unknown discovery strategy {strategy!r}; "
+            f"expected one of {DISCOVERY_STRATEGIES}"
+        )
+    if strategy == "linear":
+        decoded = _decode_linear(image, zero_is_invalid)
+    else:
+        decoded = _decode_reachable(image, zero_is_invalid)
+    sites = []
+    for address in sorted(decoded):
+        instr = decoded[address]
+        if instr is None or not instr.is_conditional_branch:
+            continue
+        compare_address, compare = _guard_before(decoded, address)
+        sites.append(BranchSite(
+            address=address,
+            word=image.word_at(address),
+            mnemonic=instr.mnemonic,
+            cond=instr.cond,
+            fallthrough=address + 2,
+            taken=address + 4 + instr.imm,
+            compare=compare,
+            compare_address=compare_address,
+            window=_window(image, decoded, address, context),
+        ))
+    current().count("sites.discovered", len(sites))
+    return sites
+
+
+# ----------------------------------------------------------------------
+# decoding strategies: address -> Instruction | None (undecodable slot)
+# ----------------------------------------------------------------------
+
+def _decode_at(image: FirmwareImage, address: int,
+               zero_is_invalid: bool) -> Optional[Instruction]:
+    word = image.word_at(address)
+    nxt = image.word_at(address + 2) if address + 4 <= image.end else None
+    try:
+        return decode(word, nxt, zero_is_invalid=zero_is_invalid)
+    except InvalidInstruction:
+        return None
+
+
+def _decode_linear(image: FirmwareImage, zero_is_invalid: bool) -> dict:
+    decoded: dict[int, Optional[Instruction]] = {}
+    address = image.base
+    while address < image.end:
+        instr = _decode_at(image, address, zero_is_invalid)
+        decoded[address] = instr
+        # resynchronise one halfword after an undecodable slot, like the
+        # disassembler; a 32-bit bl consumes both of its halfwords
+        address += 2 if instr is None else instr.size
+    return decoded
+
+
+def _decode_reachable(image: FirmwareImage, zero_is_invalid: bool) -> dict:
+    decoded: dict[int, Optional[Instruction]] = {}
+    work = [image.entry]
+    while work:
+        address = work.pop()
+        if address in decoded:
+            continue
+        if not image.base <= address < image.end or (address - image.base) % 2:
+            continue  # edge leaves the image (or is misaligned) — stop the walk
+        instr = _decode_at(image, address, zero_is_invalid)
+        decoded[address] = instr
+        if instr is None:
+            continue
+        if instr.is_conditional_branch:
+            work.append(address + 2)
+            work.append(address + 4 + instr.imm)
+        elif instr.mnemonic == "b":
+            work.append(address + 4 + instr.imm)
+        elif instr.mnemonic == "bl":
+            work.append(address + 4 + instr.imm)
+            work.append(address + instr.size)  # the call returns here
+        elif instr.mnemonic == "blx":
+            work.append(address + instr.size)  # indirect call; returns here
+        elif instr.mnemonic in ("pop", "ldmia") and 15 in instr.reg_list:
+            continue  # loads the PC — indirect, walk ends
+        elif instr.mnemonic in _FLOW_BREAKS:
+            continue
+        else:
+            work.append(address + instr.size)
+    return decoded
+
+
+# ----------------------------------------------------------------------
+# site metadata
+# ----------------------------------------------------------------------
+
+def _guard_before(decoded: dict, address: int) -> tuple[Optional[int], Optional[str]]:
+    """The comparison instruction directly feeding the branch, if adjacent."""
+    prev = decoded.get(address - 2)
+    if prev is None and address - 4 in decoded:
+        candidate = decoded[address - 4]
+        if candidate is not None and candidate.size == 4:
+            prev = candidate
+    if prev is not None and prev.is_compare:
+        prev_address = address - prev.size
+        return prev_address, prev.render()
+    return None, None
+
+
+def _window(image: FirmwareImage, decoded: dict, address: int,
+            context: int) -> tuple[str, ...]:
+    """Rendered listing lines around the site (undecoded slots as .hword)."""
+    lines = []
+    lo = max(image.base, address - 2 * context)
+    hi = min(image.end, address + 2 * (context + 1))
+    cursor = lo
+    while cursor < hi:
+        instr = decoded.get(cursor)
+        if instr is None:
+            lines.append(f"{cursor:#010x}: .hword {image.word_at(cursor):#06x}")
+            cursor += 2
+        else:
+            lines.append(f"{cursor:#010x}: {instr.render()}")
+            cursor += instr.size
+    return tuple(lines)
+
+
+__all__ = ["BranchSite", "DISCOVERY_STRATEGIES", "discover_sites"]

@@ -2,12 +2,17 @@
 
 Commands:
 
-- ``assemble <file.s>`` — assemble Thumb source, print a hex listing.
+- ``assemble <file.s>`` — assemble Thumb source, print a hex listing
+  (``-o out.hex``/``out.bin`` writes a loadable firmware image).
 - ``disassemble <hex>`` — disassemble halfwords given as hex bytes.
 - ``harden <file.c>`` — compile MiniC with GlitchResistor defenses and
   print the instrumentation report plus section sizes.
 - ``attack <file.c>`` — harden (or not, with ``--defense none``) and run a
   strided glitch campaign against the ``win`` symbol.
+- ``discover <image>`` — load a firmware image (raw or Intel HEX) and list
+  every conditional branch site an attacker could glitch.
+- ``campaign --image <image>`` — sweep every discovered site under the
+  AND/OR/XOR flip models and print the exploitability ranking.
 - ``experiment <name>`` — run one paper artifact
   (fig2 | table1 | ... | table7 | search) and print it.
 - ``report <events.jsonl>`` — render the timing/metrics summary of a run
@@ -44,6 +49,69 @@ def cmd_assemble(args) -> int:
         print(f"{address:#010x}: {raw.hex():<12} {text.strip()}")
     for name, address in sorted(program.symbols.items(), key=lambda kv: kv[1]):
         print(f"; {name} = {address:#010x}")
+    if args.output:
+        from repro.firmware.image import FirmwareImage, write_image
+
+        write_image(FirmwareImage.from_program(program, source=args.source),
+                    args.output)
+        print(f"; image written to {args.output}")
+    return 0
+
+
+def _load_cli_image(args):
+    from repro.firmware.image import load_image
+
+    base = int(args.base, 0) if args.base is not None else None
+    return load_image(args.image, base=base, fmt=args.format)
+
+
+def cmd_discover(args) -> int:
+    from repro.campaign import discover_sites
+    from repro.errors import ImageError
+
+    try:
+        image = _load_cli_image(args)
+        sites = discover_sites(image, strategy=args.strategy)
+    except ImageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"; {args.image}: {len(image.data)} bytes at {image.base:#010x}, "
+          f"entry {image.entry:#010x}")
+    print(f"; {len(sites)} conditional branch site(s) ({args.strategy} discovery)")
+    for site in sites:
+        print(site.describe())
+    return 0
+
+
+def cmd_campaign(args) -> int:
+    from repro.campaign import DEFAULT_MODELS, run_image_campaign
+    from repro.errors import ImageError
+
+    models = tuple(m.strip() for m in args.models.split(",") if m.strip())
+    unknown = [m for m in models if m not in DEFAULT_MODELS]
+    if unknown or not models:
+        print(f"error: --models must be a comma-separated subset of "
+              f"{','.join(DEFAULT_MODELS)}", file=sys.stderr)
+        return 1
+    try:
+        image = _load_cli_image(args)
+    except ImageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    obs = _observer_from_args(args, "campaign-image")
+    try:
+        result = run_image_campaign(
+            image, models=models, strategy=args.strategy,
+            workers=args.workers, cache=args.cache_dir,
+            progress=_progress_reporter(args),
+            checkpoint_dir=args.checkpoint_dir, resume=args.resume,
+            retries=args.retries, unit_timeout=args.unit_timeout,
+            obs=obs, engine=args.engine, tally=args.tally,
+        )
+    finally:
+        _finish_observer(obs, args)
+    print(result.render(top=args.top))
+    _report_failed_units(result.failed_units)
     return 0
 
 
@@ -212,6 +280,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_asm = sub.add_parser("assemble", help="assemble Thumb-16 source")
     p_asm.add_argument("source")
     p_asm.add_argument("--base", default="0x08000000")
+    p_asm.add_argument("--output", "-o", default=None, metavar="FILE",
+                       help="also write a firmware image (.hex/.ihex → Intel "
+                            "HEX, anything else → raw binary) that feeds "
+                            "straight into discover/campaign")
     p_asm.set_defaults(func=cmd_assemble)
 
     p_dis = sub.add_parser("disassemble", help="disassemble hex bytes")
@@ -246,6 +318,43 @@ def build_parser() -> argparse.ArgumentParser:
     _add_robustness_flags(p_attack)
     _add_observability_flags(p_attack)
     p_attack.set_defaults(func=cmd_attack)
+
+    p_disc = sub.add_parser("discover",
+                            help="list every glitchable branch site in an image")
+    p_disc.add_argument("image", help="firmware image file (raw or Intel HEX)")
+    _add_image_flags(p_disc)
+    p_disc.set_defaults(func=cmd_discover)
+
+    p_camp = sub.add_parser(
+        "campaign",
+        help="sweep every branch site of an image and rank by exploitability",
+    )
+    p_camp.add_argument("--image", required=True, metavar="FILE",
+                        help="firmware image file (raw or Intel HEX) to campaign")
+    _add_image_flags(p_camp)
+    p_camp.add_argument("--models", default=",".join(("and", "or", "xor")),
+                        metavar="LIST",
+                        help="comma-separated flip models to sweep "
+                             "(subset of and,or,xor; default: all three)")
+    p_camp.add_argument("--top", type=int, default=None, metavar="N",
+                        help="print only the N most exploitable sites")
+    p_camp.add_argument("--engine", choices=["snapshot", "rebuild", "vector"],
+                        default="snapshot",
+                        help="per-site execution engine (as for experiment fig2)")
+    p_camp.add_argument("--tally", choices=["algebra", "enumerate"],
+                        default="algebra",
+                        help="per-site tallying strategy (as for experiment fig2)")
+    p_camp.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persistent outcome-cache directory; per-site "
+                             "shards are shared across models and re-runs")
+    p_camp.add_argument("--workers", type=int, default=1,
+                        help="worker processes, one site×model sweep per unit "
+                             "(0 = all cores)")
+    p_camp.add_argument("--progress", action="store_true",
+                        help="show attempts/sec, tallies, and ETA on stderr")
+    _add_robustness_flags(p_camp)
+    _add_observability_flags(p_camp)
+    p_camp.set_defaults(func=cmd_campaign)
 
     p_exp = sub.add_parser("experiment", help="run one paper artifact")
     p_exp.add_argument("name", choices=[
@@ -283,6 +392,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.set_defaults(func=cmd_report)
 
     return parser
+
+
+def _add_image_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--format", choices=["auto", "raw", "ihex"],
+                        default="auto",
+                        help="image format (auto sniffs .hex/.ihex/.ihx "
+                             "suffixes as Intel HEX, anything else as raw)")
+    parser.add_argument("--base", default=None, metavar="ADDR",
+                        help="load address for raw images "
+                             "(default 0x08000000; Intel HEX carries its own)")
+    parser.add_argument("--strategy", choices=["linear", "entry"],
+                        default="linear",
+                        help="site discovery: linear sweep of the whole image "
+                             "(default) or reachable-code walk from the entry "
+                             "point (skips literal pools)")
 
 
 def _add_fault_model_flags(parser: argparse.ArgumentParser) -> None:

@@ -94,3 +94,8 @@ class LayoutError(ReproError):
 
 class GlitchConfigError(ReproError):
     """A glitching campaign was configured with out-of-range parameters."""
+
+
+class ImageError(ReproError):
+    """A firmware image could not be loaded (malformed ihex record, bad
+    checksum, overlapping segments, odd-length raw image, ...)."""

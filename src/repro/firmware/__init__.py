@@ -9,6 +9,8 @@
   :mod:`repro.compiler`.
 - :mod:`repro.firmware.guards` — the MiniC sources for the defended
   evaluation targets of Table VI.
+- :mod:`repro.firmware.image` — the raw/Intel-HEX firmware image loader
+  feeding whole-image site discovery and campaigns (:mod:`repro.campaign`).
 """
 
 from repro.firmware.loops import (
@@ -16,5 +18,21 @@ from repro.firmware.loops import (
     build_guard_firmware,
     GUARD_KINDS,
 )
+from repro.firmware.image import (
+    FirmwareImage,
+    load_image,
+    load_raw,
+    parse_ihex,
+    write_image,
+)
 
-__all__ = ["GuardKind", "build_guard_firmware", "GUARD_KINDS"]
+__all__ = [
+    "GuardKind",
+    "build_guard_firmware",
+    "GUARD_KINDS",
+    "FirmwareImage",
+    "load_image",
+    "load_raw",
+    "parse_ihex",
+    "write_image",
+]

@@ -1,0 +1,304 @@
+"""Firmware image loading and writing (raw binary and Intel HEX).
+
+The whole-image campaign pipeline (:mod:`repro.campaign`) starts here:
+a :class:`FirmwareImage` is the flat ``(base, data, entry)`` view of a
+binary that the site-discovery pass and the per-site harnesses share.
+
+Both loaders follow the assembler's two-pass idiom
+(:class:`repro.isa.assembler.Assembler`): pass 1 parses and validates
+every record in isolation (structure, hex digits, checksum), pass 2
+resolves the layout (extended-address bases, segment merge order, gap
+fill, overlap detection).  Every malformed input raises the typed
+:class:`repro.errors.ImageError` — never a bare ``IndexError`` — so
+campaign drivers can distinguish "bad image" from "bug".
+
+Round-trip contract: ``assemble(src) → from_program → to_ihex/to_raw →
+load_image`` reproduces the exact halfwords and entry point, so
+``repro assemble -o out.hex`` output feeds straight into
+``repro discover`` / ``repro campaign --image``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from hashlib import sha1
+
+from repro.bits import bytes_to_halfwords
+from repro.errors import ImageError
+
+#: default load address for raw images (Cortex-M flash alias, matching
+#: the snippet/firmware worlds in repro.glitchsim.snippets)
+DEFAULT_BASE = 0x0800_0000
+
+#: refuse to materialise an ihex whose segments span more than this —
+#: a stray extended-address record would otherwise allocate gigabytes
+MAX_SPAN = 16 * 1024 * 1024
+
+IMAGE_FORMATS = ("auto", "raw", "ihex")
+
+#: file suffixes recognised as Intel HEX by ``fmt="auto"``
+_IHEX_SUFFIXES = (".hex", ".ihex", ".ihx")
+
+
+@dataclass(frozen=True)
+class FirmwareImage:
+    """A flat firmware image: contiguous bytes at a base address.
+
+    ``data`` always has even length (instruction fetch is by halfword);
+    loaders pad odd ihex layouts with a trailing ``0x00`` and reject odd
+    raw files outright.  ``entry`` is where reachability-based site
+    discovery starts — the ihex start-address record when present, else
+    ``base``.
+    """
+
+    base: int
+    data: bytes
+    entry: int
+    source: str = "<memory>"
+
+    def __post_init__(self) -> None:
+        if self.base % 2:
+            raise ImageError(f"image base {self.base:#x} is not halfword-aligned")
+        if len(self.data) % 2:
+            raise ImageError(f"image has odd length {len(self.data)} "
+                             "(Thumb fetch is by halfword)")
+        if not self.base <= self.entry < self.base + max(len(self.data), 1):
+            raise ImageError(
+                f"entry point {self.entry:#x} lies outside the image "
+                f"[{self.base:#x}, {self.base + len(self.data):#x})"
+            )
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+
+    @property
+    def end(self) -> int:
+        return self.base + len(self.data)
+
+    @property
+    def halfwords(self) -> list[int]:
+        return bytes_to_halfwords(self.data)
+
+    def word_at(self, address: int) -> int:
+        """The 16-bit halfword at ``address`` (must be aligned and mapped)."""
+        offset = address - self.base
+        if offset < 0 or offset + 2 > len(self.data) or offset % 2:
+            raise ImageError(f"address {address:#x} is not a mapped halfword")
+        return self.data[offset] | (self.data[offset + 1] << 8)
+
+    @property
+    def digest(self) -> str:
+        """Short content digest — names shared cache shards and checkpoints."""
+        h = sha1(self.base.to_bytes(4, "little"))
+        h.update(self.data)
+        return h.hexdigest()[:10]
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_program(cls, program, entry: int | None = None,
+                     source: str = "<assembled>") -> "FirmwareImage":
+        """Wrap an :class:`repro.isa.assembler.AssembledProgram`."""
+        return cls(
+            base=program.base,
+            data=bytes(program.code),
+            entry=program.base if entry is None else entry,
+            source=source,
+        )
+
+    # ------------------------------------------------------------------
+    # writers (the inverse of the loaders below)
+    # ------------------------------------------------------------------
+
+    def to_raw(self) -> bytes:
+        return self.data
+
+    def to_ihex(self, record_bytes: int = 16) -> str:
+        """Serialise as Intel HEX with extended-linear-address records.
+
+        Emits a type-05 start-address record for the entry point, so the
+        ihex round-trip preserves it (the raw format cannot).
+        """
+        lines: list[str] = []
+        upper = None
+        for offset in range(0, len(self.data), record_bytes):
+            address = self.base + offset
+            if (address >> 16) != upper:
+                upper = address >> 16
+                lines.append(_record(0, 0x04, upper.to_bytes(2, "big")))
+            chunk = self.data[offset:offset + record_bytes]
+            lines.append(_record(address & 0xFFFF, 0x00, chunk))
+        lines.append(_record(0, 0x05, self.entry.to_bytes(4, "big")))
+        lines.append(_record(0, 0x01, b""))
+        return "\n".join(lines) + "\n"
+
+
+def _record(address: int, rectype: int, payload: bytes) -> str:
+    body = bytes((len(payload), (address >> 8) & 0xFF, address & 0xFF, rectype))
+    body += payload
+    checksum = (-sum(body)) & 0xFF
+    return ":" + (body + bytes((checksum,))).hex().upper()
+
+
+# ----------------------------------------------------------------------
+# loaders
+# ----------------------------------------------------------------------
+
+def load_raw(data: bytes, base: int = DEFAULT_BASE, entry: int | None = None,
+             source: str = "<raw>") -> FirmwareImage:
+    """Wrap a flat binary blob. Odd-length blobs are a typed error."""
+    if len(data) == 0:
+        raise ImageError(f"{source}: empty image")
+    if len(data) % 2:
+        raise ImageError(
+            f"{source}: raw image has odd length {len(data)} "
+            "(Thumb images are a whole number of halfwords)"
+        )
+    return FirmwareImage(base=base, data=bytes(data),
+                         entry=base if entry is None else entry, source=source)
+
+
+def parse_ihex(text: str, source: str = "<ihex>") -> FirmwareImage:
+    """Parse Intel HEX using the assembler's two-pass idiom.
+
+    Pass 1 validates each record in isolation — prefix, hex digits,
+    declared-length vs actual, checksum — and collects ``(address,
+    payload)`` segments under the running extended-address base.  Pass 2
+    lays the segments out: sorts, rejects overlaps, fills gaps with
+    ``0x00`` (which decodes as a harmless ``movs r0, r0``), and pads an
+    odd total to a whole halfword.
+    """
+    segments: list[tuple[int, bytes]] = []  # (absolute address, payload)
+    entry: int | None = None
+    upper = 0
+    saw_eof = False
+
+    # pass 1: per-record structural validation
+    for line_no, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line:
+            continue
+        if saw_eof:
+            raise ImageError(f"{source}:{line_no}: data after EOF record")
+        if not line.startswith(":"):
+            raise ImageError(f"{source}:{line_no}: record does not start with ':'")
+        try:
+            body = bytes.fromhex(line[1:])
+        except ValueError:
+            raise ImageError(f"{source}:{line_no}: non-hex digits in record") from None
+        if len(body) < 5:
+            raise ImageError(f"{source}:{line_no}: truncated record "
+                             f"({len(body)} bytes, minimum 5)")
+        count, addr_hi, addr_lo, rectype = body[0], body[1], body[2], body[3]
+        if len(body) != count + 5:
+            raise ImageError(
+                f"{source}:{line_no}: truncated record (declares {count} data "
+                f"bytes, carries {len(body) - 5})"
+            )
+        if sum(body) & 0xFF:
+            raise ImageError(
+                f"{source}:{line_no}: checksum mismatch "
+                f"(record sums to {sum(body) & 0xFF:#04x}, expected 0)"
+            )
+        payload = body[4:-1]
+        address = (addr_hi << 8) | addr_lo
+        if rectype == 0x00:  # data
+            if payload:
+                segments.append((upper + address, payload))
+        elif rectype == 0x01:  # EOF
+            saw_eof = True
+        elif rectype == 0x02:  # extended segment address
+            if count != 2:
+                raise ImageError(f"{source}:{line_no}: type-02 record needs 2 data bytes")
+            upper = int.from_bytes(payload, "big") << 4
+        elif rectype == 0x04:  # extended linear address
+            if count != 2:
+                raise ImageError(f"{source}:{line_no}: type-04 record needs 2 data bytes")
+            upper = int.from_bytes(payload, "big") << 16
+        elif rectype in (0x03, 0x05):  # start segment / linear address
+            if count != 4:
+                raise ImageError(f"{source}:{line_no}: start-address record needs 4 data bytes")
+            entry = int.from_bytes(payload, "big")
+            if rectype == 0x03:  # CS:IP → linear
+                entry = ((entry >> 16) << 4) + (entry & 0xFFFF)
+        else:
+            raise ImageError(f"{source}:{line_no}: unknown record type {rectype:#04x}")
+    if not saw_eof:
+        raise ImageError(f"{source}: missing EOF record")
+    if not segments:
+        raise ImageError(f"{source}: no data records")
+
+    # pass 2: layout resolution
+    segments.sort(key=lambda seg: seg[0])
+    base = segments[0][0]
+    span = segments[-1][0] + len(segments[-1][1]) - base
+    if span > MAX_SPAN:
+        raise ImageError(f"{source}: segments span {span} bytes "
+                         f"(limit {MAX_SPAN}); check extended-address records")
+    data = bytearray(span)
+    cursor = base  # highest address written so far
+    for address, payload in segments:
+        if address < cursor:
+            raise ImageError(
+                f"{source}: overlapping segments at {address:#x} "
+                f"(previous segment ends at {cursor:#x})"
+            )
+        data[address - base:address - base + len(payload)] = payload
+        cursor = address + len(payload)
+    if len(data) % 2:
+        data.append(0x00)
+    if entry is None:
+        entry = base
+    # Thumb entry vectors carry the interworking bit; the image is halfword
+    # addressed, so drop it.
+    entry &= ~1
+    return FirmwareImage(base=base, data=bytes(data), entry=entry, source=source)
+
+
+def load_image(path: str, base: int | None = None, fmt: str = "auto") -> FirmwareImage:
+    """Load ``path`` as ``fmt`` (``auto`` sniffs ``.hex``/``.ihex``/``.ihx``).
+
+    ``base`` applies to raw images only; an ihex carries its own layout
+    (passing ``base`` for an ihex is an error rather than silently ignored).
+    """
+    if fmt not in IMAGE_FORMATS:
+        raise ImageError(f"unknown image format {fmt!r}; expected one of {IMAGE_FORMATS}")
+    if fmt == "auto":
+        fmt = "ihex" if path.lower().endswith(_IHEX_SUFFIXES) else "raw"
+    if fmt == "ihex":
+        if base is not None:
+            raise ImageError("--base applies to raw images; "
+                             "Intel HEX records carry their own addresses")
+        with open(path) as handle:
+            return parse_ihex(handle.read(), source=path)
+    with open(path, "rb") as handle:
+        data = handle.read()
+    return load_raw(data, base=DEFAULT_BASE if base is None else base, source=path)
+
+
+def write_image(image: FirmwareImage, path: str, fmt: str = "auto") -> None:
+    """Write ``image`` to ``path`` as raw bytes or Intel HEX."""
+    if fmt not in IMAGE_FORMATS:
+        raise ImageError(f"unknown image format {fmt!r}; expected one of {IMAGE_FORMATS}")
+    if fmt == "auto":
+        fmt = "ihex" if path.lower().endswith(_IHEX_SUFFIXES) else "raw"
+    if fmt == "ihex":
+        with open(path, "w") as handle:
+            handle.write(image.to_ihex())
+    else:
+        with open(path, "wb") as handle:
+            handle.write(image.to_raw())
+
+
+__all__ = [
+    "FirmwareImage",
+    "DEFAULT_BASE",
+    "IMAGE_FORMATS",
+    "load_raw",
+    "parse_ihex",
+    "load_image",
+    "write_image",
+]

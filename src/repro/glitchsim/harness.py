@@ -23,14 +23,22 @@ Three execution engines produce identical outcome categories:
   shared per-harness decode cache memoises ``decode()`` by halfword value.
 - ``"rebuild"`` reconstructs ``Memory``/``CPU`` from scratch per word —
   the original slow path, kept as the differential-testing oracle.
-- ``"vector"`` executes whole :meth:`SnippetHarness.run_many` cache-miss
+- ``"vector"`` executes whole :meth:`WordHarness.run_many` cache-miss
   batches lock-step on the NumPy backend (:mod:`repro.emu.vector`): one
   lane per corrupted word, sharing the snapshot engine's replay point and
-  decode cache.  Single-word :meth:`SnippetHarness.run` calls and lanes
+  decode cache.  Single-word :meth:`WordHarness.run` calls and lanes
   the vector ISA subset can't model fall back to the snapshot replay, so
   ``"snapshot"`` doubles as both the fallback and the differential oracle
   for the vector engine.  Vector outcomes carry empty detail strings
   (like disk-cache hits); the documented contract is category identity.
+
+The engine/cache/memo machinery is shared between two harnesses via the
+:class:`WordHarness` base class: :class:`SnippetHarness` (this module)
+runs the paper's marker-block snippets, and
+:class:`repro.campaign.harness.SiteHarness` runs a branch site *in situ*
+inside a whole firmware image.  A subclass supplies the replay point
+(:meth:`WordHarness._snapshot_world`) and the classification rules; the
+base class owns everything keyed by the corrupted word.
 """
 
 from __future__ import annotations
@@ -77,30 +85,34 @@ ENGINES = ("snapshot", "rebuild", "vector")
 
 @dataclass
 class _SnapshotWorld:
-    """The pre-built machine the snapshot engine replays against."""
+    """The pre-built machine a :class:`WordHarness` replays against."""
 
     memory: Memory
     cpu: CPU
     memory_snapshot: MemorySnapshot
     cpu_snapshot: CPUSnapshot
-    budget: int  # steps remaining out of _STEP_LIMIT after the setup prefix
+    budget: int  # steps remaining out of _STEP_LIMIT after any setup prefix
     flash_data: bytearray  # flash backing store, for the per-replay slot poke
+    flash_base: int
+    ram_base: int
     slot_offset: int  # byte offset of the target halfword within flash
+    target_address: int  # absolute address of the corrupted slot
+    pristine_word: int  # the uncorrupted halfword at the target slot
     next_after_target: Optional[int]  # halfword at target+2 (for BL lookahead)
-    # Marker-block entry points (success = fall-through, normal = taken).
-    # A replay that *enters* either block finishes it deterministically
-    # (ldr-literal + bkpt), so execution can stop at the block head and
-    # classify from the registers already in hand — unless fewer than two
-    # budget steps remain, in which case the block is executed for real to
-    # keep the step accounting bit-identical with the rebuild engine.
-    success_address: int
-    normal_address: Optional[int]
+    # Addresses where a replay may stop early for classification.  For the
+    # snippet harness these are the marker-block entry points (success =
+    # fall-through, normal = taken); for the site harness, the branch's two
+    # outgoing edges.  A stop only classifies when at least two budget
+    # steps remain — otherwise execution resumes to keep the step
+    # accounting bit-identical with the rebuild engine.
     marker_stops: frozenset
+    success_address: Optional[int] = None  # snippet harness only
+    normal_address: Optional[int] = None  # snippet harness only
 
 
 @dataclass(frozen=True)
 class Outcome:
-    """The classified result of executing one corrupted snippet."""
+    """The classified result of executing one corrupted word."""
 
     category: str
     detail: str = ""
@@ -122,38 +134,41 @@ _OUTCOME_NO_MARKER = Outcome("failed", "halted without reaching either marker")
 _OUTCOMES_BY_CATEGORY = {category: Outcome(category) for category in OUTCOME_CATEGORIES}
 
 
-class SnippetHarness:
-    """Executes a snippet with its target halfword replaced by a corrupted word.
+class WordHarness:
+    """Shared memo/cache/engine machinery for corrupted-word classification.
 
     Results are memoised per corrupted word: the outcome is a pure function
     of the resulting machine word, which turns the :math:`2^{16}` masks per
     flip-count into at most :math:`2^{16}` distinct executions total.
 
     ``disk_cache`` (a :class:`repro.exec.OutcomeCache`) adds a persistent
-    layer keyed by ``(mnemonic, zero_is_invalid, corrupted_word)``: repeated
-    panels and re-runs skip emulation entirely. Only the outcome *category*
-    is persisted, so a disk hit returns an :class:`Outcome` with an empty
-    detail string.
+    layer keyed by ``(panel, zero_is_invalid, corrupted_word)`` — the
+    ``panel`` string is the subclass's shard name (the snippet mnemonic, or
+    a per-site image key).  Only the outcome *category* is persisted, so a
+    disk hit returns an :class:`Outcome` with an empty detail string.
 
     ``engine`` selects how cache misses execute: ``"snapshot"`` (default)
     replays against a cached machine snapshot, ``"rebuild"`` reconstructs
     the world per word, and ``"vector"`` runs whole :meth:`run_many`
     batches lock-step on the NumPy backend with per-lane fallback to the
     snapshot replay.  All three produce identical outcome categories by
-    construction (the snippet's setup prefix never reads or fetches the
-    target slot, and every engine resumes with exactly the leftover step
-    budget); if the prefix cannot be validated the harness silently falls
-    back to ``"rebuild"``.
+    construction; if no snapshot replay point exists the harness silently
+    falls back to ``"rebuild"``.
 
     ``vector_fallback_mnemonics`` forces lanes whose corrupted word decodes
     to one of the named mnemonics back onto the scalar snapshot engine —
     the escape hatch for (hypothetical) vector-handler gaps, and the knob
     the differential tests use to exercise the fallback path.
+
+    Subclasses implement :meth:`_snapshot_world` (build the replay point),
+    :meth:`_classify_replay` (classify a finished replay),
+    :meth:`_execute_rebuild` (the from-scratch oracle), and
+    :meth:`_vector_categories` (per-lane classification of a vector batch).
     """
 
     def __init__(
         self,
-        snippet: BranchSnippet,
+        panel: str,
         zero_is_invalid: bool = False,
         disk_cache=None,
         engine: str = "snapshot",
@@ -161,7 +176,7 @@ class SnippetHarness:
     ):
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
-        self.snippet = snippet
+        self.panel = panel
         self.zero_is_invalid = zero_is_invalid
         self.disk_cache = disk_cache
         self.engine = engine
@@ -170,12 +185,10 @@ class SnippetHarness:
         # Executions that actually ran the emulator (mem/disk hits excluded);
         # the mask-algebra path reads the delta for its words_emulated counter.
         self.words_executed = 0
-        self._halfwords = list(snippet.program.halfwords)
-        self._flash_size = max(0x400, (len(snippet.program.code) + 0x3FF) & ~0x3FF)
         # Decode memo shared by every execution of this harness (pure by
         # value, so corrupted and pristine words coexist as distinct keys).
         self._decode_cache: dict = {}
-        # None = not built yet; False = prefix validation failed, use rebuild.
+        # None = not built yet; False = no replay point exists, use rebuild.
         self._world: Optional[_SnapshotWorld] = None
         self._world_unavailable = False
         self._vector = None  # lazily-built repro.emu.vector.VectorEngine
@@ -190,7 +203,7 @@ class SnippetHarness:
             return cached
         if self.disk_cache is not None:
             category = self.disk_cache.get(
-                self.snippet.mnemonic, self.zero_is_invalid, corrupted_word
+                self.panel, self.zero_is_invalid, corrupted_word
             )
             if category is not None:
                 outcome = Outcome(category)
@@ -200,7 +213,7 @@ class SnippetHarness:
         self._cache[corrupted_word] = outcome
         if self.disk_cache is not None:
             self.disk_cache.put(
-                self.snippet.mnemonic, self.zero_is_invalid, corrupted_word,
+                self.panel, self.zero_is_invalid, corrupted_word,
                 outcome.category,
             )
         return outcome
@@ -244,7 +257,7 @@ class SnippetHarness:
             disk_hits = 0
             if pending:
                 shard = self.disk_cache.get_shard(
-                    self.snippet.mnemonic, self.zero_is_invalid
+                    self.panel, self.zero_is_invalid
                 )
                 still_pending: list[int] = []
                 for word in pending:
@@ -274,12 +287,14 @@ class SnippetHarness:
         finally:
             if fresh and self.disk_cache is not None:
                 self.disk_cache.put_shard(
-                    self.snippet.mnemonic, self.zero_is_invalid, fresh
+                    self.panel, self.zero_is_invalid, fresh
                 )
         if words == ordered:  # already unique, sorted, and 16-bit
             return results
         return {word: results[word & 0xFFFF] for word in words}
 
+    # ------------------------------------------------------------------
+    # engine orchestration (shared)
     # ------------------------------------------------------------------
 
     def _execute(self, corrupted_word: int) -> Outcome:
@@ -299,20 +314,20 @@ class SnippetHarness:
 
             # Prior scalar replays may have left a corrupted word poked into
             # the flash backing store and a dirty RAM journal — reset both
-            # to the pristine post-prefix snapshot before copying them out.
+            # to the pristine replay-point snapshot before copying them out.
             if world.memory._journal:
                 world.memory.restore(world.memory_snapshot)
             flash = bytearray(world.flash_data)
-            pristine = self._halfwords[self.snippet.target_index]
+            pristine = world.pristine_word
             flash[world.slot_offset] = pristine & 0xFF
             flash[world.slot_offset + 1] = pristine >> 8
-            ram_region = world.memory.region_at(RAM_BASE)
+            ram_region = world.memory.region_at(world.ram_base)
             snap = world.cpu_snapshot
             self._vector = VectorEngine(
-                flash_base=FLASH_BASE,
+                flash_base=world.flash_base,
                 flash_bytes=bytes(flash),
-                target_address=self.snippet.target_address,
-                ram_base=RAM_BASE,
+                target_address=world.target_address,
+                ram_base=world.ram_base,
                 ram_bytes=bytes(ram_region.data),
                 init_regs=snap.regs,
                 init_flags=snap.flags,
@@ -338,13 +353,7 @@ class SnippetHarness:
             return pending  # no replay point — the scalar loop handles it
         engine = self._vector_engine(world)
         batch = engine.run(pending)
-        categories = batch.classify_branch(
-            success_address=world.success_address,
-            success_register=SUCCESS_REGISTER,
-            success_marker=SUCCESS_MARKER,
-            normal_register=NORMAL_REGISTER,
-            normal_marker=NORMAL_MARKER,
-        )
+        categories = self._vector_categories(batch, world)
         fallback = [
             word for word, category in zip(pending, categories) if category is None
         ]
@@ -371,54 +380,6 @@ class SnippetHarness:
         obs.count("vector.lanes", len(pending))
         obs.count("vector.fallbacks", len(fallback))
         return fallback
-
-    def _build_world(self, decode_cache: Optional[dict] = None) -> tuple[Memory, CPU]:
-        memory = Memory()
-        memory.map("flash", FLASH_BASE, self._flash_size, writable=False, executable=True)
-        memory.map("ram", RAM_BASE, RAM_SIZE)
-        cpu = CPU(memory, zero_is_invalid=self.zero_is_invalid)
-        cpu.decode_cache = decode_cache
-        cpu.pc = self.snippet.program.base
-        cpu.sp = RAM_BASE + RAM_SIZE
-        return memory, cpu
-
-    def _snapshot_world(self) -> Optional[_SnapshotWorld]:
-        """Build (once) the machine paused right before the target slot."""
-        if self._world is not None:
-            return self._world
-        if self._world_unavailable:
-            return None
-        memory, cpu = self._build_world(decode_cache=self._decode_cache)
-        memory.load(FLASH_BASE, halfwords_to_bytes(self._halfwords))
-        try:
-            prefix = cpu.run(_STEP_LIMIT, stop_addresses=(self.snippet.target_address,))
-        except EmulationFault:
-            prefix = None
-        if prefix is None or prefix.reason != "stop_addr":
-            # The pristine setup prefix never reached the target cleanly —
-            # no valid replay point exists, so fall back to rebuilding.
-            self._world_unavailable = True
-            return None
-        flash_region = memory.region_at(FLASH_BASE)
-        success_address = self.snippet.target_address + 2
-        normal_address = self.snippet.program.symbols.get("taken")
-        stops = {success_address}
-        if normal_address is not None:
-            stops.add(normal_address)
-        self._world = _SnapshotWorld(
-            memory=memory,
-            cpu=cpu,
-            memory_snapshot=memory.snapshot(),
-            cpu_snapshot=cpu.snapshot(),
-            budget=_STEP_LIMIT - prefix.steps,
-            flash_data=flash_region.data,
-            slot_offset=self.snippet.target_address - FLASH_BASE,
-            next_after_target=memory.try_fetch_u16(self.snippet.target_address + 2),
-            success_address=success_address,
-            normal_address=normal_address,
-            marker_stops=frozenset(stops),
-        )
-        return self._world
 
     def _execute_replay(self, world: _SnapshotWorld, corrupted_word: int) -> Outcome:
         # First-step pre-classification: the replayed machine fetches the
@@ -461,6 +422,112 @@ class SnippetHarness:
         world.flash_data[offset] = corrupted_word & 0xFF
         world.flash_data[offset + 1] = corrupted_word >> 8
         return self._classify_replay(world, cpu)
+
+    # ------------------------------------------------------------------
+    # subclass hooks
+    # ------------------------------------------------------------------
+
+    def _snapshot_world(self) -> Optional[_SnapshotWorld]:  # pragma: no cover
+        raise NotImplementedError
+
+    def _classify_replay(self, world: _SnapshotWorld, cpu: CPU) -> Outcome:  # pragma: no cover
+        raise NotImplementedError
+
+    def _execute_rebuild(self, corrupted_word: int) -> Outcome:  # pragma: no cover
+        raise NotImplementedError
+
+    def _vector_categories(self, batch, world: _SnapshotWorld) -> list:  # pragma: no cover
+        raise NotImplementedError
+
+
+class SnippetHarness(WordHarness):
+    """Executes a snippet with its target halfword replaced by a corrupted word.
+
+    The snippet's flag-setup prefix runs once up to (not including) the
+    target instruction; the classification reads the 0xdead/0xaaaa marker
+    registers the snippet's fall-through/taken blocks set.  See
+    :class:`WordHarness` for the caching and engine contract.
+    """
+
+    def __init__(
+        self,
+        snippet: BranchSnippet,
+        zero_is_invalid: bool = False,
+        disk_cache=None,
+        engine: str = "snapshot",
+        vector_fallback_mnemonics=(),
+    ):
+        super().__init__(
+            panel=snippet.mnemonic,
+            zero_is_invalid=zero_is_invalid,
+            disk_cache=disk_cache,
+            engine=engine,
+            vector_fallback_mnemonics=vector_fallback_mnemonics,
+        )
+        self.snippet = snippet
+        self._halfwords = list(snippet.program.halfwords)
+        self._flash_size = max(0x400, (len(snippet.program.code) + 0x3FF) & ~0x3FF)
+
+    def _build_world(self, decode_cache: Optional[dict] = None) -> tuple[Memory, CPU]:
+        memory = Memory()
+        memory.map("flash", FLASH_BASE, self._flash_size, writable=False, executable=True)
+        memory.map("ram", RAM_BASE, RAM_SIZE)
+        cpu = CPU(memory, zero_is_invalid=self.zero_is_invalid)
+        cpu.decode_cache = decode_cache
+        cpu.pc = self.snippet.program.base
+        cpu.sp = RAM_BASE + RAM_SIZE
+        return memory, cpu
+
+    def _snapshot_world(self) -> Optional[_SnapshotWorld]:
+        """Build (once) the machine paused right before the target slot."""
+        if self._world is not None:
+            return self._world
+        if self._world_unavailable:
+            return None
+        memory, cpu = self._build_world(decode_cache=self._decode_cache)
+        memory.load(FLASH_BASE, halfwords_to_bytes(self._halfwords))
+        try:
+            prefix = cpu.run(_STEP_LIMIT, stop_addresses=(self.snippet.target_address,))
+        except EmulationFault:
+            prefix = None
+        if prefix is None or prefix.reason != "stop_addr":
+            # The pristine setup prefix never reached the target cleanly —
+            # no valid replay point exists, so fall back to rebuilding.
+            self._world_unavailable = True
+            return None
+        flash_region = memory.region_at(FLASH_BASE)
+        success_address = self.snippet.target_address + 2
+        normal_address = self.snippet.program.symbols.get("taken")
+        stops = {success_address}
+        if normal_address is not None:
+            stops.add(normal_address)
+        self._world = _SnapshotWorld(
+            memory=memory,
+            cpu=cpu,
+            memory_snapshot=memory.snapshot(),
+            cpu_snapshot=cpu.snapshot(),
+            budget=_STEP_LIMIT - prefix.steps,
+            flash_data=flash_region.data,
+            flash_base=FLASH_BASE,
+            ram_base=RAM_BASE,
+            slot_offset=self.snippet.target_address - FLASH_BASE,
+            target_address=self.snippet.target_address,
+            pristine_word=self._halfwords[self.snippet.target_index],
+            next_after_target=memory.try_fetch_u16(self.snippet.target_address + 2),
+            marker_stops=frozenset(stops),
+            success_address=success_address,
+            normal_address=normal_address,
+        )
+        return self._world
+
+    def _vector_categories(self, batch, world: _SnapshotWorld) -> list:
+        return batch.classify_branch(
+            success_address=world.success_address,
+            success_register=SUCCESS_REGISTER,
+            success_marker=SUCCESS_MARKER,
+            normal_register=NORMAL_REGISTER,
+            normal_marker=NORMAL_MARKER,
+        )
 
     def _classify_replay(self, world: _SnapshotWorld, cpu: CPU) -> Outcome:
         """Classify a replay, short-circuiting at the marker-block heads.
@@ -544,6 +611,7 @@ def classify_branch_corruption(
 
 __all__ = [
     "Outcome",
+    "WordHarness",
     "SnippetHarness",
     "OUTCOME_CATEGORIES",
     "ENGINES",

@@ -1,0 +1,267 @@
+"""Round-trips and negative paths for the firmware image loader.
+
+Satellite contract (ISSUE 8): every ``repro.firmware`` program assembled,
+written as raw *and* Intel HEX, and loaded back yields identical halfwords
+and entry point — plus a hypothesis sweep over random label/payload
+layouts.  Malformed inputs are typed :class:`repro.errors.ImageError`s,
+never bare ``IndexError``/``ValueError``.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ImageError
+from repro.firmware import GUARD_KINDS, build_guard_firmware
+from repro.firmware.image import (
+    DEFAULT_BASE,
+    MAX_SPAN,
+    FirmwareImage,
+    load_image,
+    load_raw,
+    parse_ihex,
+    write_image,
+)
+from repro.isa import assemble
+
+VARIANTS = ("single", "double", "contiguous")
+
+
+def _record(address, rectype, payload):
+    """Build one well-checksummed ihex record (test-local mirror)."""
+    body = bytes((len(payload), (address >> 8) & 0xFF, address & 0xFF, rectype))
+    body += bytes(payload)
+    return ":" + (body + bytes(((-sum(body)) & 0xFF,))).hex().upper()
+
+
+EOF = _record(0, 0x01, b"")
+
+
+# ----------------------------------------------------------------------
+# round-trips
+# ----------------------------------------------------------------------
+
+class TestGuardFirmwareRoundTrip:
+    @pytest.mark.parametrize("kind", GUARD_KINDS)
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_raw_and_ihex_round_trip(self, kind, variant):
+        program = build_guard_firmware(kind, variant)
+        image = FirmwareImage.from_program(program)
+        raw_back = load_raw(image.to_raw(), base=image.base)
+        hex_back = parse_ihex(image.to_ihex())
+        for back in (raw_back, hex_back):
+            assert back.base == image.base
+            assert back.halfwords == image.halfwords
+            assert back.entry == image.entry
+
+    @pytest.mark.parametrize("kind", GUARD_KINDS)
+    def test_file_round_trip_by_suffix(self, kind, tmp_path):
+        image = FirmwareImage.from_program(build_guard_firmware(kind))
+        raw_path = tmp_path / "fw.bin"
+        hex_path = tmp_path / "fw.hex"
+        write_image(image, str(raw_path))
+        write_image(image, str(hex_path))
+        assert raw_path.read_bytes() == image.data
+        raw_back = load_image(str(raw_path), base=image.base)
+        hex_back = load_image(str(hex_path))
+        assert raw_back.data == hex_back.data == image.data
+        assert hex_back.base == image.base
+        assert hex_back.entry == image.entry
+
+
+class TestIhexFeatures:
+    def test_entry_record_round_trips(self):
+        image = FirmwareImage(base=0x0800_0000, data=bytes(16), entry=0x0800_000A)
+        assert parse_ihex(image.to_ihex()).entry == 0x0800_000A
+
+    def test_entry_interworking_bit_cleared(self):
+        text = "\n".join([
+            _record(0, 0x04, (0x0800).to_bytes(2, "big")),
+            _record(0, 0x00, bytes(8)),
+            _record(0, 0x05, (0x0800_0005).to_bytes(4, "big")),
+            EOF,
+        ])
+        assert parse_ihex(text).entry == 0x0800_0004
+
+    def test_gap_fill_is_zero(self):
+        text = "\n".join([
+            _record(0x0000, 0x00, b"\x01\x02"),
+            _record(0x0008, 0x00, b"\x03\x04"),
+            EOF,
+        ])
+        image = parse_ihex(text)
+        assert image.data == b"\x01\x02\x00\x00\x00\x00\x00\x00\x03\x04"
+
+    def test_odd_total_padded_to_halfword(self):
+        image = parse_ihex("\n".join([_record(0, 0x00, b"\xAA\xBB\xCC"), EOF]))
+        assert image.data == b"\xAA\xBB\xCC\x00"
+
+    def test_out_of_order_records_sorted(self):
+        text = "\n".join([
+            _record(0x0004, 0x00, b"\x03\x04"),
+            _record(0x0000, 0x00, b"\x01\x02"),
+            EOF,
+        ])
+        assert parse_ihex(text).data == b"\x01\x02\x00\x00\x03\x04"
+
+    def test_extended_segment_record(self):
+        # type-02 shifts by 4 bits: 0x1000 -> 0x10000
+        text = "\n".join([
+            _record(0, 0x02, (0x1000).to_bytes(2, "big")),
+            _record(0, 0x00, b"\x11\x22"),
+            EOF,
+        ])
+        assert parse_ihex(text).base == 0x10000
+
+    def test_small_record_size_round_trips(self):
+        image = FirmwareImage(base=0x0800_0000, data=bytes(range(20)), entry=0x0800_0000)
+        back = parse_ihex(image.to_ihex(record_bytes=4))
+        assert back.data == image.data
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    nops=st.integers(min_value=1, max_value=6),
+    space=st.integers(min_value=0, max_value=3).map(lambda n: 2 * n),
+    payload=st.lists(
+        st.integers(min_value=0, max_value=0xFFFF_FFFF), min_size=0, max_size=4
+    ),
+    base_slot=st.integers(min_value=0, max_value=0x800),
+    record_bytes=st.sampled_from((4, 8, 16, 32)),
+)
+def test_random_layout_round_trips(nops, space, payload, base_slot, record_bytes):
+    """Assembled programs with random label/payload layouts survive both formats."""
+    base = 0x0800_0000 + 2 * base_slot
+    lines = ["_start:"] + ["    nop"] * nops
+    if space:
+        lines.append(f"    .space {space}")
+    lines.append("tail:")
+    lines.append("    bkpt #0")
+    for value in payload:
+        lines.append(f"    .word {value:#x}")
+    program = assemble("\n".join(lines), base=base)
+    image = FirmwareImage.from_program(program)
+    assert load_raw(image.to_raw(), base=base).halfwords == image.halfwords
+    hex_back = parse_ihex(image.to_ihex(record_bytes=record_bytes))
+    assert hex_back.base == base
+    assert hex_back.halfwords == image.halfwords
+    assert hex_back.entry == image.entry
+
+
+# ----------------------------------------------------------------------
+# negative paths: every malformed input is a typed ImageError
+# ----------------------------------------------------------------------
+
+class TestLoaderNegativePaths:
+    def test_truncated_record_short_body(self):
+        with pytest.raises(ImageError, match="truncated record"):
+            parse_ihex(":0102\n" + EOF)
+
+    def test_truncated_record_declared_length(self):
+        # declares 4 data bytes, carries 2 (checksum recomputed to isolate
+        # the length check from the checksum check)
+        body = bytes((4, 0, 0, 0)) + b"\x01\x02"
+        line = ":" + (body + bytes(((-sum(body)) & 0xFF,))).hex().upper()
+        with pytest.raises(ImageError, match="declares 4 data bytes, carries 2"):
+            parse_ihex(line + "\n" + EOF)
+
+    def test_bad_checksum(self):
+        good = _record(0, 0x00, b"\x01\x02")
+        bad = good[:-2] + ("00" if good[-2:] != "00" else "01")
+        with pytest.raises(ImageError, match="checksum mismatch"):
+            parse_ihex(bad + "\n" + EOF)
+
+    def test_non_hex_digits(self):
+        with pytest.raises(ImageError, match="non-hex digits"):
+            parse_ihex(":02000000ZZ\n" + EOF)
+
+    def test_missing_colon(self):
+        with pytest.raises(ImageError, match="does not start with ':'"):
+            parse_ihex("02000000FFFF\n" + EOF)
+
+    def test_overlapping_segments(self):
+        text = "\n".join([
+            _record(0x0000, 0x00, bytes(4)),
+            _record(0x0002, 0x00, bytes(4)),
+            EOF,
+        ])
+        with pytest.raises(ImageError, match="overlapping segments"):
+            parse_ihex(text)
+
+    def test_unknown_record_type(self):
+        with pytest.raises(ImageError, match="unknown record type"):
+            parse_ihex(_record(0, 0x07, b"") + "\n" + EOF)
+
+    def test_data_after_eof(self):
+        with pytest.raises(ImageError, match="data after EOF"):
+            parse_ihex(EOF + "\n" + _record(0, 0x00, b"\x01\x02"))
+
+    def test_missing_eof(self):
+        with pytest.raises(ImageError, match="missing EOF"):
+            parse_ihex(_record(0, 0x00, b"\x01\x02"))
+
+    def test_no_data_records(self):
+        with pytest.raises(ImageError, match="no data records"):
+            parse_ihex(EOF)
+
+    def test_malformed_extended_address_length(self):
+        with pytest.raises(ImageError, match="type-04 record needs 2 data bytes"):
+            parse_ihex(_record(0, 0x04, b"\x01") + "\n" + EOF)
+
+    def test_runaway_span_rejected(self):
+        text = "\n".join([
+            _record(0, 0x00, b"\x01\x02"),
+            _record(0, 0x04, (0x2000).to_bytes(2, "big")),  # +512 MiB
+            _record(0, 0x00, b"\x03\x04"),
+            EOF,
+        ])
+        with pytest.raises(ImageError, match=f"limit {MAX_SPAN}"):
+            parse_ihex(text)
+
+    def test_odd_length_raw(self):
+        with pytest.raises(ImageError, match="odd length 3"):
+            load_raw(b"\x01\x02\x03")
+
+    def test_empty_raw(self):
+        with pytest.raises(ImageError, match="empty image"):
+            load_raw(b"")
+
+    def test_base_flag_rejected_for_ihex(self, tmp_path):
+        path = tmp_path / "fw.hex"
+        path.write_text("\n".join([_record(0, 0x00, b"\x01\x02"), EOF]) + "\n")
+        with pytest.raises(ImageError, match="--base applies to raw images"):
+            load_image(str(path), base=0x1000)
+
+    def test_unknown_format(self, tmp_path):
+        with pytest.raises(ImageError, match="unknown image format"):
+            load_image(str(tmp_path / "fw.bin"), fmt="elf")
+
+
+class TestImageValidation:
+    def test_odd_base_rejected(self):
+        with pytest.raises(ImageError, match="not halfword-aligned"):
+            FirmwareImage(base=0x0800_0001, data=b"\x00\x00", entry=0x0800_0001)
+
+    def test_odd_data_rejected(self):
+        with pytest.raises(ImageError, match="odd length"):
+            FirmwareImage(base=0x0800_0000, data=b"\x00", entry=0x0800_0000)
+
+    def test_entry_outside_image_rejected(self):
+        with pytest.raises(ImageError, match="outside the image"):
+            FirmwareImage(base=0x0800_0000, data=b"\x00\x00", entry=0x0800_0004)
+
+    def test_word_at_unmapped_or_unaligned(self):
+        image = FirmwareImage(base=DEFAULT_BASE, data=b"\x01\x02\x03\x04",
+                              entry=DEFAULT_BASE)
+        assert image.word_at(DEFAULT_BASE) == 0x0201
+        assert image.word_at(DEFAULT_BASE + 2) == 0x0403
+        for bad in (DEFAULT_BASE - 2, DEFAULT_BASE + 1, DEFAULT_BASE + 4):
+            with pytest.raises(ImageError, match="not a mapped halfword"):
+                image.word_at(bad)
+
+    def test_digest_tracks_base_and_data(self):
+        a = FirmwareImage(base=DEFAULT_BASE, data=b"\x01\x02", entry=DEFAULT_BASE)
+        b = FirmwareImage(base=DEFAULT_BASE + 2, data=b"\x01\x02",
+                          entry=DEFAULT_BASE + 2)
+        c = FirmwareImage(base=DEFAULT_BASE, data=b"\x01\x03", entry=DEFAULT_BASE)
+        assert len({a.digest, b.digest, c.digest}) == 3

@@ -1,0 +1,166 @@
+"""Branch-site discovery: pinned demo-image set + generated-program property.
+
+The acceptance pin for ISSUE 8: ``repro discover examples/demo_fw.hex``
+reports exactly the conditional branches the source contains.  The
+hypothesis sweep proves the stronger property — for generated programs
+with a known branch layout, discovery finds *exactly* those sites, under
+both the linear and the entry (reachability) strategies.
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.campaign import BranchSite, discover_sites
+from repro.firmware.image import FirmwareImage, load_image
+from repro.isa import assemble
+from repro.isa.conditions import CONDITION_NAMES
+from repro.obs import Observer, activate
+
+DEMO_HEX = os.path.join(os.path.dirname(__file__), "..", "examples", "demo_fw.hex")
+DEMO_SRC = os.path.join(os.path.dirname(__file__), "..", "examples", "demo_fw.s")
+
+#: the exact site set of examples/demo_fw.s, (address, mnemonic, taken, guard)
+DEMO_SITES = [
+    (0x08000008, "bne", 0x08000004, "cmp r0, r1"),   # checksum loop
+    (0x08000010, "bne", 0x08000016, "cmp r2, r3"),   # authentication check
+    (0x0800001A, "beq", 0x08000020, "cmp r4, #1"),   # privilege gate
+    (0x08000024, "bgt", 0x08000022, None),           # retry loop (guarded by subs)
+    (0x08000028, "blt", 0x0800001C, "cmp r5, #0"),   # underflow check
+    (0x0800002C, "bcs", 0x08000030, "cmp r0, r1"),   # bounds check
+]
+
+
+@pytest.fixture(scope="module")
+def demo_image():
+    return load_image(DEMO_HEX)
+
+
+class TestDemoImage:
+    @pytest.mark.parametrize("strategy", ["linear", "entry"])
+    def test_exact_site_set(self, demo_image, strategy):
+        sites = discover_sites(demo_image, strategy=strategy)
+        assert [
+            (s.address, s.mnemonic, s.taken, s.compare) for s in sites
+        ] == DEMO_SITES
+
+    def test_checked_in_hex_matches_source(self, demo_image):
+        """examples/demo_fw.hex is the assembled examples/demo_fw.s."""
+        with open(DEMO_SRC) as handle:
+            program = assemble(handle.read(), base=demo_image.base)
+        rebuilt = FirmwareImage.from_program(program)
+        assert rebuilt.data == demo_image.data
+        assert rebuilt.entry == demo_image.entry
+
+    def test_site_metadata(self, demo_image):
+        site = discover_sites(demo_image)[0]
+        assert site.word == 0xD1FC  # bne -8
+        assert site.cond == 1
+        assert site.fallthrough == site.address + 2
+        assert site.compare_address == site.address - 2
+        assert site.site_id == "0x08000008"
+        assert "0x08000008: bne -8" in site.window
+        assert "0x08000006: cmp r0, r1" in site.window
+        assert site.describe() == (
+            "0x08000008: bne -> 0x08000004 (fall-through 0x0800000a)  [cmp r0, r1]"
+        )
+
+    def test_describe_without_guard(self, demo_image):
+        bgt = discover_sites(demo_image)[3]
+        assert bgt.compare is None
+        assert bgt.describe().endswith("(fall-through 0x08000026)")
+
+    def test_sites_discovered_counter(self, demo_image):
+        obs = Observer()
+        with activate(obs):
+            discover_sites(demo_image)
+        assert obs.counters["sites.discovered"] == len(DEMO_SITES)
+
+    def test_unknown_strategy(self, demo_image):
+        with pytest.raises(ValueError, match="unknown discovery strategy"):
+            discover_sites(demo_image, strategy="emulate")
+
+
+class TestPoolAliasing:
+    """A literal-pool word in 0xD000-0xDDFF decodes as a conditional branch."""
+
+    SOURCE = """
+_start:
+    movs r0, #1
+    cmp r0, #1
+    beq done
+    movs r1, #0
+done:
+    bkpt #0
+    .word 0xD0FED0FE
+"""
+
+    def test_linear_sees_phantom_pool_sites(self):
+        image = FirmwareImage.from_program(assemble(self.SOURCE, base=0x0800_0000))
+        sites = discover_sites(image, strategy="linear")
+        assert len(sites) == 3  # the real beq + two aliased pool halfwords
+        assert [s.mnemonic for s in sites] == ["beq", "beq", "beq"]
+
+    def test_entry_walk_skips_the_pool(self):
+        image = FirmwareImage.from_program(assemble(self.SOURCE, base=0x0800_0000))
+        sites = discover_sites(image, strategy="entry")
+        assert [(s.address, s.mnemonic) for s in sites] == [(0x0800_0004, "beq")]
+
+
+# ----------------------------------------------------------------------
+# generated programs: discovery finds exactly the branches we wrote
+# ----------------------------------------------------------------------
+
+_FILLER = ("movs r0, #1", "adds r1, r1, #1", "lsls r2, r0, #1",
+           "cmp r0, r1", "nop")
+
+_blocks = st.lists(
+    st.tuples(
+        st.lists(st.sampled_from(_FILLER), min_size=1, max_size=3),
+        st.sampled_from(CONDITION_NAMES),
+        st.integers(min_value=0, max_value=100),  # target block (mod count)
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(blocks=_blocks)
+def test_discovery_is_exact_on_generated_programs(blocks):
+    """Every written branch is found; nothing else is — both strategies."""
+    lines = ["_start:"]
+    for index, (filler, cond, target) in enumerate(blocks):
+        lines.append(f"block{index}:")
+        lines += [f"    {instr}" for instr in filler]
+        lines.append(f"site{index}:")
+        lines.append(f"    b{cond} block{target % len(blocks)}")
+    lines.append("    bkpt #0")
+    program = assemble("\n".join(lines), base=0x0800_0000)
+    image = FirmwareImage.from_program(program)
+
+    expected = {
+        (program.symbols[f"site{index}"], f"b{cond}",
+         program.symbols[f"block{target % len(blocks)}"])
+        for index, (filler, cond, target) in enumerate(blocks)
+    }
+    for strategy in ("linear", "entry"):
+        sites = discover_sites(image, strategy=strategy)
+        assert {(s.address, s.mnemonic, s.taken) for s in sites} == expected
+        for site in sites:
+            assert isinstance(site, BranchSite)
+            assert site.fallthrough == site.address + 2
+            assert site.word == image.word_at(site.address)
+            # a compare filler directly before the branch is picked up as guard
+            if (filler := _filler_before(blocks, site, program)) is not None:
+                assert (site.compare is not None) == filler.startswith("cmp")
+
+
+def _filler_before(blocks, site, program):
+    """The last filler instruction of the block whose branch is ``site``."""
+    for index, (filler, cond, target) in enumerate(blocks):
+        if program.symbols[f"site{index}"] == site.address:
+            return filler[-1]
+    return None
