@@ -15,6 +15,12 @@ Commands:
   AND/OR/XOR flip models and print the exploitability ranking.
 - ``experiment <name>`` — run one paper artifact
   (fig2 | table1 | ... | table7 | search) and print it.
+- ``serve`` — run the long-lived campaign service (asyncio scheduler
+  with dedup, per-client slots, and streaming JSONL feeds); ``serve
+  --stop`` asks a running server to drain and exit.
+- ``submit`` — submit one campaign to a running server and (by default)
+  wait for its tallies; ``--tail`` streams partial tallies as they land.
+- ``status`` — print a running server's queue, jobs, and counters.
 - ``report <events.jsonl>`` — render the timing/metrics summary of a run
   recorded with ``--trace``/``--metrics-out``.
 """
@@ -263,6 +269,156 @@ def cmd_experiment(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service import serve
+    from repro.service.client import ServiceClient
+
+    if args.stop:
+        try:
+            with ServiceClient(host=args.host, port=args.port,
+                               connect_timeout=2.0) as client:
+                client.shutdown(drain=not args.no_drain)
+        except OSError as exc:
+            print(f"error: no server at {args.host}:{args.port} ({exc})",
+                  file=sys.stderr)
+            return 1
+        print(f"server at {args.host}:{args.port} shutting down "
+              f"({'dropping queue' if args.no_drain else 'draining'})")
+        return 0
+    obs = _observer_from_args(args, "serve")
+
+    def ready(host: str, port: int) -> None:
+        print(f"serving on {host}:{port} (root: {args.root or 'default'})",
+              file=sys.stderr)
+
+    try:
+        asyncio.run(serve(
+            root=args.root, host=args.host, port=args.port,
+            job_slots=args.job_slots, client_slots=args.client_slots,
+            unit_workers=args.unit_workers,
+            cache_max_shards=args.cache_max_shards,
+            obs=obs, ready=ready,
+        ))
+    except KeyboardInterrupt:
+        print("interrupted; checkpoints are preserved — restart to resume",
+              file=sys.stderr)
+    finally:
+        if obs is not None and getattr(args, "trace", False):
+            from repro.obs import render_report
+
+            print(render_report(obs.events), file=sys.stderr)
+    return 0
+
+
+def _spec_from_args(args) -> dict:
+    """Build a submission spec dict from ``repro submit`` flags."""
+    spec: dict = {"kind": args.kind, "engine": args.engine, "tally": args.tally}
+    if args.kind == "branch":
+        spec["model"] = args.model
+        if args.conditions:
+            spec["conditions"] = [c.strip() for c in args.conditions.split(",")
+                                  if c.strip()]
+    elif args.kind == "image":
+        spec["path"] = args.image
+        spec["strategy"] = args.strategy
+        spec["format"] = args.format
+        if args.base is not None:
+            spec["base"] = args.base
+        if args.models:
+            spec["models"] = [m.strip() for m in args.models.split(",")
+                              if m.strip()]
+    else:  # experiment
+        spec["name"] = args.name
+        spec["stride"] = args.stride
+        spec["fault_model"] = args.fault_model
+        spec["profile"] = args.profile
+    if args.k_values:
+        spec["k_values"] = [int(k) for k in args.k_values.split(",") if k.strip()]
+    if args.zero_invalid:
+        spec["zero_is_invalid"] = True
+    return spec
+
+
+def cmd_submit(args) -> int:
+    import json
+
+    from repro.service.client import ServiceClient, ServiceError, tail
+
+    try:
+        spec = _spec_from_args(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    try:
+        with ServiceClient(host=args.host, port=args.port) as client:
+            if args.no_wait or args.tail:
+                accepted = client.submit(spec, client=args.client,
+                                         priority=args.priority, wait=False)
+            else:
+                result = client.submit(spec, client=args.client,
+                                       priority=args.priority, wait=True)
+                accepted = result["accepted"]
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: no server at {args.host}:{args.port} ({exc})",
+              file=sys.stderr)
+        return 1
+    print(f"; job {accepted['job']} ({accepted['label']}) "
+          f"{'deduped onto in-flight unit' if accepted['deduped'] else accepted['state']}",
+          file=sys.stderr)
+    print(f"; feed: {accepted['feed']}", file=sys.stderr)
+    if args.tail:
+        for record in tail(accepted["feed"]):
+            print(json.dumps(record))
+            if record.get("type") == "error":
+                return 1
+        return 0
+    if args.no_wait:
+        return 0
+    print(json.dumps(result["tallies"], indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_status(args) -> int:
+    import json
+
+    from repro.service.client import ServiceClient
+
+    try:
+        with ServiceClient(host=args.host, port=args.port,
+                           connect_timeout=2.0) as client:
+            status = client.status()
+    except OSError as exc:
+        print(f"error: no server at {args.host}:{args.port} ({exc})",
+              file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    counters = status["metrics"]["counters"]
+    gauges = status["metrics"]["gauges"]
+    print(f"server {args.host}:{args.port} — root {status['root']}")
+    print(f"  queued:  {status['queued']}   running: {status['running']} "
+          f"(job slots: {status['job_slots']}, "
+          f"client slots: {status['client_slots']})")
+    print(f"  clients: {', '.join(status['active_clients']) or '-'}")
+    for name in sorted(n for n in counters if n.startswith("service.")):
+        print(f"  {name}: {counters[name]}")
+    for name in sorted(gauges):
+        print(f"  {name}: {gauges[name]}")
+    if status["jobs"]:
+        print("  jobs:")
+        for job in status["jobs"]:
+            print(f"    {job['fingerprint']}  {job['state']:<8} "
+                  f"p{job['priority']}  {job['label']} "
+                  f"[{', '.join(job['clients'])}]")
+    return 0
+
+
 def cmd_report(args) -> int:
     from repro.obs import load_events, render_report
 
@@ -385,6 +541,108 @@ def build_parser() -> argparse.ArgumentParser:
     _add_observability_flags(p_exp)
     p_exp.set_defaults(func=cmd_experiment)
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the long-lived campaign service (scheduler + socket server)",
+    )
+    _add_endpoint_flags(p_serve)
+    p_serve.add_argument("--root", default=None, metavar="DIR",
+                        help="service root for feeds, checkpoints, and the "
+                             "shared outcome cache (default: "
+                             "<cache root>/service)")
+    p_serve.add_argument("--job-slots", type=int, default=2, metavar="N",
+                        help="campaigns executing concurrently across all "
+                             "clients (default 2)")
+    p_serve.add_argument("--client-slots", type=int, default=2, metavar="N",
+                        help="queued-or-running jobs one client may own at a "
+                             "time; extra submissions wait behind the "
+                             "client's own jobs (default 2)")
+    p_serve.add_argument("--unit-workers", type=int, default=1, metavar="N",
+                        help="worker processes inside each campaign "
+                             "(0 = all cores)")
+    p_serve.add_argument("--cache-max-shards", type=int, default=64, metavar="N",
+                        help="LRU bound on in-memory outcome-cache shards per "
+                             "campaign execution (evicted shards flush to "
+                             "disk; default 64)")
+    p_serve.add_argument("--stop", action="store_true",
+                        help="ask the server at --host/--port to shut down "
+                             "gracefully (drain, flush feeds/caches) and exit")
+    p_serve.add_argument("--no-drain", action="store_true",
+                        help="with --stop: fail queued jobs instead of "
+                             "finishing them (running jobs still complete; "
+                             "checkpoints survive for resubmission)")
+    _add_observability_flags(p_serve)
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_sub = sub.add_parser(
+        "submit", help="submit one campaign to a running repro serve"
+    )
+    _add_endpoint_flags(p_sub)
+    p_sub.add_argument("--kind", choices=["branch", "image", "experiment"],
+                       default="branch",
+                       help="campaign kind: per-branch sweep, whole-image "
+                            "campaign, or a paper experiment")
+    p_sub.add_argument("--model", choices=["and", "or", "xor"], default="and",
+                       help="flip model for --kind branch")
+    p_sub.add_argument("--conditions", default=None, metavar="LIST",
+                       help="comma-separated branch conditions for --kind "
+                            "branch (eq,ne,...; default: all 14)")
+    p_sub.add_argument("--image", default=None, metavar="FILE",
+                       help="firmware image for --kind image")
+    p_sub.add_argument("--models", default=None, metavar="LIST",
+                       help="comma-separated flip models for --kind image "
+                            "(default: and,or,xor)")
+    p_sub.add_argument("--strategy", choices=["linear", "entry"],
+                       default="linear",
+                       help="site discovery strategy for --kind image")
+    p_sub.add_argument("--format", choices=["auto", "raw", "ihex"],
+                       default="auto",
+                       help="image format for --kind image")
+    p_sub.add_argument("--base", default=None, metavar="ADDR",
+                       help="load address for raw images (--kind image)")
+    p_sub.add_argument("--name", choices=["fig2", "table1", "table2",
+                                          "table3", "table6"],
+                       default="table1",
+                       help="artifact for --kind experiment")
+    p_sub.add_argument("--stride", type=int, default=4,
+                       help="scan stride for --kind experiment")
+    _add_fault_model_flags(p_sub)
+    p_sub.add_argument("--k-values", default=None, metavar="LIST",
+                       help="comma-separated flip counts k to sweep "
+                            "(branch/image kinds; default: 0..16)")
+    p_sub.add_argument("--zero-invalid", action="store_true",
+                       help="treat the all-zero word as an invalid encoding "
+                            "(the Figure 2c panel decode mode)")
+    p_sub.add_argument("--engine", choices=["snapshot", "rebuild", "vector"],
+                       default="snapshot",
+                       help="execution engine (excluded from the dedup "
+                            "fingerprint — engines are bit-identical)")
+    p_sub.add_argument("--tally", choices=["algebra", "enumerate"],
+                       default="algebra",
+                       help="tallying strategy (excluded from the dedup "
+                            "fingerprint)")
+    p_sub.add_argument("--client", default="cli", metavar="NAME",
+                       help="client identity for per-client concurrency "
+                            "slots (default: cli)")
+    p_sub.add_argument("--priority", type=int, default=0, metavar="N",
+                       help="scheduling priority; smaller runs earlier "
+                            "(default 0)")
+    p_sub.add_argument("--no-wait", action="store_true",
+                       help="return after the job is accepted instead of "
+                            "waiting for tallies (tail the feed instead)")
+    p_sub.add_argument("--tail", action="store_true",
+                       help="stream the job's JSONL feed (partial tallies "
+                            "per completed unit) until the final result")
+    p_sub.set_defaults(func=cmd_submit)
+
+    p_stat = sub.add_parser(
+        "status", help="print a running server's queue, jobs, and counters"
+    )
+    _add_endpoint_flags(p_stat)
+    p_stat.add_argument("--json", action="store_true",
+                        help="print the raw status record as JSON")
+    p_stat.set_defaults(func=cmd_status)
+
     p_report = sub.add_parser(
         "report", help="summarise a --trace/--metrics-out JSONL event log"
     )
@@ -392,6 +650,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.set_defaults(func=cmd_report)
 
     return parser
+
+
+def _add_endpoint_flags(parser: argparse.ArgumentParser) -> None:
+    from repro.service.server import DEFAULT_HOST, DEFAULT_PORT
+
+    parser.add_argument("--host", default=DEFAULT_HOST,
+                        help=f"service bind/connect address "
+                             f"(default {DEFAULT_HOST})")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT,
+                        help=f"service TCP port (default {DEFAULT_PORT}; "
+                             f"0 = ephemeral for serve)")
 
 
 def _add_image_flags(parser: argparse.ArgumentParser) -> None:

@@ -16,6 +16,14 @@ workers never contend on a file.
 
 The root defaults to ``$REPRO_CACHE_DIR``, else
 ``$XDG_CACHE_HOME/repro-glitching``, else ``~/.cache/repro-glitching``.
+
+Long-lived multi-tenant holders (the campaign service) bound the
+in-memory footprint with ``max_shards``: shards are kept in LRU order
+and the least-recently-used one is written back to disk and dropped when
+the bound is exceeded. Eviction is invisible to correctness — a re-touch
+of an evicted shard reloads it from the freshly-flushed file — it only
+trades memory for a reload. The default (``max_shards=None``) keeps the
+historical unbounded behavior, which is right for one-shot campaigns.
 """
 
 from __future__ import annotations
@@ -40,13 +48,22 @@ def default_cache_root() -> Path:
 class OutcomeCache:
     """Disk-backed ``(mnemonic, zero_is_invalid, word) -> category`` store."""
 
-    def __init__(self, root: Union[str, os.PathLike, None] = None):
+    def __init__(
+        self,
+        root: Union[str, os.PathLike, None] = None,
+        max_shards: Optional[int] = None,
+    ):
+        if max_shards is not None and max_shards < 1:
+            raise ValueError(f"max_shards must be >= 1, got {max_shards}")
         self.root = Path(root) if root is not None else default_cache_root()
         self.root.mkdir(parents=True, exist_ok=True)
+        self.max_shards = max_shards
+        # insertion order doubles as LRU order: _shard() re-inserts on touch
         self._shards: dict[tuple[str, bool], dict[int, str]] = {}
         self._dirty: set[tuple[str, bool]] = set()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         # Words resolved from a harness's in-memory memo before any disk
         # lookup happened. Invisible to hits/misses by design (no shard was
         # consulted), but campaign accounting still wants the denominator:
@@ -104,24 +121,27 @@ class OutcomeCache:
     def flush(self) -> None:
         """Write every dirty shard atomically (temp file + rename)."""
         for key in sorted(self._dirty):
-            path = self._shard_path(*key)
-            payload = json.dumps(
-                {str(word): category for word, category in sorted(self._shards[key].items())}
-            )
-            fd, tmp = tempfile.mkstemp(
-                dir=str(self.root), prefix=path.name + ".", suffix=".tmp"
-            )
-            try:
-                with os.fdopen(fd, "w") as handle:
-                    handle.write(payload)
-                os.replace(tmp, path)
-            except BaseException:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
+            self._write_shard(key)
         self._dirty.clear()
+
+    def _write_shard(self, key: tuple[str, bool]) -> None:
+        path = self._shard_path(*key)
+        payload = json.dumps(
+            {str(word): category for word, category in sorted(self._shards[key].items())}
+        )
+        fd, tmp = tempfile.mkstemp(
+            dir=str(self.root), prefix=path.name + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
     def __len__(self) -> int:
         """Entries across the shards loaded so far (not the whole disk store)."""
@@ -142,17 +162,38 @@ class OutcomeCache:
     def _shard(self, mnemonic: str, zero_is_invalid: bool) -> dict[int, str]:
         key = (mnemonic, zero_is_invalid)
         shard = self._shards.get(key)
-        if shard is None:
-            path = self._shard_path(*key)
-            shard = {}
-            if path.exists():
-                try:
-                    raw = json.loads(path.read_text())
-                except (OSError, ValueError):
-                    raw = {}  # a torn/corrupt shard is a cache miss, not an error
-                shard = {int(word): category for word, category in raw.items()}
-            self._shards[key] = shard
+        if shard is not None:
+            if self.max_shards is not None:
+                # touch: move to the most-recently-used end
+                self._shards[key] = self._shards.pop(key)
+            return shard
+        path = self._shard_path(*key)
+        shard = {}
+        if path.exists():
+            try:
+                raw = json.loads(path.read_text())
+            except (OSError, ValueError):
+                raw = {}  # a torn/corrupt shard is a cache miss, not an error
+            shard = {int(word): category for word, category in raw.items()}
+        self._shards[key] = shard
+        if self.max_shards is not None:
+            self._evict(keep=key)
         return shard
+
+    def _evict(self, keep: tuple[str, bool]) -> None:
+        """Drop least-recently-used shards until within ``max_shards``.
+
+        A dirty victim is written back first, so eviction never loses
+        entries — an evicted shard re-touched later reloads bit-identical
+        from disk. ``keep`` (the shard just touched) is never the victim.
+        """
+        while len(self._shards) > self.max_shards:
+            victim = next(key for key in self._shards if key != keep)
+            if victim in self._dirty:
+                self._write_shard(victim)
+                self._dirty.discard(victim)
+            del self._shards[victim]
+            self.evictions += 1
 
 
 def coerce_cache(

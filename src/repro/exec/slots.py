@@ -1,0 +1,75 @@
+"""Per-key concurrency slots — the service layer's backpressure primitive.
+
+Modeled on Scrapy's downloader slots: each *key* (a client name, a
+domain, a tenant) owns a bounded number of concurrent work slots, and a
+scheduler only dispatches a unit whose key still has a free slot. Keys
+never block each other — one client saturating its slots leaves every
+other client's capacity untouched — which is what turns a shared
+scheduler into a fair multi-tenant one.
+
+The pool is thread-safe (``try_acquire``/``release`` take an internal
+lock) so an asyncio scheduler can release slots from worker threads, and
+non-blocking by design: a scheduler that finds no eligible unit simply
+parks until a release wakes it, instead of spinning inside the pool.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+
+
+class SlotPool:
+    """Bounded concurrency slots per key (``try_acquire``/``release``).
+
+    ``per_key`` is the slot budget each key gets; ``try_acquire`` never
+    blocks — it returns ``False`` when the key is saturated, leaving the
+    caller free to try another key or park.
+    """
+
+    def __init__(self, per_key: int):
+        if per_key < 1:
+            raise ValueError(f"per_key must be >= 1, got {per_key}")
+        self.per_key = per_key
+        self._active: Counter = Counter()
+        self._lock = threading.Lock()
+
+    def try_acquire(self, key: str) -> bool:
+        """Take one slot for ``key`` if any is free; never blocks."""
+        with self._lock:
+            if self._active[key] >= self.per_key:
+                return False
+            self._active[key] += 1
+            return True
+
+    def release(self, key: str) -> None:
+        """Return one of ``key``'s slots to the pool."""
+        with self._lock:
+            if self._active[key] <= 0:
+                raise ValueError(f"release of key {key!r} with no acquired slot")
+            self._active[key] -= 1
+            if self._active[key] == 0:
+                del self._active[key]
+
+    def active(self, key: str) -> int:
+        """Slots currently held by ``key``."""
+        with self._lock:
+            return self._active[key]
+
+    def free(self, key: str) -> int:
+        """Slots ``key`` could still acquire."""
+        with self._lock:
+            return self.per_key - self._active[key]
+
+    def active_keys(self) -> list[str]:
+        """Keys holding at least one slot (sorted, for stable reporting)."""
+        with self._lock:
+            return sorted(key for key, count in self._active.items() if count > 0)
+
+    def __len__(self) -> int:
+        """Total slots held across all keys."""
+        with self._lock:
+            return sum(self._active.values())
+
+
+__all__ = ["SlotPool"]

@@ -1,0 +1,67 @@
+"""Campaign-as-a-service: async scheduler, dedup, streaming results.
+
+The service layer (ROADMAP item 2) turns the CLI-per-run model into a
+long-lived multiplexer: ``repro serve`` runs an asyncio
+:class:`CampaignScheduler` behind a local socket, many clients submit
+campaigns concurrently (``repro submit`` / :class:`ServiceClient`), and
+the scheduler
+
+- **dedupes** identical submissions — the parameter fingerprint
+  (:func:`spec_fingerprint`, built on the checkpoint layer's
+  :func:`~repro.exec.checkpoint.campaign_id`) maps every in-flight
+  campaign to one unit whose tallies fan out to all subscribers;
+- **backpressures** per client — :class:`repro.exec.SlotPool` slots cap
+  each client's concurrent jobs without letting one tenant starve
+  another, Scrapy downloader-slot style;
+- **streams** — each campaign appends partial tallies to a torn-line-
+  tolerant JSONL feed (:mod:`repro.service.feed`) clients can tail
+  before the sweep completes;
+- **survives** — every unit checkpoints with ``resume=True`` under a
+  fingerprint-keyed directory, so a killed server resumes on resubmit
+  and merges to tallies bit-identical to an uninterrupted run;
+- **observes** — ``service.*`` counters and queue-depth gauges land in
+  the same :mod:`repro.obs` event log every campaign already uses.
+
+See docs/SERVICE.md for the operations guide.
+"""
+
+from repro.service.feed import CampaignFeed, feed_path, read_feed, tail_feed
+from repro.service.scheduler import (
+    CampaignScheduler,
+    ServiceJob,
+    default_service_root,
+)
+from repro.service.server import CampaignServer, DEFAULT_HOST, DEFAULT_PORT, serve
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.units import (
+    EXPERIMENT_NAMES,
+    KINDS,
+    SpecError,
+    describe_spec,
+    execute_unit,
+    normalize_spec,
+    spec_fingerprint,
+)
+
+__all__ = [
+    "CampaignFeed",
+    "CampaignScheduler",
+    "CampaignServer",
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "EXPERIMENT_NAMES",
+    "KINDS",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceJob",
+    "SpecError",
+    "default_service_root",
+    "describe_spec",
+    "execute_unit",
+    "feed_path",
+    "normalize_spec",
+    "read_feed",
+    "serve",
+    "spec_fingerprint",
+    "tail_feed",
+]

@@ -1,0 +1,131 @@
+"""Blocking client for the campaign service (used by the CLI and tests).
+
+One :class:`ServiceClient` wraps one TCP connection speaking the line
+protocol of :mod:`repro.service.server`. Connection setup retries until
+``connect_timeout`` elapses, so a client started in the same breath as
+the server (``repro serve ... &`` then ``repro submit ...``) simply
+waits for the socket to appear instead of racing it.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import Iterator, Optional
+
+from repro.service.server import DEFAULT_HOST, DEFAULT_PORT
+
+
+class ServiceError(RuntimeError):
+    """The server answered with an error record."""
+
+
+class ServiceClient:
+    """One connection to a running ``repro serve`` instance."""
+
+    def __init__(
+        self,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        connect_timeout: float = 10.0,
+    ):
+        self.host = host
+        self.port = port
+        deadline = time.monotonic() + connect_timeout
+        while True:
+            try:
+                self._sock = socket.create_connection((host, port), timeout=5.0)
+                break
+            except OSError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.1)
+        # campaigns can run for minutes: reads block without a deadline
+        self._sock.settimeout(None)
+        self._reader = self._sock.makefile("r", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+
+    def _send(self, payload: dict) -> None:
+        self._sock.sendall(json.dumps(payload).encode() + b"\n")
+
+    def _recv(self) -> dict:
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        record = json.loads(line)
+        if record.get("type") == "error":
+            raise ServiceError(record.get("error", "unknown server error"))
+        return record
+
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        spec: dict,
+        client: str = "cli",
+        priority: int = 0,
+        wait: bool = True,
+    ) -> dict:
+        """Submit one campaign spec.
+
+        With ``wait=True`` (default) blocks until completion and returns
+        the ``result`` record (``tallies`` inside); with ``wait=False``
+        returns the ``accepted`` record immediately — tail the ``feed``
+        path it names for streaming results.
+        """
+        self._send({"op": "submit", "spec": spec, "client": client,
+                    "priority": priority, "wait": wait})
+        accepted = self._recv()
+        if not wait:
+            return accepted
+        result = self._recv()
+        result["accepted"] = accepted
+        return result
+
+    def submit_accepted(self, spec: dict, client: str = "cli",
+                        priority: int = 0) -> dict:
+        """Submit with ``wait=True`` but return after the ``accepted`` line.
+
+        The caller later calls :meth:`wait_result` on this connection —
+        used when the dedup flag is needed before the campaign finishes.
+        """
+        self._send({"op": "submit", "spec": spec, "client": client,
+                    "priority": priority, "wait": True})
+        return self._recv()
+
+    def wait_result(self) -> dict:
+        """The ``result`` record matching an earlier :meth:`submit_accepted`."""
+        return self._recv()
+
+    def status(self) -> dict:
+        self._send({"op": "status"})
+        return self._recv()
+
+    def shutdown(self, drain: bool = True) -> dict:
+        """Ask the server to drain (or drop the queue) and exit."""
+        self._send({"op": "shutdown", "drain": drain})
+        return self._recv()
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def tail(path, poll: float = 0.2, timeout: Optional[float] = None) -> Iterator[dict]:
+    """Re-export of :func:`repro.service.feed.tail_feed` for CLI symmetry."""
+    from repro.service.feed import tail_feed
+
+    return tail_feed(path, poll=poll, timeout=timeout)
+
+
+__all__ = ["ServiceClient", "ServiceError", "tail"]

@@ -1,0 +1,147 @@
+"""Incremental streaming result feeds: one JSONL file per campaign.
+
+Modeled on Scrapy's feed exports: instead of buffering a campaign's
+result until it completes, the service appends one JSON line per
+completed work unit to ``<root>/feeds/<fingerprint>.jsonl``, so any
+number of clients can *tail* the partial tallies of an in-flight sweep.
+
+Record types, in file order:
+
+- ``campaign`` — header: fingerprint, the normalized spec, a human label;
+- ``progress`` — cumulative snapshot after each completed work unit
+  (units done/total, attempts so far, per-category tallies);
+- ``result`` — the final JSON tallies (exactly what subscribers receive);
+- ``error`` — instead of ``result`` when the campaign failed.
+
+The format shares the event log's torn-line discipline: records are
+appended and flushed one line at a time, and :func:`read_feed` (a thin
+wrapper over :func:`repro.obs.load_events`) skips a torn trailing line
+from a crash mid-write instead of failing, so a feed is always readable
+— even while the server is writing it, even after the server died.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Iterator, List, Optional, Union
+
+from repro.exec import ProgressReporter
+from repro.obs import load_events
+
+
+def feed_path(root: Union[str, os.PathLike], fingerprint: str) -> Path:
+    """Where one campaign's feed lives under the service root."""
+    return Path(root) / "feeds" / f"{fingerprint}.jsonl"
+
+
+class CampaignFeed:
+    """Append-only JSONL writer for one campaign's streaming results."""
+
+    def __init__(self, path: Union[str, os.PathLike]):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = self.path.open("w")
+
+    def emit(self, record: dict) -> None:
+        """Append one record and flush — tails see it immediately."""
+        self._handle.write(json.dumps(record, default=str) + "\n")
+        self._handle.flush()
+
+    def header(self, fingerprint: str, spec: dict, label: str) -> None:
+        self.emit({"type": "campaign", "fingerprint": fingerprint,
+                   "label": label, "spec": spec})
+
+    def result(self, tallies: dict) -> None:
+        self.emit({"type": "result", "tallies": tallies})
+
+    def error(self, message: str) -> None:
+        self.emit({"type": "error", "error": message})
+
+    def reporter(self) -> ProgressReporter:
+        """A :class:`ProgressReporter` that streams snapshots into the feed.
+
+        Handed to the campaign driver as its ``progress=``; every
+        completed work unit appends one cumulative ``progress`` record
+        (the partial tallies a tailing client renders).
+        """
+
+        def emit(snapshot) -> None:
+            self.emit({
+                "type": "progress",
+                "units_done": snapshot.units_done,
+                "units_total": snapshot.units_total,
+                "attempts": snapshot.attempts,
+                "categories": dict(snapshot.categories),
+                "finished": snapshot.finished,
+            })
+
+        return ProgressReporter(callback=emit)
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.flush()
+            self._handle.close()
+
+    def __enter__(self) -> "CampaignFeed":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_feed(path: Union[str, os.PathLike]) -> List[dict]:
+    """Every complete record of a feed; torn trailing lines are skipped."""
+    return load_events(path)
+
+
+def tail_feed(
+    path: Union[str, os.PathLike],
+    poll: float = 0.2,
+    timeout: Optional[float] = None,
+) -> Iterator[dict]:
+    """Yield feed records as they appear, until a terminal record.
+
+    Follows the file like ``tail -f``: only complete (newline-terminated)
+    lines are parsed, so a record the server is mid-writing is simply not
+    yielded yet. Unparsable complete lines are skipped with the same
+    tolerance as :func:`read_feed`. The generator ends after yielding a
+    ``result`` or ``error`` record; ``timeout`` (seconds, ``None`` =
+    forever) bounds the total wait and raises :class:`TimeoutError`.
+    """
+    deadline = time.monotonic() + timeout if timeout is not None else None
+    buffer = ""
+    position = 0
+    while True:
+        try:
+            # binary so seek offsets stay byte-exact regardless of content
+            with open(path, "rb") as handle:
+                handle.seek(position)
+                raw = handle.read()
+        except FileNotFoundError:
+            raw = b""
+        if raw:
+            position += len(raw)
+            buffer += raw.decode("utf-8", errors="replace")
+            while "\n" in buffer:
+                line, buffer = buffer.split("\n", 1)
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(record, dict):
+                    yield record
+                    if record.get("type") in ("result", "error"):
+                        return
+            continue  # drained a chunk — poll again immediately
+        if deadline is not None and time.monotonic() > deadline:
+            raise TimeoutError(f"no terminal record in {path} after {timeout}s")
+        time.sleep(poll)
+
+
+__all__ = ["CampaignFeed", "feed_path", "read_feed", "tail_feed"]

@@ -1,0 +1,334 @@
+"""Asyncio campaign scheduler: priority queues, per-client slots, dedup.
+
+The :class:`CampaignScheduler` is the service's engine, shaped like
+Scrapy's event-driven core: submissions enter a priority queue, a
+dispatch loop moves them into execution as *global job slots* free up,
+and per-client :class:`~repro.exec.SlotPool` slots provide backpressure
+— one client flooding the queue cannot starve another, because dispatch
+skips any queued job whose client is already at its concurrency budget.
+
+**Dedup.** Every submission is normalized and fingerprinted
+(:func:`repro.service.units.spec_fingerprint`). A submission whose
+fingerprint matches an in-flight (queued or running) job does not create
+a second unit: it *subscribes* to the existing one, and the single
+execution's tallies fan out to every subscriber on completion. Because
+campaigns are deterministic, subscribers are guaranteed bit-identical
+results to running the campaign themselves — dedup only removes
+duplicate work, never changes answers.
+
+**Execution.** Jobs run in worker threads (``asyncio.to_thread``) so the
+event loop stays responsive; the campaign itself may additionally fan
+out over processes (``unit_workers``). Each job checkpoints under
+``<root>/checkpoints/<fingerprint>`` with ``resume=True`` and streams
+partial tallies to ``<root>/feeds/<fingerprint>.jsonl``
+(:mod:`repro.service.feed`), so a killed server resumes and clients can
+tail.
+
+**Metrics.** The scheduler counts ``service.submissions`` (every submit),
+``service.deduped`` (submissions attached to an in-flight unit),
+``service.completed``/``service.failed``, and keeps the
+``service.queue_depth`` / ``service.active_clients`` gauges current; a
+job's campaign-level telemetry (attempts, cache hits, checkpoint
+replays) runs under a per-job observer merged into the service observer
+on completion, exactly like worker-process envelopes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.exec import SlotPool
+from repro.exec.cache import default_cache_root
+from repro.obs import Observer
+from repro.service.feed import CampaignFeed, feed_path
+from repro.service.units import (
+    describe_spec,
+    execute_unit,
+    normalize_spec,
+    spec_fingerprint,
+)
+
+
+def default_service_root() -> Path:
+    """``<cache root>/service`` — feeds, checkpoints, and cache shards."""
+    return default_cache_root() / "service"
+
+
+@dataclass
+class ServiceJob:
+    """One in-flight campaign unit and everyone waiting on it."""
+
+    fingerprint: str
+    spec: dict  # normalized
+    client: str  # the first submitter (owns the concurrency slot)
+    priority: int
+    seq: int
+    feed: Path
+    state: str = "queued"  # queued | running | done | failed
+    clients: list = field(default_factory=list)  # every subscriber's client
+    subscribers: list = field(default_factory=list)  # asyncio futures
+    result: Optional[dict] = None
+    error: Optional[str] = None
+
+    @property
+    def label(self) -> str:
+        return describe_spec(self.spec)
+
+    def describe(self) -> dict:
+        """JSON-able row for ``status`` listings."""
+        return {
+            "fingerprint": self.fingerprint,
+            "label": self.label,
+            "state": self.state,
+            "priority": self.priority,
+            "clients": list(self.clients),
+            "feed": str(self.feed),
+        }
+
+
+class CampaignScheduler:
+    """Priority-queue scheduler with fingerprint dedup and client slots.
+
+    - ``job_slots`` — campaigns running concurrently (each in a worker
+      thread; the bound on threads, not processes).
+    - ``client_slots`` — queued-or-running jobs one client may own at a
+      time; further submissions queue behind the client's own jobs
+      (dedup subscriptions never consume a slot).
+    - ``unit_workers`` — worker processes *inside* each campaign (the
+      usual ``workers=`` fan-out).
+    - ``priority`` — smaller runs earlier (0 is the default); ties break
+      by submission order.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path, None] = None,
+        job_slots: int = 2,
+        client_slots: int = 2,
+        unit_workers: int = 1,
+        cache_max_shards: Optional[int] = 64,
+        obs: Optional[Observer] = None,
+    ):
+        if job_slots < 1:
+            raise ValueError(f"job_slots must be >= 1, got {job_slots}")
+        self.root = Path(root) if root is not None else default_service_root()
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.job_slots = job_slots
+        self.unit_workers = unit_workers
+        self.cache_max_shards = cache_max_shards
+        # the service always observes itself: the event log is its
+        # metrics plane, and `status` reads these counters
+        self.obs = obs if obs is not None else Observer()
+        self.slots = SlotPool(client_slots)
+        self._queue: list[ServiceJob] = []
+        self._inflight: dict[str, ServiceJob] = {}  # queued or running
+        self._jobs: dict[str, ServiceJob] = {}  # full history this lifetime
+        self._running = 0
+        self._seq = 0
+        self._closed = False
+        self._wake: Optional[asyncio.Event] = None
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._tasks: set = set()
+        self._idle: Optional[asyncio.Event] = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(self) -> None:
+        """Start the dispatch loop (call from inside the event loop)."""
+        self._wake = asyncio.Event()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+
+    async def aclose(self, drain: bool = True) -> None:
+        """Graceful shutdown.
+
+        ``drain=True`` (the default) lets every queued and running job
+        finish before returning — nothing is lost, every feed ends with a
+        terminal record. ``drain=False`` fails queued jobs immediately
+        (subscribers get an error; their checkpoints survive for a
+        resubmit) and waits only for the running ones. Either way the
+        final metrics land in the observer and all feeds are closed.
+        """
+        if drain:
+            await self.join()
+        self._closed = True
+        if not drain:
+            for job in list(self._queue):
+                self._finish(job, error="server shut down before the job ran")
+            self._queue.clear()
+        if self._wake is not None:
+            self._wake.set()
+        if self._dispatcher is not None:
+            await self._dispatcher
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+
+    async def join(self) -> None:
+        """Wait until the queue is empty and no job is running."""
+        while self._queue or self._running:
+            self._idle.clear()
+            await self._idle.wait()
+
+    # -- submission -----------------------------------------------------
+
+    def submit(
+        self, spec: dict, client: str = "anon", priority: int = 0
+    ) -> tuple[ServiceJob, asyncio.Future, bool]:
+        """Normalize, fingerprint, and enqueue (or attach to) a campaign.
+
+        Returns ``(job, future, deduped)``: the future resolves with the
+        job's JSON tallies (or raises on failure); ``deduped`` is True
+        when the submission attached to an already in-flight unit instead
+        of creating one. Raises :class:`repro.service.units.SpecError` on
+        a malformed spec.
+        """
+        if self._closed:
+            raise RuntimeError("scheduler is shut down")
+        norm = normalize_spec(spec)
+        fingerprint = spec_fingerprint(norm)
+        self.obs.count("service.submissions")
+        future = asyncio.get_running_loop().create_future()
+        job = self._inflight.get(fingerprint)
+        if job is not None:
+            job.subscribers.append(future)
+            job.clients.append(client)
+            self.obs.count("service.deduped")
+            self.obs.event("service.submit", fingerprint=fingerprint,
+                           client=client, deduped=True)
+            return job, future, True
+        job = ServiceJob(
+            fingerprint=fingerprint,
+            spec=norm,
+            client=client,
+            priority=priority,
+            seq=self._seq,
+            feed=feed_path(self.root, fingerprint),
+            clients=[client],
+            subscribers=[future],
+        )
+        self._seq += 1
+        self._inflight[fingerprint] = job
+        self._jobs[fingerprint] = job
+        self._queue.append(job)
+        self.obs.event("service.submit", fingerprint=fingerprint,
+                       client=client, deduped=False)
+        self._update_gauges()
+        if self._wake is not None:
+            self._wake.set()
+        return job, future, False
+
+    # -- dispatch -------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        while not self._closed:
+            if not self._try_dispatch():
+                self._wake.clear()
+                if self._closed:
+                    break
+                await self._wake.wait()
+
+    def _try_dispatch(self) -> bool:
+        """Start the best eligible queued job; False when none can run."""
+        if self._running >= self.job_slots or not self._queue:
+            return False
+        self._queue.sort(key=lambda job: (job.priority, job.seq))
+        for job in self._queue:
+            # per-client backpressure: skip (don't block on) a saturated
+            # client so other clients' jobs flow past it
+            if self.slots.try_acquire(job.client):
+                self._queue.remove(job)
+                # claim the job slot here, not inside the task: the task
+                # body runs a loop-turn later, and dispatching again in
+                # that window would overshoot job_slots
+                self._running += 1
+                job.state = "running"
+                task = asyncio.create_task(self._run_job(job))
+                self._tasks.add(task)
+                task.add_done_callback(self._tasks.discard)
+                return True
+        return False
+
+    async def _run_job(self, job: ServiceJob) -> None:
+        self._update_gauges()
+        feed = CampaignFeed(job.feed)
+        feed.header(job.fingerprint, job.spec, job.label)
+        # per-job observer: campaign counters merge into the service
+        # observer atomically on completion, mirroring worker envelopes
+        job_obs = Observer()
+        try:
+            tallies = await asyncio.to_thread(
+                execute_unit,
+                job.spec,
+                root=self.root,
+                cache_max_shards=self.cache_max_shards,
+                workers=self.unit_workers,
+                progress=feed.reporter(),
+                obs=job_obs,
+            )
+        except Exception as exc:
+            self.obs.merge(dict(job_obs.counters), tuple(job_obs.events))
+            feed.error(repr(exc))
+            self._finish(job, error=repr(exc))
+        else:
+            self.obs.merge(dict(job_obs.counters), tuple(job_obs.events))
+            feed.result(tallies)
+            self._finish(job, tallies=tallies)
+        finally:
+            feed.close()
+            self.slots.release(job.client)
+            self._running -= 1
+            self._update_gauges()
+            if self._wake is not None:
+                self._wake.set()
+            if not self._queue and not self._running and self._idle is not None:
+                self._idle.set()
+
+    def _finish(
+        self, job: ServiceJob, tallies: Optional[dict] = None,
+        error: Optional[str] = None,
+    ) -> None:
+        """Resolve every subscriber and retire the fingerprint."""
+        self._inflight.pop(job.fingerprint, None)
+        if error is None:
+            job.state = "done"
+            job.result = tallies
+            self.obs.count("service.completed")
+            for future in job.subscribers:
+                if not future.done():
+                    future.set_result(tallies)
+        else:
+            job.state = "failed"
+            job.error = error
+            self.obs.count("service.failed")
+            for future in job.subscribers:
+                if not future.done():
+                    future.set_exception(RuntimeError(error))
+        self.obs.event("service.finish", fingerprint=job.fingerprint,
+                       state=job.state, subscribers=len(job.subscribers))
+        self._update_gauges()
+
+    # -- reporting ------------------------------------------------------
+
+    def _update_gauges(self) -> None:
+        self.obs.gauge("service.queue_depth", len(self._queue))
+        self.obs.gauge("service.active_clients", len(self.slots.active_keys()))
+
+    def status(self) -> dict:
+        """JSON-able service status: queue, jobs, counters, gauges."""
+        return {
+            "queued": len(self._queue),
+            "running": self._running,
+            "job_slots": self.job_slots,
+            "client_slots": self.slots.per_key,
+            "active_clients": self.slots.active_keys(),
+            "jobs": [job.describe() for job in self._jobs.values()],
+            "metrics": self.obs.metrics(),
+            "root": str(self.root),
+        }
+
+
+__all__ = ["CampaignScheduler", "ServiceJob", "default_service_root"]

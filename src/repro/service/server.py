@@ -1,0 +1,212 @@
+"""The campaign server: newline-delimited JSON over a local TCP socket.
+
+``repro serve`` binds ``127.0.0.1`` (by default) and speaks a tiny
+line protocol — one JSON object per line in each direction — so any
+language with sockets and JSON can submit campaigns; no HTTP stack is
+required or used.
+
+Requests (one per line)::
+
+    {"op": "submit", "spec": {...}, "client": "alice",
+     "priority": 0, "wait": true}
+    {"op": "status"}
+    {"op": "shutdown", "drain": true}
+
+Responses:
+
+- ``submit`` → ``{"type": "accepted", "job": <fingerprint>,
+  "deduped": bool, "state": ..., "feed": <path>}``, then (when ``wait``
+  is true, the default) a second line ``{"type": "result", "job": ...,
+  "tallies": {...}}`` — or ``{"type": "error", ...}`` — once the
+  campaign completes. With ``wait: false`` the client disconnects after
+  ``accepted`` and tails the feed file instead.
+- ``status`` → ``{"type": "status", ...}`` (queue depth, running jobs,
+  per-job states, the service counters/gauges).
+- ``shutdown`` → ``{"type": "bye"}``; the server then drains (finishes
+  queued + running jobs, so every feed ends with a terminal record),
+  flushes caches and feeds, emits the final metrics record, and exits.
+
+A malformed line gets ``{"type": "error", "error": ...}`` and the
+connection stays usable — one bad client request never takes the server
+down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional
+
+from repro.service.scheduler import CampaignScheduler
+from repro.service.units import SpecError
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8377
+
+
+class CampaignServer:
+    """Accepts submissions over TCP and forwards them to the scheduler."""
+
+    def __init__(
+        self,
+        scheduler: CampaignScheduler,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+    ):
+        self.scheduler = scheduler
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._shutdown = asyncio.Event()
+        self._drain = True
+        self._handlers: set = set()
+        self._writers: set = set()
+
+    async def start(self) -> None:
+        """Bind the socket and start the scheduler's dispatch loop."""
+        await self.scheduler.start()
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        # port 0 asks the OS for an ephemeral port; report what we got
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_until_shutdown(self) -> None:
+        """Serve until a ``shutdown`` request, then drain and close.
+
+        Shutdown order matters: stop accepting, close the scheduler
+        (which resolves every submit future the handlers are awaiting),
+        give handlers a grace period to flush their final responses and
+        exit (the shutdown flag breaks their read loops), then wake any
+        connection still parked on ``readline`` by closing its
+        transport. Handler tasks are awaited explicitly rather than via
+        ``Server.wait_closed`` because its semantics changed across
+        3.10/3.12 — this way no handler is ever cancelled mid-write and
+        nothing leaks into the event loop's teardown.
+        """
+        await self._shutdown.wait()
+        self._server.close()
+        await self.scheduler.aclose(drain=self._drain)
+        if self._handlers:
+            await asyncio.wait(set(self._handlers), timeout=2.0)
+        for writer in list(self._writers):
+            if not writer.is_closing():
+                writer.close()
+        if self._handlers:
+            await asyncio.gather(*list(self._handlers), return_exceptions=True)
+        await self._server.wait_closed()
+        self.scheduler.obs.close()
+
+    # ------------------------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        self._handlers.add(task)
+        self._writers.add(writer)
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    await self._dispatch(line, writer)
+                except ConnectionError:
+                    break
+                if self._shutdown.is_set():
+                    break
+        finally:
+            self._handlers.discard(task)
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    async def _dispatch(self, line: bytes, writer: asyncio.StreamWriter) -> None:
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ValueError("request must be a JSON object")
+        except ValueError as exc:
+            await self._send(writer, {"type": "error", "error": f"bad request: {exc}"})
+            return
+        op = request.get("op")
+        if op == "submit":
+            await self._handle_submit(request, writer)
+        elif op == "status":
+            await self._send(writer, {"type": "status", **self.scheduler.status()})
+        elif op == "shutdown":
+            self._drain = bool(request.get("drain", True))
+            await self._send(writer, {"type": "bye", "drain": self._drain})
+            self._shutdown.set()
+        else:
+            await self._send(writer, {"type": "error",
+                                      "error": f"unknown op {op!r}"})
+
+    async def _handle_submit(self, request: dict,
+                             writer: asyncio.StreamWriter) -> None:
+        try:
+            job, future, deduped = self.scheduler.submit(
+                request.get("spec") or {},
+                client=str(request.get("client", "anon")),
+                priority=int(request.get("priority", 0)),
+            )
+        except (SpecError, RuntimeError, ValueError, OSError) as exc:
+            await self._send(writer, {"type": "error", "error": str(exc)})
+            return
+        await self._send(writer, {
+            "type": "accepted",
+            "job": job.fingerprint,
+            "label": job.label,
+            "deduped": deduped,
+            "state": job.state,
+            "feed": str(job.feed),
+        })
+        if not request.get("wait", True):
+            # nobody will await this subscription — detach it so the
+            # job's completion doesn't log an un-retrieved exception
+            future.cancel()
+            return
+        try:
+            tallies = await future
+        except Exception as exc:
+            await self._send(writer, {"type": "error", "job": job.fingerprint,
+                                      "error": str(exc)})
+        else:
+            await self._send(writer, {"type": "result", "job": job.fingerprint,
+                                      "tallies": tallies})
+
+    @staticmethod
+    async def _send(writer: asyncio.StreamWriter, record: dict) -> None:
+        writer.write(json.dumps(record, default=str).encode() + b"\n")
+        await writer.drain()
+
+
+async def serve(
+    root=None,
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    job_slots: int = 2,
+    client_slots: int = 2,
+    unit_workers: int = 1,
+    cache_max_shards: Optional[int] = 64,
+    obs=None,
+    ready=None,
+) -> None:
+    """Build a scheduler + server and run until a shutdown request.
+
+    ``ready(host, port)`` (if given) is called once the socket is bound —
+    with ``port=0`` this is how callers learn the ephemeral port.
+    """
+    scheduler = CampaignScheduler(
+        root=root, job_slots=job_slots, client_slots=client_slots,
+        unit_workers=unit_workers, cache_max_shards=cache_max_shards, obs=obs,
+    )
+    server = CampaignServer(scheduler, host=host, port=port)
+    await server.start()
+    if ready is not None:
+        ready(server.host, server.port)
+    await server.serve_until_shutdown()
+
+
+__all__ = ["CampaignServer", "DEFAULT_HOST", "DEFAULT_PORT", "serve"]
