@@ -49,6 +49,7 @@ from repro.errors import (
     EmulationFault,
     InvalidInstruction,
 )
+from repro.exec.cache import CATEGORY_CODES
 from repro.firmware.image import FirmwareImage
 from repro.glitchsim.harness import (
     _OUTCOME_LIMIT,
@@ -180,17 +181,18 @@ class SiteHarness(WordHarness):
             return _OUTCOME_LIMIT
         return _OUTCOME_NO_EDGE
 
-    def _vector_categories(self, batch, world: _SnapshotWorld) -> list:
-        """Per-lane positional classification (``None`` = scalar fallback).
+    def _vector_codes(self, batch, world: _SnapshotWorld) -> np.ndarray:
+        """Per-lane positional category codes (``0`` = scalar fallback).
 
         Mirrors :meth:`_classify_site`: a stopped lane is a success iff it
         stopped at the fall-through edge, otherwise it reached the taken
-        edge; halted and exhausted lanes never touched an edge.
+        edge; halted and exhausted lanes never touched an edge.  Nonzero
+        values are :data:`repro.exec.cache.CATEGORY_CODES` shard codes.
         """
         status = batch.status
         stopped = status == ST_STOPPED
         success = stopped & (batch.stop_pc == self.site.fallthrough)
-        codes = np.select(
+        return np.select(
             [
                 success,
                 stopped,
@@ -199,12 +201,16 @@ class SiteHarness(WordHarness):
                 status == ST_BAD_READ,
                 (status == ST_HALTED) | (status == ST_LIMIT) | (status == ST_FAILED),
             ],
-            [0, 1, 2, 3, 4, 5],
-            default=6,
-        )
-        names = ("success", "no_effect", "invalid_instruction", "bad_fetch",
-                 "bad_read", "failed")
-        return [names[code] if code < 6 else None for code in codes.tolist()]
+            [
+                CATEGORY_CODES["success"],
+                CATEGORY_CODES["no_effect"],
+                CATEGORY_CODES["invalid_instruction"],
+                CATEGORY_CODES["bad_fetch"],
+                CATEGORY_CODES["bad_read"],
+                CATEGORY_CODES["failed"],
+            ],
+            default=0,
+        ).astype(np.uint8)
 
 
 __all__ = ["SiteHarness"]

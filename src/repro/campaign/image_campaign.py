@@ -24,7 +24,6 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from operator import attrgetter
 from typing import Optional
 
 from repro.exec import (
@@ -35,10 +34,11 @@ from repro.exec import (
     coerce_cache,
     open_campaign_checkpoint,
 )
+from repro.exec.cache import CODE_CATEGORIES
 from repro.firmware.image import FirmwareImage
 from repro.glitchsim.campaign import INSTRUCTION_BITS, TALLY_MODES
 from repro.glitchsim.harness import OUTCOME_CATEGORIES
-from repro.glitchsim.maskalgebra import reachable_words, tally_from_word_outcomes
+from repro.glitchsim.maskalgebra import reachable_words, tally_from_word_codes
 from repro.bits import apply_flip, iter_masks
 from repro.experiments.render import render_table
 from repro.obs import Observer, activate, coerce_observer, current
@@ -183,12 +183,10 @@ def sweep_site(
     if tally == "algebra":
         words = reachable_words(site.word, model, INSTRUCTION_BITS, ks)
         executed_before = harness.words_executed
-        outcomes = harness.run_many(words)
-        categories = dict(
-            zip(outcomes.keys(), map(attrgetter("category"), outcomes.values()))
-        )
-        sweep.by_k = tally_from_word_outcomes(
-            site.word, model, categories, ks, INSTRUCTION_BITS
+        unique, codes = harness.run_many_codes(words)
+        sweep.by_k = tally_from_word_codes(
+            site.word, model, unique, codes,
+            CODE_CATEGORIES, ks, INSTRUCTION_BITS,
         )
         obs = current()
         obs.count("algebra.words_emulated", harness.words_executed - executed_before)
@@ -325,10 +323,18 @@ def run_image_campaign(
     ks = tuple(k_values) if k_values is not None else None
     by_id = {site.site_id: site for site in sites}
 
+    # vector-engine workers memmap the persisted operand tables (when
+    # present) before their first unit — see ``repro warm-tables``
+    initializer = initargs = None
+    if engine == "vector":
+        from repro.emu.vector import preload_operand_tables
+
+        initializer = preload_operand_tables
+        initargs = (cache_root, (zero_is_invalid,))
     executor = ParallelExecutor(
         workers=workers, chunk_size=chunk_size, progress=progress,
         retries=retries, unit_timeout=unit_timeout, on_error="quarantine",
-        obs=obs,
+        obs=obs, initializer=initializer, initargs=initargs or (),
     )
 
     def serial(spec: _SiteSpec) -> SiteSweep:

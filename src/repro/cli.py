@@ -15,6 +15,8 @@ Commands:
   AND/OR/XOR flip models and print the exploitability ranking.
 - ``experiment <name>`` — run one paper artifact
   (fig2 | table1 | ... | table7 | search) and print it.
+- ``warm-tables`` — decode and persist the shared vector-engine operand
+  tables (one build; every later run and worker memmaps them).
 - ``serve`` — run the long-lived campaign service (asyncio scheduler
   with dedup, per-client slots, and streaming JSONL feeds); ``serve
   --stop`` asks a running server to drain and exit.
@@ -266,6 +268,14 @@ def cmd_experiment(args) -> int:
     finally:
         _finish_observer(obs, args)
     print(result.render())
+    return 0
+
+
+def cmd_warm_tables(args) -> int:
+    from repro.emu.vector import warm_tables
+
+    for path in warm_tables(root=args.cache_dir):
+        print(path)
     return 0
 
 
@@ -540,6 +550,16 @@ def build_parser() -> argparse.ArgumentParser:
     _add_robustness_flags(p_exp)
     _add_observability_flags(p_exp)
     p_exp.set_defaults(func=cmd_experiment)
+
+    p_warm = sub.add_parser(
+        "warm-tables",
+        help="decode and persist the vector engine's shared operand tables",
+    )
+    p_warm.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="cache root to write the table artifacts under "
+                             "(default: the REPRO_CACHE_DIR / XDG cache root "
+                             "every vector run and worker loads from)")
+    p_warm.set_defaults(func=cmd_warm_tables)
 
     p_serve = sub.add_parser(
         "serve",

@@ -41,13 +41,18 @@ defensive future case, one with no vector handler) retire with
 
 from __future__ import annotations
 
+import json
+import os
+import tempfile
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Optional, Sequence
+from pathlib import Path
+from typing import Iterable, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.bits import bits, sign_extend
 from repro.errors import InvalidInstruction
+from repro.exec.cache import CATEGORY_CODES, default_cache_root
 from repro.isa.conditions import Flags
 from repro.isa.decoder import decode
 from repro.isa.instruction import Instruction
@@ -120,6 +125,16 @@ OP_NOP = 33         # nop / yield / sev / cps
 OP_EXTEND = 34      # aux: 0 sxth / 1 sxtb / 2 uxth / 3 uxtb
 OP_REV = 35         # aux: 0 rev / 1 rev16 / 2 revsh
 
+def _present(values: np.ndarray, bound: int) -> list[int]:
+    """Distinct codes in a small-nonneg-int array, ascending.
+
+    Dispatch-loop replacement for ``np.unique(values).tolist()``: a
+    bincount over a known ``bound`` is a single O(n) pass, without the
+    hash/sort machinery ``np.unique`` drags into the per-step hot loop.
+    """
+    return np.nonzero(np.bincount(values, minlength=bound))[0].tolist()
+
+
 _LOAD_AUX = {"ldr": 0, "ldrh": 1, "ldrb": 2, "ldrsh": 3, "ldrsb": 4}
 _LOAD_WIDTH = (4, 2, 1, 2, 1)
 _STORE_AUX = {"str": 0, "strh": 1, "strb": 2}
@@ -136,6 +151,10 @@ class _OperandTable:
     def __init__(self, zero_is_invalid: bool):
         n = 1 << 16
         self.zero_is_invalid = zero_is_invalid
+        #: True once every row is decoded — lets the engine's per-step
+        #: missing-row scan (an np.unique over the fetched halfwords)
+        #: be skipped entirely on the hot path
+        self.complete = False
         self.filled = np.zeros(n, dtype=bool)
         self.op = np.zeros(n, dtype=np.uint8)
         self.aux = np.zeros(n, dtype=np.uint8)
@@ -164,9 +183,18 @@ class _OperandTable:
         0x0000 (the one word ``zero_is_invalid`` affects), so any row the
         base table has already decoded is adopted by bulk column copy
         instead of re-decoded.
+
+        Every row filled here is counted on the ambient observer as
+        ``vector.table_rows_decoded`` — a table loaded from a persisted
+        artifact (``complete`` is set, so this is a no-op) keeps that
+        counter at zero, which is how tests prove workers reuse the
+        memmapped table instead of re-decoding.
         """
+        if self.complete:
+            return
         halfwords = list(halfwords)
         filled = self.filled
+        filled_before = int(filled.sum())
         if self.zero_is_invalid:
             base = _TABLES.get(False)
             if base is not None:
@@ -209,6 +237,18 @@ class _OperandTable:
                 self.filled[hw] = True  # op stays OP_INVALID
                 continue
             self._fill_from_instruction(hw, instr)
+        decoded = int(filled.sum()) - filled_before
+        if decoded:
+            from repro.obs import current
+
+            current().count("vector.table_rows_decoded", decoded)
+
+    def fill_all(self, decode_cache: Optional[dict] = None) -> None:
+        """Decode every still-missing row and mark the table complete."""
+        missing = np.nonzero(~self.filled)[0]
+        if missing.size:
+            self.ensure(missing.tolist(), decode_cache)
+        self.complete = True
 
     # -- row construction ------------------------------------------------
 
@@ -326,13 +366,193 @@ class _OperandTable:
 
 _TABLES: dict[bool, _OperandTable] = {}
 
+# ----------------------------------------------------------------------
+# operand-table persistence (build once, memmap everywhere)
+# ----------------------------------------------------------------------
 
-def operand_table(zero_is_invalid: bool) -> _OperandTable:
-    """The process-wide operand table for one ``zero_is_invalid`` setting."""
+#: bump when the on-disk matrix layout or any opcode/aux encoding changes
+TABLE_FORMAT_VERSION = 1
+
+#: matrix row order; the final extra row holds mnemonic codes
+_TABLE_COLUMNS = ("op", "aux", "rd", "rs", "base", "ro", "imm", "cond", "reg_list")
+
+
+def table_path(zero_is_invalid: bool, root: Union[str, os.PathLike, None] = None) -> Path:
+    """Where the persisted operand table for one decode mode lives."""
+    base = Path(root) if root is not None else default_cache_root()
+    suffix = "-0invalid" if zero_is_invalid else ""
+    return base / "tables" / f"operands-v{TABLE_FORMAT_VERSION}-thumb16{suffix}.npy"
+
+
+def _meta_path(path: Path) -> Path:
+    return path.with_name(path.name + ".meta.json")
+
+
+def save_operand_table(
+    table: _OperandTable, root: Union[str, os.PathLike, None] = None
+) -> Path:
+    """Persist a fully-decoded table as one ``(10, 65536)`` int64 ``.npy``.
+
+    Rows are the :data:`_TABLE_COLUMNS` in order plus a final row of
+    mnemonic codes (``-1`` = invalid word, else an index into the sorted
+    mnemonic list stored in the JSON sidecar). Everything is widened to
+    int64 so a single matrix serves all columns; loaders take zero-copy
+    row views, so the width costs only page-cache (5 MiB, shared across
+    every worker that maps it). The ``.npy`` is written atomically first
+    and the sidecar second — the loader requires the sidecar, so a torn
+    write is simply ignored.
+    """
+    if not bool(table.filled.all()):
+        raise ValueError("refusing to persist a partially-decoded operand table")
+    path = table_path(table.zero_is_invalid, root)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    names = sorted({name for name in table.mnemonic if name is not None})
+    code_of = {name: code for code, name in enumerate(names)}
+    matrix = np.empty((len(_TABLE_COLUMNS) + 1, 1 << 16), dtype=np.int64)
+    for row, column in enumerate(_TABLE_COLUMNS):
+        matrix[row] = getattr(table, column)
+    matrix[-1] = np.fromiter(
+        (-1 if name is None else code_of[name] for name in table.mnemonic),
+        dtype=np.int64,
+        count=1 << 16,
+    )
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent), prefix=path.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.save(handle, matrix)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    meta = {
+        "format": TABLE_FORMAT_VERSION,
+        "isa": "thumb16",
+        "zero_is_invalid": table.zero_is_invalid,
+        "columns": list(_TABLE_COLUMNS),
+        "mnemonics": names,
+    }
+    meta_path = _meta_path(path)
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent), prefix=meta_path.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(meta, handle)
+        os.replace(tmp, meta_path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def load_operand_table(
+    zero_is_invalid: bool, root: Union[str, os.PathLike, None] = None
+) -> Optional[_OperandTable]:
+    """Load a persisted table as zero-copy memmap row views, or ``None``.
+
+    ``np.load(..., mmap_mode="r")`` maps the matrix read-only, so every
+    process (fork *or* spawn) that loads the same artifact shares one
+    page-cache copy — workers never re-decode, and the read-only mapping
+    makes accidental mutation of a complete table a hard error. Any
+    validation failure (missing/torn files, version or mode mismatch)
+    falls back to ``None`` and the caller lazily fills a fresh table.
+    """
+    path = table_path(zero_is_invalid, root)
+    try:
+        meta = json.loads(_meta_path(path).read_text())
+        if (
+            meta.get("format") != TABLE_FORMAT_VERSION
+            or meta.get("isa") != "thumb16"
+            or meta.get("zero_is_invalid") is not zero_is_invalid
+            or meta.get("columns") != list(_TABLE_COLUMNS)
+        ):
+            return None
+        names = meta["mnemonics"]
+        matrix = np.load(path, mmap_mode="r", allow_pickle=False)
+        if matrix.shape != (len(_TABLE_COLUMNS) + 1, 1 << 16) or matrix.dtype != np.int64:
+            return None
+        table = _OperandTable(zero_is_invalid)
+        for row, column in enumerate(_TABLE_COLUMNS):
+            # Base-class view of the mapped buffer: same shared pages,
+            # without np.memmap's per-indexing subclass dispatch overhead.
+            setattr(table, column, matrix[row].view(np.ndarray))
+        lookup = [None] + list(names)
+        table.mnemonic = [lookup[code + 1] for code in matrix[-1].tolist()]
+        table.filled = np.ones(1 << 16, dtype=bool)
+        table.complete = True
+        table._matrix = matrix  # keep the memmap alive alongside its row views
+        return table
+    except Exception:
+        return None
+
+
+def operand_table(
+    zero_is_invalid: bool, root: Union[str, os.PathLike, None] = None
+) -> _OperandTable:
+    """The process-wide operand table for one ``zero_is_invalid`` setting.
+
+    First use per process tries the persisted artifact (under ``root`` if
+    given, else the default cache root — see ``repro warm-tables``); when
+    none validates, rows are decoded lazily through the scalar decoder as
+    before. Successful loads count ``vector.table_loads`` on the ambient
+    observer.
+    """
     table = _TABLES.get(zero_is_invalid)
     if table is None:
-        table = _TABLES[zero_is_invalid] = _OperandTable(zero_is_invalid)
+        candidates = []
+        if root is not None:
+            candidates.append(root)
+        candidates.append(None)  # default cache root
+        for candidate in candidates:
+            table = load_operand_table(zero_is_invalid, candidate)
+            if table is not None:
+                from repro.obs import current
+
+                current().count("vector.table_loads")
+                break
+        if table is None:
+            table = _OperandTable(zero_is_invalid)
+        _TABLES[zero_is_invalid] = table
     return table
+
+
+def warm_tables(
+    root: Union[str, os.PathLike, None] = None,
+    settings: Sequence[bool] = (False, True),
+) -> list:
+    """Decode and persist the operand table for each decode mode.
+
+    The build-once half of the deployment story: run this (via
+    ``repro warm-tables``) and every later process — including every
+    ``ParallelExecutor`` worker via :func:`preload_operand_tables` —
+    memmaps the finished artifact instead of re-decoding 65,536 words.
+    The base (``False``) mode is warmed first so the hardened table can
+    adopt its rows by bulk copy.
+    """
+    paths = []
+    for zero_is_invalid in settings:
+        table = operand_table(zero_is_invalid, root)
+        if not table.complete:
+            table.fill_all()
+        paths.append(save_operand_table(table, root))
+    return paths
+
+
+def preload_operand_tables(
+    root: Union[str, os.PathLike, None] = None,
+    settings: Sequence[bool] = (False, True),
+) -> None:
+    """Worker ``initializer``: map persisted tables before any unit runs.
+
+    Safe under both fork and spawn start methods; when no artifact exists
+    the worker simply falls back to lazy fill on first use.
+    """
+    for zero_is_invalid in settings:
+        operand_table(zero_is_invalid, root)
 
 
 # ----------------------------------------------------------------------
@@ -368,12 +588,16 @@ class VectorRun:
         success_marker: int,
         normal_register: int,
         normal_marker: int,
-    ) -> list:
-        """Per-lane Figure 2 outcome categories (``None`` = scalar fallback).
+    ) -> np.ndarray:
+        """Per-lane Figure 2 outcome category codes (``0`` = scalar fallback).
 
         Mirrors :meth:`SnippetHarness._classify_replay`: a marker-stop lane
         is a success iff it stopped at the fall-through block (or already
         holds the success marker); a halted lane classifies by markers.
+        Nonzero values are the shard codes from
+        :data:`repro.exec.cache.CATEGORY_CODES`, so a batch result scatters
+        straight into the harness memo and the binary cache shards without
+        any per-lane Python.
         """
         status = self.status
         r_success = self.regs[success_register]
@@ -384,7 +608,7 @@ class VectorRun:
             halted & (r_success == success_marker)
         )
         no_effect = (stopped | (halted & (r_normal == normal_marker))) & ~success
-        codes = np.select(
+        return np.select(
             [
                 success,
                 no_effect,
@@ -393,11 +617,16 @@ class VectorRun:
                 status == ST_BAD_READ,
                 halted | (status == ST_LIMIT) | (status == ST_FAILED),
             ],
-            [0, 1, 2, 3, 4, 5],
-            default=6,
-        )
-        names = ("success", "no_effect", "invalid_instruction", "bad_fetch", "bad_read", "failed")
-        return [names[code] if code < 6 else None for code in codes.tolist()]
+            [
+                CATEGORY_CODES["success"],
+                CATEGORY_CODES["no_effect"],
+                CATEGORY_CODES["invalid_instruction"],
+                CATEGORY_CODES["bad_fetch"],
+                CATEGORY_CODES["bad_read"],
+                CATEGORY_CODES["failed"],
+            ],
+            default=0,
+        ).astype(np.uint8)
 
 
 # ----------------------------------------------------------------------
@@ -427,10 +656,11 @@ class VectorEngine:
         marker_stops: Sequence[int] = (),
         decode_cache: Optional[dict] = None,
         fallback_mnemonics: Iterable[str] = (),
+        table_root: Union[str, os.PathLike, None] = None,
     ):
         if len(flash_bytes) % 2:
             raise ValueError("flash image must be an even number of bytes")
-        self.table = operand_table(zero_is_invalid)
+        self.table = operand_table(zero_is_invalid, root=table_root)
         self.decode_cache = decode_cache
         self.flash_base = flash_base
         self.flash_end = flash_base + len(flash_bytes)
@@ -597,7 +827,7 @@ class VectorEngine:
                 10: lambda: n_ == v_, 11: lambda: n_ != v_,
                 12: lambda: ~z_ & (n_ == v_), 13: lambda: z_ | (n_ != v_),
             }
-            for number in np.unique(cond).tolist():
+            for number in _present(cond, 16):
                 mask = cond == number
                 out[mask] = exprs[number]()[mask]
             return out
@@ -681,12 +911,18 @@ class VectorEngine:
             at_target = addr == ta
             if at_target.any():
                 hw = np.where(at_target, words[active], hw)
-            # 4. decode via the shared operand table (scalar decoder inside)
-            unique_hw = np.unique(hw)
-            missing = unique_hw[~tbl.filled[unique_hw]]
-            if missing.size:
-                tbl.ensure(missing.tolist(), self.decode_cache)
+            # 4. decode via the shared operand table (scalar decoder inside);
+            #    a complete (memmapped or pre-filled) table skips the
+            #    missing-row scan entirely
+            unique_hw = None
+            if not tbl.complete:
+                unique_hw = np.unique(hw)
+                missing = unique_hw[~tbl.filled[unique_hw]]
+                if missing.size:
+                    tbl.ensure(missing.tolist(), self.decode_cache)
             if self.fallback_mnemonics:
+                if unique_hw is None:
+                    unique_hw = np.unique(hw)
                 unknown = unique_hw[~self._fb_known[unique_hw]]
                 for value in unknown.tolist():
                     self._fb_mask[value] = tbl.mnemonic[value] in self.fallback_mnemonics
@@ -730,7 +966,7 @@ class VectorEngine:
             #    BL computes its link/target from addr, so +2 vs +4 is moot)
             regs[15, active] = (addr + 2) & M32
             # 7. execute, grouped by opcode
-            for op in np.unique(ops).tolist():
+            for op in _present(ops, OP_REV + 1):
                 sel = np.nonzero(ops == op)[0]
                 l = active[sel]
                 a = addr[sel]
@@ -749,7 +985,7 @@ class VectorEngine:
                     result = np.zeros(l.size, dtype=np.int64)
                     carry = np.zeros(l.size, dtype=bool)
                     shifters = (vlsl, vlsr, vasr, vror)
-                    for kind in np.unique(aux).tolist():
+                    for kind in _present(aux, 8):
                         mask = aux == kind
                         res_k, carry_k = shifters[kind](value[mask], amount[mask], fc[l[mask]])
                         result[mask] = res_k
@@ -840,7 +1076,7 @@ class VectorEngine:
                     offset = np.where(ro >= 0, regs[np.maximum(ro, 0), l], imm)
                     target = (base_value + offset) & M32
                     widths = _LOAD_WIDTH if op == OP_LOAD else _STORE_WIDTH
-                    for kind in np.unique(aux).tolist():
+                    for kind in _present(aux, 8):
                         mask = aux == kind
                         lanes_k = l[mask]
                         target_k = target[mask]
@@ -1042,7 +1278,13 @@ class VectorEngine:
 __all__ = [
     "VectorEngine",
     "VectorRun",
+    "TABLE_FORMAT_VERSION",
+    "load_operand_table",
     "operand_table",
+    "preload_operand_tables",
+    "save_operand_table",
+    "table_path",
+    "warm_tables",
     "STATUS_CATEGORIES",
     "ST_HALTED",
     "ST_STOPPED",

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from operator import attrgetter
 from typing import Optional
 
 from repro.bits import apply_flip, iter_masks
@@ -30,8 +29,9 @@ from repro.exec import (
     coerce_cache,
     open_campaign_checkpoint,
 )
+from repro.exec.cache import CODE_CATEGORIES
 from repro.glitchsim.harness import OUTCOME_CATEGORIES, SnippetHarness
-from repro.glitchsim.maskalgebra import reachable_words, tally_from_word_outcomes
+from repro.glitchsim.maskalgebra import reachable_words, tally_from_word_codes
 from repro.glitchsim.snippets import BranchSnippet, all_branch_snippets
 from repro.obs import Observer, activate, coerce_observer, current
 
@@ -142,12 +142,10 @@ def sweep_instruction(
     if tally == "algebra":
         words = reachable_words(snippet.target_word, model, INSTRUCTION_BITS, ks)
         executed_before = harness.words_executed
-        outcomes = harness.run_many(words)
-        categories = dict(
-            zip(outcomes.keys(), map(attrgetter("category"), outcomes.values()))
-        )
-        sweep.by_k = tally_from_word_outcomes(
-            snippet.target_word, model, categories, ks, INSTRUCTION_BITS
+        unique, codes = harness.run_many_codes(words)
+        sweep.by_k = tally_from_word_codes(
+            snippet.target_word, model, unique, codes,
+            CODE_CATEGORIES, ks, INSTRUCTION_BITS,
         )
         obs = current()
         obs.count("algebra.words_emulated", harness.words_executed - executed_before)
@@ -314,10 +312,19 @@ def run_branch_campaign(
                 engine=spec.engine, tally=spec.tally,
             )
 
+    # vector-engine workers memmap the persisted operand tables (when
+    # present) before their first unit, so no worker re-decodes the
+    # 65,536-row table — see ``repro warm-tables``
+    initializer = initargs = None
+    if engine == "vector":
+        from repro.emu.vector import preload_operand_tables
+
+        initializer = preload_operand_tables
+        initargs = (cache_root, (zero_is_invalid,))
     executor = ParallelExecutor(
         workers=workers, chunk_size=chunk_size, progress=progress,
         retries=retries, unit_timeout=unit_timeout, on_error="quarantine",
-        obs=obs,
+        obs=obs, initializer=initializer, initargs=initargs or (),
     )
     # serial units reuse the shared cache handle, so their hit/miss
     # traffic lands on the handle's counters rather than the ambient

@@ -47,8 +47,12 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Optional
 
+import numpy as np
+
 from repro.bits import halfwords_to_bytes
 from repro.emu import CPU, CPUSnapshot, Memory, MemorySnapshot
+from repro.exec.cache import CATEGORIES as _CACHE_CATEGORIES
+from repro.exec.cache import CATEGORY_CODES
 from repro.isa.decoder import decode
 from repro.errors import (
     AlignmentFault,
@@ -76,6 +80,13 @@ OUTCOME_CATEGORIES = (
     "bad_fetch",
     "failed",
     "no_effect",
+)
+
+# The binary cache-shard format persists outcomes as 1-based indexes into
+# this tuple; the cache layer owns the canonical copy so the shard codes
+# stay stable even if this module is reorganised.
+assert _CACHE_CATEGORIES == OUTCOME_CATEGORIES, (
+    "repro.exec.cache.CATEGORIES drifted from OUTCOME_CATEGORIES"
 )
 
 _STEP_LIMIT = 64
@@ -133,6 +144,13 @@ _OUTCOME_NO_MARKER = Outcome("failed", "halted without reaching either marker")
 # Detail-free interned outcomes for vector-engine lanes and disk hits.
 _OUTCOMES_BY_CATEGORY = {category: Outcome(category) for category in OUTCOME_CATEGORIES}
 
+# Shard-code -> interned Outcome (index 0, "not classified", maps to None),
+# so a whole code array converts to Outcome objects by plain indexing.
+_OUTCOMES_BY_CODE = (None,) + tuple(
+    _OUTCOMES_BY_CATEGORY[category]
+    for category, _ in sorted(CATEGORY_CODES.items(), key=lambda item: item[1])
+)
+
 
 class WordHarness:
     """Shared memo/cache/engine machinery for corrupted-word classification.
@@ -163,7 +181,7 @@ class WordHarness:
     Subclasses implement :meth:`_snapshot_world` (build the replay point),
     :meth:`_classify_replay` (classify a finished replay),
     :meth:`_execute_rebuild` (the from-scratch oracle), and
-    :meth:`_vector_categories` (per-lane classification of a vector batch).
+    :meth:`_vector_codes` (per-lane category codes for a vector batch).
     """
 
     def __init__(
@@ -181,6 +199,11 @@ class WordHarness:
         self.disk_cache = disk_cache
         self.engine = engine
         self.vector_fallback_mnemonics = frozenset(vector_fallback_mnemonics)
+        # The word memo is a dense code array (mirroring the binary cache
+        # shards), so batch resolution is one gather; ``_cache`` keeps only
+        # the detailed Outcome objects that scalar executions produced
+        # (codes are always a superset of its keys).
+        self._codes = np.zeros(1 << 16, dtype=np.uint8)
         self._cache: dict[int, Outcome] = {}
         # Executions that actually ran the emulator (mem/disk hits excluded);
         # the mask-algebra path reads the delta for its words_emulated counter.
@@ -196,21 +219,22 @@ class WordHarness:
     def run(self, corrupted_word: int) -> Outcome:
         """Classify the execution with ``corrupted_word`` in the target slot."""
         corrupted_word &= 0xFFFF
-        cached = self._cache.get(corrupted_word)
-        if cached is not None:
+        code = int(self._codes[corrupted_word])
+        if code:
             if self.disk_cache is not None:
                 self.disk_cache.account(memo_hits=1)
-            return cached
+            cached = self._cache.get(corrupted_word)
+            return cached if cached is not None else _OUTCOMES_BY_CODE[code]
         if self.disk_cache is not None:
             category = self.disk_cache.get(
                 self.panel, self.zero_is_invalid, corrupted_word
             )
             if category is not None:
-                outcome = Outcome(category)
-                self._cache[corrupted_word] = outcome
-                return outcome
+                self._codes[corrupted_word] = CATEGORY_CODES[category]
+                return _OUTCOMES_BY_CATEGORY[category]
         outcome = self._execute(corrupted_word)
         self._cache[corrupted_word] = outcome
+        self._codes[corrupted_word] = CATEGORY_CODES[outcome.category]
         if self.disk_cache is not None:
             self.disk_cache.put(
                 self.panel, self.zero_is_invalid, corrupted_word,
@@ -218,78 +242,92 @@ class WordHarness:
             )
         return outcome
 
+    def run_many_codes(self, words) -> tuple[np.ndarray, np.ndarray]:
+        """Classify a batch of corrupted words as pure array operations.
+
+        The hot-path core of :meth:`run_many`: deduplicates and sorts the
+        words ascending (consecutive words share decode-cache and snapshot
+        locality), resolves the in-memory memo with **one** gather from the
+        dense code array, resolves the disk layer with one gather from the
+        binary shard (:meth:`OutcomeCache.get_shard_codes`), executes only
+        the remainder, and scatters the newly executed codes back with a
+        single :meth:`OutcomeCache.put_shard_codes` merge. Disk
+        hit/miss/memo totals are reported via :meth:`OutcomeCache.account`
+        so campaign-level accounting matches the per-word :meth:`run` path
+        exactly (words that alias after the 16-bit mask, and duplicates,
+        count as memo hits — that is what a serial :meth:`run` loop would
+        record).
+
+        Returns ``(unique_words, codes)``: the sorted unique 16-bit words
+        and their parallel nonzero category codes
+        (:data:`repro.exec.cache.CATEGORY_CODES`). Freshly executed
+        entries are flushed to the disk cache even when an execution
+        raises partway through the batch, so a crash or a campaign
+        ``unit_timeout`` kill never discards paid-for work.
+        """
+        if not isinstance(words, (np.ndarray, list)):
+            words = list(words)
+        arr = np.asarray(words, dtype=np.int64)
+        total = int(arr.size)
+        # dedup by boolean scatter over the fixed 2^16 word space — one
+        # O(n) pass, cheaper than np.unique's hash table at this size
+        seen = np.zeros(1 << 16, dtype=bool)
+        seen[arr & 0xFFFF] = True
+        unique = np.nonzero(seen)[0]
+        codes = self._codes
+        memo_resolved = int(np.count_nonzero(codes[unique]))
+        pending = unique[codes[unique] == 0]
+        if self.disk_cache is not None:
+            disk_hits = 0
+            if pending.size:
+                shard = self.disk_cache.get_shard_codes(
+                    self.panel, self.zero_is_invalid
+                )
+                found = shard[pending]
+                hit = found != 0
+                disk_hits = int(np.count_nonzero(hit))
+                if disk_hits:
+                    codes[pending[hit]] = found[hit]
+                    pending = pending[~hit]
+            self.disk_cache.account(
+                hits=disk_hits,
+                misses=int(pending.size),
+                memo_hits=(total - int(unique.size)) + memo_resolved,
+            )
+        to_flush = pending
+        try:
+            if pending.size and self.engine == "vector":
+                pending = self._execute_vector_batch(pending)
+            for word in pending.tolist():
+                outcome = self._execute(word)
+                self._cache[word] = outcome
+                codes[word] = CATEGORY_CODES[outcome.category]
+        finally:
+            if to_flush.size and self.disk_cache is not None:
+                done = to_flush[codes[to_flush] != 0]
+                if done.size:
+                    self.disk_cache.put_shard_codes(
+                        self.panel, self.zero_is_invalid, done, codes[done]
+                    )
+        return unique, codes[unique].copy()
+
     def run_many(self, words) -> dict[int, Outcome]:
         """Classify a batch of corrupted words with bulk cache traffic.
 
-        Deduplicates and sorts the words ascending (consecutive words share
-        decode-cache and snapshot locality), resolves as many as possible
-        from the in-memory memo and then from **one**
-        :meth:`OutcomeCache.get_shard` lookup, executes only the remainder,
-        and writes the newly executed entries back with a single
-        :meth:`OutcomeCache.put_shard` merge. Disk hit/miss/memo totals are
-        reported via :meth:`OutcomeCache.account` so campaign-level
-        accounting matches the per-word :meth:`run` path exactly (words
-        that alias after the 16-bit mask, and duplicates, count as memo
-        hits — that is what a serial :meth:`run` loop would record).
-
-        The result dict is keyed by the caller's original words verbatim
-        (masking to 16 bits is an internal detail, as in :meth:`run`), and
-        freshly executed entries are flushed to the disk cache even when
-        an execution raises partway through the batch, so a crash or a
-        campaign ``unit_timeout`` kill never discards paid-for work.
+        Dict-shaped wrapper over :meth:`run_many_codes`. The result dict is
+        keyed by the caller's original words verbatim (masking to 16 bits
+        is an internal detail, as in :meth:`run`); detailed outcomes from
+        scalar executions are preserved, everything else returns the
+        interned detail-free instance for its category.
         """
         words = list(words)
-        ordered = sorted({word & 0xFFFF for word in words})
-        results: dict[int, Outcome] = {}
-        memo_resolved = 0
-        if self._cache:
-            pending = []
-            for word in ordered:
-                cached = self._cache.get(word)
-                if cached is not None:
-                    results[word] = cached
-                    memo_resolved += 1
-                else:
-                    pending.append(word)
-        else:
-            pending = ordered
-        if self.disk_cache is not None:
-            disk_hits = 0
-            if pending:
-                shard = self.disk_cache.get_shard(
-                    self.panel, self.zero_is_invalid
-                )
-                still_pending: list[int] = []
-                for word in pending:
-                    category = shard.get(word)
-                    if category is None:
-                        still_pending.append(word)
-                    else:
-                        outcome = _OUTCOMES_BY_CATEGORY[category]
-                        self._cache[word] = outcome
-                        results[word] = outcome
-                disk_hits = len(pending) - len(still_pending)
-                pending = still_pending
-            self.disk_cache.account(
-                hits=disk_hits,
-                misses=len(pending),
-                memo_hits=(len(words) - len(ordered)) + memo_resolved,
-            )
-        fresh: dict[int, str] = {}
-        try:
-            if pending and self.engine == "vector":
-                pending = self._execute_vector_batch(pending, results, fresh)
-            for word in pending:
-                outcome = self._execute(word)
-                self._cache[word] = outcome
-                results[word] = outcome
-                fresh[word] = outcome.category
-        finally:
-            if fresh and self.disk_cache is not None:
-                self.disk_cache.put_shard(
-                    self.panel, self.zero_is_invalid, fresh
-                )
-        if words == ordered:  # already unique, sorted, and 16-bit
+        unique, codes = self.run_many_codes(words)
+        cache = self._cache
+        results = {
+            word: cache.get(word) or _OUTCOMES_BY_CODE[code]
+            for word, code in zip(unique.tolist(), codes.tolist())
+        }
+        if words == list(results):  # already unique, sorted, and 16-bit
             return results
         return {word: results[word & 0xFFFF] for word in words}
 
@@ -339,46 +377,32 @@ class WordHarness:
             )
         return self._vector
 
-    def _execute_vector_batch(
-        self, pending: list, results: dict, fresh: dict
-    ) -> list:
+    def _execute_vector_batch(self, pending: np.ndarray) -> np.ndarray:
         """Run a cache-miss batch lock-step; returns the scalar-fallback words.
 
-        Lanes the vector engine classifies land in ``results``/``fresh``
-        directly; lanes it punts on (``vector_fallback_mnemonics``) are
-        returned for the caller's per-word scalar loop.
+        Lanes the vector engine classifies scatter straight into the dense
+        code memo (one fancy-indexed assignment for the whole batch); lanes
+        it punts on (``vector_fallback_mnemonics``) are returned for the
+        caller's per-word scalar loop.
         """
         world = self._snapshot_world()
         if world is None:
             return pending  # no replay point — the scalar loop handles it
         engine = self._vector_engine(world)
         batch = engine.run(pending)
-        categories = self._vector_categories(batch, world)
-        fallback = [
-            word for word, category in zip(pending, categories) if category is None
-        ]
-        if fallback:
-            for word, category in zip(pending, categories):
-                if category is None:
-                    continue
-                outcome = _OUTCOMES_BY_CATEGORY[category]
-                self._cache[word] = outcome
-                results[word] = outcome
-                fresh[word] = category
-        else:  # common case: every lane classified — bulk C-level updates
-            classified = dict(
-                zip(pending, map(_OUTCOMES_BY_CATEGORY.__getitem__, categories))
-            )
-            self._cache.update(classified)
-            results.update(classified)
-            fresh.update(zip(pending, categories))
-        self.words_executed += len(pending) - len(fallback)
+        lane_codes = self._vector_codes(batch, world)
+        classified = lane_codes != 0
+        resolved = int(np.count_nonzero(classified))
+        if resolved:
+            self._codes[pending[classified]] = lane_codes[classified]
+        fallback = pending[~classified] if resolved != pending.size else pending[:0]
+        self.words_executed += resolved
         from repro.obs import current
 
         obs = current()
         obs.count("vector.batches", 1)
-        obs.count("vector.lanes", len(pending))
-        obs.count("vector.fallbacks", len(fallback))
+        obs.count("vector.lanes", int(pending.size))
+        obs.count("vector.fallbacks", int(fallback.size))
         return fallback
 
     def _execute_replay(self, world: _SnapshotWorld, corrupted_word: int) -> Outcome:
@@ -436,7 +460,7 @@ class WordHarness:
     def _execute_rebuild(self, corrupted_word: int) -> Outcome:  # pragma: no cover
         raise NotImplementedError
 
-    def _vector_categories(self, batch, world: _SnapshotWorld) -> list:  # pragma: no cover
+    def _vector_codes(self, batch, world: _SnapshotWorld) -> np.ndarray:  # pragma: no cover
         raise NotImplementedError
 
 
@@ -520,7 +544,7 @@ class SnippetHarness(WordHarness):
         )
         return self._world
 
-    def _vector_categories(self, batch, world: _SnapshotWorld) -> list:
+    def _vector_codes(self, batch, world: _SnapshotWorld) -> np.ndarray:
         return batch.classify_branch(
             success_address=world.success_address,
             success_register=SUCCESS_REGISTER,

@@ -153,6 +153,94 @@ def multiplicity(word: int, target: int, model: str, k: int, width: int = 16) ->
     return comb(free, k - j)
 
 
+def tally_from_word_codes(
+    target: int,
+    model: str,
+    words: np.ndarray,
+    codes: np.ndarray,
+    categories: tuple,
+    k_values: Optional[Iterable[int]] = None,
+    width: int = 16,
+) -> dict[int, Counter]:
+    """Derive per-``k`` mask tallies from parallel word/category-code arrays.
+
+    The fully vectorized core of :func:`tally_from_word_outcomes`, shaped
+    for the harness's :meth:`WordHarness.run_many_codes` output: ``words``
+    must be **unique** ``width``-bit words (duplicates would double-count
+    masks) with a parallel array of small nonzero integer ``codes``
+    indexing into ``categories`` (index 0 is reserved/unused — pass
+    :data:`repro.exec.cache.CODE_CATEGORIES` for harness codes). Extra
+    words beyond the model's reachable set are ignored, so one table
+    serves AND, OR, and XOR alike.
+
+    The whole reduction is two array passes: a ``bincount`` groups the
+    valid words into a ``G[j, code]`` count matrix (``j`` = determined-bit
+    count), and one integer matmul ``W @ G`` — ``W[i, j]`` the binomial
+    weight ``C(free, k_i - j)`` (an identity row-selector under XOR) —
+    yields every requested ``k``'s tally at once. The Vandermonde
+    completeness identity ``sum_j C(p, j) C(width-p, k-j) == C(width, k)``
+    is checked on the matmul row sums: a missing reachable word raises
+    instead of silently under-counting.
+
+    Returns ``{k: Counter(category -> mask count)}``, bit-identical to
+    enumerating every mask and tallying outcomes one by one.
+    """
+    _check_model(model)
+    target &= mask(width)
+    ks = tuple(range(width + 1)) if k_values is None else tuple(k_values)
+    p = popcount(target)
+    free = {"and": width - p, "or": p, "xor": 0}[model]
+
+    words = np.asarray(words, dtype=np.uint64)
+    codes = np.asarray(codes, dtype=np.int64)
+    ncat = len(categories)
+    if words.size:
+        if model == "and":
+            valid = (words & np.uint64(~target & mask(width))) == 0
+            j = p - np.bitwise_count(words).astype(np.int64)
+        elif model == "or":
+            valid = (np.uint64(target) & ~words) == 0
+            j = np.bitwise_count(words).astype(np.int64) - p
+        else:  # xor: j is the Hamming distance and the multiplicity is 1
+            valid = np.ones(words.size, dtype=bool)
+            j = np.bitwise_count(
+                (words & np.uint64(mask(width))) ^ np.uint64(target)
+            ).astype(np.int64)
+        G = np.bincount(
+            j[valid] * ncat + codes[valid], minlength=(width + 1) * ncat
+        ).reshape(width + 1, ncat)
+    else:
+        G = np.zeros((width + 1, ncat), dtype=np.int64)
+
+    # W[i, j] = number of popcount-k_i masks producing a word in group j
+    W = np.zeros((len(ks), width + 1), dtype=np.int64)
+    for i, k in enumerate(ks):
+        if model == "xor":
+            if 0 <= k <= width:
+                W[i, k] = 1
+        else:
+            for j_value in range(max(0, k - free), min(width, k) + 1):
+                W[i, j_value] = comb(free, k - j_value)
+    M = W @ G
+
+    totals = M.sum(axis=1)
+    by_k: dict[int, Counter] = {}
+    for i, k in enumerate(ks):
+        expected = comb(width, k) if 0 <= k <= width else 0
+        if int(totals[i]) != expected:
+            raise ValueError(
+                f"incomplete word-outcome table for {model!r} k={k}: "
+                f"tallied {int(totals[i])} masks, expected {expected} "
+                f"(a reachable word is missing from the table)"
+            )
+        counter = Counter()
+        row = M[i]
+        for code in np.nonzero(row)[0].tolist():
+            counter[categories[code]] = int(row[code])
+        by_k[k] = counter
+    return by_k
+
+
 def tally_from_word_outcomes(
     target: int,
     model: str,
@@ -167,81 +255,35 @@ def tally_from_word_outcomes(
     shared across models) are ignored, so one table serves AND, OR, and
     XOR alike. Returns ``{k: Counter(category -> mask count)}`` —
     bit-identical to enumerating every mask and tallying outcomes one by
-    one, but in a single O(unique words) grouping pass plus O(k²) closed
-    form. Raises ``ValueError`` when a reachable word is missing (a
+    one. Raises ``ValueError`` when a reachable word is missing (a
     partial table would silently under-count otherwise).
-    """
-    _check_model(model)
-    target &= mask(width)
-    ks = tuple(range(width + 1)) if k_values is None else tuple(k_values)
-    p = popcount(target)
 
-    # Group the reachable words by their determined-bit count j; the per-k
-    # tallies are then linear combinations of these group Counters. The
-    # grouping is a single vectorized pass: word keys and interned category
-    # codes become arrays, popcounts/reachability are array ops, and one
-    # ``np.unique`` yields every (j, category) group count exactly.
-    free = {"and": width - p, "or": p, "xor": 0}[model]
-    per_j: dict[int, Counter] = {}
+    Dict-shaped wrapper: interns the categories into code arrays and
+    delegates the reduction to :func:`tally_from_word_codes`.
+    """
     n = len(word_outcomes)
     if n:
-        keys = np.fromiter(word_outcomes.keys(), dtype=np.uint64, count=n)
+        words = np.fromiter(word_outcomes.keys(), dtype=np.uint64, count=n)
         code_of: dict[str, int] = {}
         codes = np.fromiter(
-            (code_of.setdefault(c, len(code_of)) for c in word_outcomes.values()),
+            (code_of.setdefault(c, len(code_of) + 1) for c in word_outcomes.values()),
             dtype=np.int64,
             count=n,
         )
-        names = list(code_of)
-        if model == "and":
-            valid = (keys & np.uint64(~target & mask(width))) == 0
-            j = p - np.bitwise_count(keys).astype(np.int64)
-        elif model == "or":
-            valid = (np.uint64(target) & ~keys) == 0
-            j = np.bitwise_count(keys).astype(np.int64) - p
-        else:  # xor: j is the Hamming distance and the multiplicity is 1
-            valid = np.ones(n, dtype=bool)
-            j = np.bitwise_count(
-                (keys & np.uint64(mask(width))) ^ np.uint64(target)
-            ).astype(np.int64)
-        ncat = len(names)
-        groups, counts = np.unique(j[valid] * ncat + codes[valid], return_counts=True)
-        for value, count in zip(groups.tolist(), counts.tolist()):
-            group_j = value // ncat  # floor division keeps negative j intact
-            counter = per_j.get(group_j)
-            if counter is None:
-                counter = per_j[group_j] = Counter()
-            counter[names[value - group_j * ncat]] += count
-
-    by_k: dict[int, Counter] = {}
-    for k in ks:
-        counter = Counter()
-        if model == "xor":
-            shell = per_j.get(k)
-            if shell is not None:
-                counter.update(shell)
-        else:
-            for j, categories in per_j.items():
-                if j > k or k - j > free:
-                    continue
-                weight = comb(free, k - j)
-                for category, count in categories.items():
-                    counter[category] += weight * count
-        expected = comb(width, k) if 0 <= k <= width else 0
-        total = sum(counter.values())
-        if total != expected:
-            raise ValueError(
-                f"incomplete word-outcome table for {model!r} k={k}: "
-                f"tallied {total} masks, expected {expected} "
-                f"(a reachable word is missing from the table)"
-            )
-        by_k[k] = counter
-    return by_k
+        categories = (None, *code_of)
+    else:
+        words = np.zeros(0, dtype=np.uint64)
+        codes = np.zeros(0, dtype=np.int64)
+        categories = (None,)
+    return tally_from_word_codes(
+        target, model, words, codes, categories, k_values, width
+    )
 
 
 __all__ = [
     "MODELS",
     "reachable_words",
     "multiplicity",
+    "tally_from_word_codes",
     "tally_from_word_outcomes",
 ]

@@ -379,19 +379,42 @@ class TestOutcomeCache:
         cache.put("beq", False, 0, "success")
         cache.put("beq", True, 0, "invalid_instruction")
         cache.flush()
-        assert (tmp_path / "beq.json").exists()
-        assert (tmp_path / "beq-0invalid.json").exists()
+        assert (tmp_path / "beq.npy").exists()
+        assert (tmp_path / "beq-0invalid.npy").exists()
         assert OutcomeCache(tmp_path).get("beq", True, 0) == "invalid_instruction"
 
-    def test_corrupt_shard_is_a_miss_not_an_error(self, tmp_path):
+    def test_corrupt_legacy_shard_is_a_miss_not_an_error(self, tmp_path):
         (tmp_path / "beq.json").write_text("{not json")
         cache = OutcomeCache(tmp_path)
         assert cache.get("beq", False, 7) is None
 
+    def test_corrupt_binary_shard_is_a_miss_not_an_error(self, tmp_path):
+        (tmp_path / "beq.npy").write_bytes(b"\x93NUMPY garbage")
+        cache = OutcomeCache(tmp_path)
+        assert cache.get("beq", False, 7) is None
+
+    def test_legacy_json_shard_migrates_to_binary(self, tmp_path):
+        (tmp_path / "bne.json").write_text(
+            json.dumps({"1": "no_effect", "65535": "success", "9": "bogus-category"})
+        )
+        cache = OutcomeCache(tmp_path)
+        # legacy entries are read back; unknown categories are dropped
+        assert cache.get("bne", False, 1) == "no_effect"
+        assert cache.get("bne", False, 0xFFFF) == "success"
+        assert cache.get("bne", False, 9) is None
+        # the next flush rewrites the shard in the binary format
+        cache.put("bne", False, 2, "failed")
+        cache.flush()
+        assert (tmp_path / "bne.npy").exists()
+        again = OutcomeCache(tmp_path)
+        assert dict(again.get_shard("bne", False)) == {
+            1: "no_effect", 2: "failed", 0xFFFF: "success",
+        }
+
     def test_context_manager_flushes(self, tmp_path):
         with OutcomeCache(tmp_path) as cache:
             cache.put("bne", False, 1, "no_effect")
-        assert json.loads((tmp_path / "bne.json").read_text()) == {"1": "no_effect"}
+        assert dict(OutcomeCache(tmp_path).get_shard("bne", False)) == {1: "no_effect"}
 
     def test_coerce_cache(self, tmp_path):
         assert coerce_cache(None) is None
@@ -420,7 +443,7 @@ class TestOutcomeCache:
         cache = OutcomeCache(tmp_path)
         cache.put_shard("beq", False, {})
         cache.flush()
-        assert not (tmp_path / "beq.json").exists()
+        assert not (tmp_path / "beq.npy").exists()
 
     def test_put_shard_merges_with_existing_entries(self, tmp_path):
         cache = OutcomeCache(tmp_path)
@@ -468,8 +491,8 @@ class TestCampaignParallel:
         run_branch_campaign(
             "and", k_values=(1,), conditions=["eq", "ne"], workers=2, cache=tmp_path
         )
-        assert (tmp_path / "beq.json").exists()
-        assert (tmp_path / "bne.json").exists()
+        assert (tmp_path / "beq.npy").exists()
+        assert (tmp_path / "bne.npy").exists()
 
     def test_campaign_progress_counts_masks(self):
         reporter = ProgressReporter()

@@ -266,3 +266,65 @@ class TestImageCli:
         assert f"; image written to {out_hex}" in capsys.readouterr().out
         assert main(["discover", str(out_hex)]) == 0
         assert "; 1 conditional branch site(s)" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# scale: a generated >=100-site image through the zero-copy hot path
+# ----------------------------------------------------------------------
+
+class TestHundredSiteCampaign:
+    """The warmed multi-worker vector path on a 120-site generated image.
+
+    Pins the PR-level contract end to end: a campaign over a synthetic
+    firmware with 120 conditional branches, run with ``engine="vector"``
+    and two workers against persisted operand tables, is bit-identical
+    to the serial snapshot-engine campaign — and no worker decodes a
+    single operand-table row.
+    """
+
+    CONDS = ("eq", "ne", "cs", "cc", "mi", "pl", "vs", "vc",
+             "hi", "ls", "ge", "lt", "gt", "le")
+
+    @pytest.fixture(scope="class")
+    def big_image(self):
+        from repro.firmware.image import FirmwareImage
+        from repro.isa import assemble
+
+        lines = ["_start:", "    movs r0, #1", "    movs r1, #1"]
+        for i in range(120):
+            cond = self.CONDS[i % len(self.CONDS)]
+            lines += [
+                "    cmp r0, r1",
+                f"    b{cond} skip{i}",
+                "    adds r2, r2, #1",
+                f"skip{i}:",
+            ]
+        lines.append("    bkpt #0")
+        program = assemble("\n".join(lines) + "\n")
+        return FirmwareImage.from_program(program)
+
+    def test_warm_parallel_vector_matches_serial_snapshot(
+        self, big_image, tmp_path, monkeypatch
+    ):
+        from repro.emu import vector
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        saved = dict(vector._TABLES)
+        vector._TABLES.clear()
+        try:
+            vector.warm_tables()
+            vector._TABLES.clear()  # parent loads too, like a fresh process
+            obs = Observer()
+            kwargs = dict(models=("and", "xor"), k_values=(0, 1, 2))
+            sites = discover_sites(big_image)
+            assert len(sites) >= 100
+            fast = run_image_campaign(
+                big_image, engine="vector", workers=2, obs=obs, **kwargs
+            )
+            reference = run_image_campaign(big_image, engine="snapshot", **kwargs)
+        finally:
+            vector._TABLES.clear()
+            vector._TABLES.update(saved)
+        assert obs.counters.get("vector.table_rows_decoded", 0) == 0
+        assert len(fast.sweeps["and"]) == len(sites)
+        assert fast.sweeps == reference.sweeps

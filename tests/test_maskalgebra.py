@@ -20,6 +20,7 @@ from repro.glitchsim.maskalgebra import (
     MODELS,
     multiplicity,
     reachable_words,
+    tally_from_word_codes,
     tally_from_word_outcomes,
 )
 
@@ -90,6 +91,75 @@ class TestAlgebraDifferentialProperty:
                 if 0 <= k - j <= WIDTH - p
             )
             assert total == math.comb(WIDTH, k)
+
+
+def _scalar_comb_tally(target, model, words, categories_of, ks):
+    """The scalar reference for the ``W @ G`` matmul: one comb() per word.
+
+    The pre-vectorization per-``j`` loop, restated via the library's own
+    (enumeration-pinned) :func:`multiplicity` — each word contributes
+    ``C(free, k - j)`` masks to its category, summed one word at a time.
+    """
+    by_k = {}
+    for k in ks:
+        counter: Counter = Counter()
+        for word in words:
+            m = multiplicity(word, target, model, k, WIDTH)
+            if m:
+                counter[categories_of[word]] += m
+        by_k[k] = counter
+    return by_k
+
+
+class TestWordCodesMatmulDifferential:
+    """``tally_from_word_codes`` (bincount + W @ G) vs the scalar comb loop."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        target=st.integers(0, 0xFFFF),
+        model=st.sampled_from(MODELS),
+        ks=st.sets(st.integers(0, WIDTH), min_size=1, max_size=4),
+        ncat=st.integers(1, 6),
+    )
+    def test_matmul_matches_scalar_comb_loop(self, target, model, ks, ncat):
+        import numpy as np
+
+        ks = tuple(sorted(ks))
+        words = reachable_words(target, model, WIDTH)  # full table, extra ks
+        categories = (None,) + tuple(f"cat{i}" for i in range(ncat))
+        categories_of = {
+            word: categories[1 + (popcount(word) + (word & 7)) % ncat]
+            for word in words
+        }
+        arr = np.asarray(words, dtype=np.int64)
+        codes = np.asarray(
+            [categories.index(categories_of[w]) for w in words], dtype=np.int64
+        )
+        vectorized = tally_from_word_codes(target, model, arr, codes, categories, ks)
+        assert vectorized == _scalar_comb_tally(target, model, words, categories_of, ks)
+
+    @settings(max_examples=15, deadline=None)
+    @given(target=st.integers(0, 0xFFFF), model=st.sampled_from(MODELS))
+    def test_out_of_range_k_tallies_empty(self, target, model):
+        import numpy as np
+
+        words = reachable_words(target, model, WIDTH)
+        arr = np.asarray(words, dtype=np.int64)
+        codes = np.ones(arr.size, dtype=np.int64)
+        by_k = tally_from_word_codes(
+            target, model, arr, codes, (None, "only"), (-1, WIDTH + 3)
+        )
+        assert by_k == {-1: Counter(), WIDTH + 3: Counter()}
+
+    def test_incomplete_table_raises_with_missing_word_message(self):
+        import numpy as np
+
+        target = 0xD001
+        words = reachable_words(target, "and", WIDTH)[:-1]  # drop one
+        arr = np.asarray(words, dtype=np.int64)
+        codes = np.ones(arr.size, dtype=np.int64)
+        with pytest.raises(ValueError, match="reachable word is missing"):
+            tally_from_word_codes(target, "and", arr, codes, (None, "only"), (2,))
 
 
 class TestReachableWords:

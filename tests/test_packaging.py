@@ -1,0 +1,36 @@
+"""Packaging metadata the code depends on.
+
+The zero-copy tally pipeline (`repro.glitchsim.maskalgebra`,
+`WordHarness.run_many_codes`) counts bits with ``np.bitwise_count``,
+which NumPy grew in 2.0 — an older NumPy imports fine and then crashes
+mid-campaign. These tests pin the declared floor to the real
+requirement so an environment that would break is rejected at install
+time, not at sweep time.
+
+Parsed with a regex rather than ``tomllib`` (Python 3.10, the oldest
+supported interpreter, does not ship it).
+"""
+
+import re
+from pathlib import Path
+
+import numpy as np
+
+_PYPROJECT = Path(__file__).resolve().parent.parent / "pyproject.toml"
+
+
+def test_numpy_floor_is_declared():
+    text = _PYPROJECT.read_text()
+    match = re.search(r'dependencies\s*=\s*\[([^\]]*)\]', text)
+    assert match, "pyproject.toml lost its [project] dependencies list"
+    deps = match.group(1)
+    assert re.search(r'"numpy>=2(\.\d+)*"', deps), (
+        "numpy must be pinned to >=2.0 — np.bitwise_count (used by the "
+        "vectorized tally path) does not exist before NumPy 2.0"
+    )
+
+
+def test_installed_numpy_has_bitwise_count():
+    """The floor is the real requirement: the primitive must exist."""
+    assert hasattr(np, "bitwise_count")
+    assert int(np.bitwise_count(np.uint64(0b1011))) == 3

@@ -157,7 +157,7 @@ class TestCacheEviction:
     def test_eviction_flushes_dirty_shards(self, tmp_path):
         cache = OutcomeCache(tmp_path, max_shards=1)
         cache.put("bne", False, 7, "success")
-        cache.put("beq", False, 9, "reset")  # evicts bne, must write it
+        cache.put("beq", False, 9, "failed")  # evicts bne, must write it
         fresh = OutcomeCache(tmp_path)
         assert fresh.get("bne", False, 7) == "success"
         assert fresh.get("beq", False, 9) is None  # never flushed yet
@@ -171,10 +171,10 @@ class TestCacheEviction:
 
     def test_touch_refreshes_lru_order(self, tmp_path):
         cache = OutcomeCache(tmp_path, max_shards=2)
-        cache.put("a", False, 1, "x")
-        cache.put("b", False, 1, "x")
+        cache.put("a", False, 1, "success")
+        cache.put("b", False, 1, "success")
         cache.get("a", False, 1)  # a becomes most recent
-        cache.put("c", False, 1, "x")  # must evict b, not a
+        cache.put("c", False, 1, "success")  # must evict b, not a
         assert ("a", False) in cache._shards
         assert ("b", False) not in cache._shards
 

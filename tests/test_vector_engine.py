@@ -151,8 +151,8 @@ class TestRunManyRegressions:
             # crash inside the batch executor, after classification started
             real_batch = harness._execute_vector_batch
 
-            def exploding_batch(pending, results, fresh):
-                real_batch(pending, results, fresh)
+            def exploding_batch(pending):
+                real_batch(pending)
                 raise RuntimeError("simulated unit-timeout kill")
 
             monkeypatch.setattr(harness, "_execute_vector_batch", exploding_batch)
